@@ -1,0 +1,485 @@
+//! A disk-page B-tree mapping chunk coordinates to file addresses — the
+//! index structure HDF5 uses for its chunked, extendible datasets ("HDF5
+//! achieves extendibility through array chunking with the chunks indexed by
+//! a B-Tree indexing method", paper §I).
+//!
+//! Keys are fixed-rank `u64` coordinate tuples compared lexicographically
+//! (HDF5's chunk B-tree keys are chunk offsets); values are `u64` chunk
+//! addresses. Nodes are fixed-size pages in a PFS file, so every traversal
+//! costs real page reads — the lookup cost that the computed-access `F*`
+//! avoids (experiment E1).
+
+use crate::error::{BaselineError, Result};
+use drx_pfs::PfsFile;
+use std::cell::Cell;
+
+const MAGIC: u32 = 0x4254_5245; // "BTRE"
+
+/// Logical I/O counters of one tree (page granularity).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BtreeStats {
+    pub page_reads: u64,
+    pub page_writes: u64,
+}
+
+/// A B-tree stored in fixed-size pages of a PFS file.
+///
+/// ```
+/// use drx_baselines::Btree;
+/// use drx_pfs::Pfs;
+///
+/// let pfs = Pfs::memory(1, 4096).unwrap();
+/// let mut tree = Btree::create(pfs.create("idx").unwrap(), 2, 256).unwrap();
+/// tree.insert(&[3, 1], 42).unwrap();
+/// assert_eq!(tree.get(&[3, 1]).unwrap(), Some(42));
+/// assert_eq!(tree.get(&[0, 0]).unwrap(), None);
+/// ```
+pub struct Btree {
+    file: PfsFile,
+    rank: usize,
+    page_size: usize,
+    root: u64,
+    pages: u64,
+    reads: Cell<u64>,
+    writes: Cell<u64>,
+}
+
+enum Node {
+    Leaf { keys: Vec<Vec<u64>>, values: Vec<u64> },
+    Internal { keys: Vec<Vec<u64>>, children: Vec<u64> },
+}
+
+/// Result of inserting into a subtree: the child split into two, promoting
+/// `key` with `right` as the new sibling page.
+struct Split {
+    key: Vec<u64>,
+    right: u64,
+}
+
+impl Btree {
+    /// Create an empty tree with keys of `rank` coordinates.
+    pub fn create(file: PfsFile, rank: usize, page_size: usize) -> Result<Btree> {
+        if rank == 0 || page_size < 64 {
+            return Err(BaselineError::Invalid("rank >= 1 and page_size >= 64 required".into()));
+        }
+        let mut t = Btree {
+            file,
+            rank,
+            page_size,
+            root: 1,
+            pages: 2,
+            reads: Cell::new(0),
+            writes: Cell::new(0),
+        };
+        if t.leaf_capacity() < 3 || t.internal_capacity() < 3 {
+            return Err(BaselineError::Invalid(format!(
+                "page size {page_size} too small for rank {rank} keys"
+            )));
+        }
+        t.write_node(1, &Node::Leaf { keys: Vec::new(), values: Vec::new() })?;
+        t.write_meta()?;
+        Ok(t)
+    }
+
+    /// Open an existing tree.
+    pub fn open(file: PfsFile) -> Result<Btree> {
+        let mut head = vec![0u8; 40];
+        file.read_at(0, &mut head)?;
+        let magic = u32::from_le_bytes(head[0..4].try_into().unwrap());
+        if magic != MAGIC {
+            return Err(BaselineError::Corrupt("bad btree magic".into()));
+        }
+        let rank = u32::from_le_bytes(head[4..8].try_into().unwrap()) as usize;
+        let page_size = u64::from_le_bytes(head[8..16].try_into().unwrap()) as usize;
+        let root = u64::from_le_bytes(head[16..24].try_into().unwrap());
+        let pages = u64::from_le_bytes(head[24..32].try_into().unwrap());
+        Ok(Btree { file, rank, page_size, root, pages, reads: Cell::new(0), writes: Cell::new(0) })
+    }
+
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn stats(&self) -> BtreeStats {
+        BtreeStats { page_reads: self.reads.get(), page_writes: self.writes.get() }
+    }
+
+    pub fn reset_stats(&self) {
+        self.reads.set(0);
+        self.writes.set(0);
+    }
+
+    /// Number of allocated pages (meta page included) — the index storage
+    /// overhead E2/E9 report.
+    pub fn page_count(&self) -> u64 {
+        self.pages
+    }
+
+    pub fn bytes(&self) -> u64 {
+        self.pages * self.page_size as u64
+    }
+
+    fn key_bytes(&self) -> usize {
+        self.rank * 8
+    }
+
+    fn leaf_capacity(&self) -> usize {
+        (self.page_size - 8) / (self.key_bytes() + 8)
+    }
+
+    fn internal_capacity(&self) -> usize {
+        (self.page_size - 16) / (self.key_bytes() + 8)
+    }
+
+    fn write_meta(&mut self) -> Result<()> {
+        let mut buf = vec![0u8; 40];
+        buf[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+        buf[4..8].copy_from_slice(&(self.rank as u32).to_le_bytes());
+        buf[8..16].copy_from_slice(&(self.page_size as u64).to_le_bytes());
+        buf[16..24].copy_from_slice(&self.root.to_le_bytes());
+        buf[24..32].copy_from_slice(&self.pages.to_le_bytes());
+        self.file.write_at(0, &buf)?;
+        Ok(())
+    }
+
+    fn alloc_page(&mut self) -> u64 {
+        let id = self.pages;
+        self.pages += 1;
+        id
+    }
+
+    fn read_node(&self, page: u64) -> Result<Node> {
+        self.reads.set(self.reads.get() + 1);
+        let off = page * self.page_size as u64;
+        // Pages may be sparse (never fully written); ensure logical length.
+        let mut buf = vec![0u8; self.page_size];
+        let flen = self.file.len();
+        let need = off + self.page_size as u64;
+        let take = if need <= flen { self.page_size } else { (flen.saturating_sub(off)) as usize };
+        if take > 0 {
+            self.file.read_at(off, &mut buf[..take])?;
+        }
+        let is_leaf = buf[0] == 1;
+        let n = u16::from_le_bytes(buf[1..3].try_into().unwrap()) as usize;
+        let kb = self.key_bytes();
+        let mut pos = 8usize;
+        let mut keys = Vec::with_capacity(n);
+        for _ in 0..n {
+            let key: Vec<u64> = buf[pos..pos + kb]
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            keys.push(key);
+            pos += kb;
+        }
+        if is_leaf {
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                values.push(u64::from_le_bytes(buf[pos..pos + 8].try_into().unwrap()));
+                pos += 8;
+            }
+            Ok(Node::Leaf { keys, values })
+        } else {
+            let mut children = Vec::with_capacity(n + 1);
+            for _ in 0..=n {
+                children.push(u64::from_le_bytes(buf[pos..pos + 8].try_into().unwrap()));
+                pos += 8;
+            }
+            Ok(Node::Internal { keys, children })
+        }
+    }
+
+    fn write_node(&mut self, page: u64, node: &Node) -> Result<()> {
+        self.writes.set(self.writes.get() + 1);
+        let mut buf = vec![0u8; self.page_size];
+        let (is_leaf, keys) = match node {
+            Node::Leaf { keys, .. } => (1u8, keys),
+            Node::Internal { keys, .. } => (0u8, keys),
+        };
+        buf[0] = is_leaf;
+        buf[1..3].copy_from_slice(&(keys.len() as u16).to_le_bytes());
+        let mut pos = 8usize;
+        for key in keys {
+            for &k in key {
+                buf[pos..pos + 8].copy_from_slice(&k.to_le_bytes());
+                pos += 8;
+            }
+        }
+        match node {
+            Node::Leaf { values, .. } => {
+                for &v in values {
+                    buf[pos..pos + 8].copy_from_slice(&v.to_le_bytes());
+                    pos += 8;
+                }
+            }
+            Node::Internal { children, .. } => {
+                for &c in children {
+                    buf[pos..pos + 8].copy_from_slice(&c.to_le_bytes());
+                    pos += 8;
+                }
+            }
+        }
+        self.file.write_at(page * self.page_size as u64, &buf)?;
+        Ok(())
+    }
+
+    fn check_key(&self, key: &[u64]) -> Result<()> {
+        if key.len() != self.rank {
+            return Err(BaselineError::Invalid(format!(
+                "key rank {} != tree rank {}",
+                key.len(),
+                self.rank
+            )));
+        }
+        Ok(())
+    }
+
+    /// Look up a key; `None` when absent.
+    pub fn get(&self, key: &[u64]) -> Result<Option<u64>> {
+        self.check_key(key)?;
+        let mut page = self.root;
+        loop {
+            match self.read_node(page)? {
+                Node::Leaf { keys, values } => {
+                    return Ok(match keys.binary_search_by(|k| k.as_slice().cmp(key)) {
+                        Ok(i) => Some(values[i]),
+                        Err(_) => None,
+                    });
+                }
+                Node::Internal { keys, children } => {
+                    let i = keys.partition_point(|k| k.as_slice() <= key);
+                    page = children[i];
+                }
+            }
+        }
+    }
+
+    /// Insert or update a key.
+    pub fn insert(&mut self, key: &[u64], value: u64) -> Result<()> {
+        self.check_key(key)?;
+        let root = self.root;
+        if let Some(split) = self.insert_rec(root, key, value)? {
+            // Grow the tree: new root with two children.
+            let new_root = self.alloc_page();
+            let node = Node::Internal { keys: vec![split.key], children: vec![root, split.right] };
+            self.write_node(new_root, &node)?;
+            self.root = new_root;
+        }
+        self.write_meta()
+    }
+
+    fn insert_rec(&mut self, page: u64, key: &[u64], value: u64) -> Result<Option<Split>> {
+        match self.read_node(page)? {
+            Node::Leaf { mut keys, mut values } => {
+                match keys.binary_search_by(|k| k.as_slice().cmp(key)) {
+                    Ok(i) => values[i] = value,
+                    Err(i) => {
+                        keys.insert(i, key.to_vec());
+                        values.insert(i, value);
+                    }
+                }
+                if keys.len() <= self.leaf_capacity() {
+                    self.write_node(page, &Node::Leaf { keys, values })?;
+                    return Ok(None);
+                }
+                // Split the leaf.
+                let mid = keys.len() / 2;
+                let right_keys = keys.split_off(mid);
+                let right_values = values.split_off(mid);
+                let promote = right_keys[0].clone();
+                let right = self.alloc_page();
+                self.write_node(page, &Node::Leaf { keys, values })?;
+                self.write_node(right, &Node::Leaf { keys: right_keys, values: right_values })?;
+                Ok(Some(Split { key: promote, right }))
+            }
+            Node::Internal { mut keys, mut children } => {
+                let i = keys.partition_point(|k| k.as_slice() <= key);
+                let child = children[i];
+                let Some(split) = self.insert_rec(child, key, value)? else {
+                    return Ok(None);
+                };
+                keys.insert(i, split.key);
+                children.insert(i + 1, split.right);
+                if keys.len() <= self.internal_capacity() {
+                    self.write_node(page, &Node::Internal { keys, children })?;
+                    return Ok(None);
+                }
+                // Split the internal node; the median key moves up.
+                let mid = keys.len() / 2;
+                let promote = keys[mid].clone();
+                let right_keys = keys.split_off(mid + 1);
+                keys.pop(); // remove the promoted key
+                let right_children = children.split_off(mid + 1);
+                let right = self.alloc_page();
+                self.write_node(page, &Node::Internal { keys, children })?;
+                self.write_node(right, &Node::Internal { keys: right_keys, children: right_children })?;
+                Ok(Some(Split { key: promote, right }))
+            }
+        }
+    }
+
+    /// Number of stored entries (full scan; test/diagnostic helper).
+    pub fn len(&self) -> Result<u64> {
+        self.count(self.root)
+    }
+
+    pub fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    fn count(&self, page: u64) -> Result<u64> {
+        match self.read_node(page)? {
+            Node::Leaf { keys, .. } => Ok(keys.len() as u64),
+            Node::Internal { children, .. } => {
+                let mut n = 0;
+                for c in children {
+                    n += self.count(c)?;
+                }
+                Ok(n)
+            }
+        }
+    }
+
+    /// Tree depth (root = 1); the lookup cost in page reads.
+    pub fn depth(&self) -> Result<u32> {
+        let mut d = 1;
+        let mut page = self.root;
+        loop {
+            match self.read_node(page)? {
+                Node::Leaf { .. } => return Ok(d),
+                Node::Internal { children, .. } => {
+                    page = children[0];
+                    d += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drx_pfs::Pfs;
+
+    fn tree(page_size: usize) -> Btree {
+        let pfs = Pfs::memory(2, 4096).unwrap();
+        let f = pfs.create("idx").unwrap();
+        Btree::create(f, 2, page_size).unwrap()
+    }
+
+    #[test]
+    fn insert_get_round_trip() {
+        let mut t = tree(256);
+        for i in 0..50u64 {
+            for j in 0..4u64 {
+                t.insert(&[i, j], i * 100 + j).unwrap();
+            }
+        }
+        for i in 0..50u64 {
+            for j in 0..4u64 {
+                assert_eq!(t.get(&[i, j]).unwrap(), Some(i * 100 + j), "({i},{j})");
+            }
+        }
+        assert_eq!(t.get(&[50, 0]).unwrap(), None);
+        assert_eq!(t.len().unwrap(), 200);
+        assert!(t.depth().unwrap() >= 2, "tree must have split");
+    }
+
+    #[test]
+    fn update_overwrites() {
+        let mut t = tree(256);
+        t.insert(&[1, 1], 10).unwrap();
+        t.insert(&[1, 1], 20).unwrap();
+        assert_eq!(t.get(&[1, 1]).unwrap(), Some(20));
+        assert_eq!(t.len().unwrap(), 1);
+    }
+
+    #[test]
+    fn lexicographic_order_of_coordinates() {
+        let mut t = tree(256);
+        t.insert(&[2, 0], 1).unwrap();
+        t.insert(&[1, 9], 2).unwrap();
+        t.insert(&[1, 0], 3).unwrap();
+        // (1,0) < (1,9) < (2,0) lexicographically.
+        assert_eq!(t.get(&[1, 0]).unwrap(), Some(3));
+        assert_eq!(t.get(&[1, 9]).unwrap(), Some(2));
+        assert_eq!(t.get(&[2, 0]).unwrap(), Some(1));
+    }
+
+    #[test]
+    fn random_insert_order() {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut t = tree(128); // tiny pages force deep trees
+        let mut keys: Vec<[u64; 2]> = (0..30).flat_map(|i| (0..30).map(move |j| [i, j])).collect();
+        keys.shuffle(&mut rng);
+        for (v, k) in keys.iter().enumerate() {
+            t.insert(k, v as u64).unwrap();
+        }
+        for (v, k) in keys.iter().enumerate() {
+            assert_eq!(t.get(k).unwrap(), Some(v as u64));
+        }
+        assert_eq!(t.len().unwrap(), 900);
+        assert!(t.depth().unwrap() >= 3);
+    }
+
+    #[test]
+    fn persistence_through_reopen() {
+        let pfs = Pfs::memory(2, 4096).unwrap();
+        {
+            let f = pfs.create("idx").unwrap();
+            let mut t = Btree::create(f, 3, 256).unwrap();
+            for i in 0..100u64 {
+                t.insert(&[i, i * 2, i * 3], i).unwrap();
+            }
+        }
+        let t = Btree::open(pfs.open("idx").unwrap()).unwrap();
+        assert_eq!(t.rank(), 3);
+        for i in 0..100u64 {
+            assert_eq!(t.get(&[i, i * 2, i * 3]).unwrap(), Some(i));
+        }
+        // Corrupt magic is rejected.
+        let g = pfs.open("idx").unwrap();
+        g.write_at(0, &[0xFF; 4]).unwrap();
+        assert!(matches!(Btree::open(g), Err(BaselineError::Corrupt(_))));
+    }
+
+    #[test]
+    fn stats_count_page_io() {
+        let mut t = tree(256);
+        t.reset_stats();
+        t.insert(&[0, 0], 1).unwrap();
+        let s = t.stats();
+        assert!(s.page_reads >= 1 && s.page_writes >= 1);
+        t.reset_stats();
+        t.get(&[0, 0]).unwrap();
+        assert_eq!(t.stats().page_writes, 0);
+        assert!(t.stats().page_reads >= 1);
+    }
+
+    #[test]
+    fn lookup_cost_grows_logarithmically() {
+        let mut t = tree(128);
+        for i in 0..2000u64 {
+            t.insert(&[i, 0], i).unwrap();
+        }
+        let depth = t.depth().unwrap();
+        t.reset_stats();
+        t.get(&[999, 0]).unwrap();
+        assert_eq!(t.stats().page_reads as u32, depth);
+        assert!(depth >= 3, "2000 keys in 128-byte pages must be deep");
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let pfs = Pfs::memory(1, 1024).unwrap();
+        let f = pfs.create("x").unwrap();
+        assert!(Btree::create(f, 0, 256).is_err());
+        let f = pfs.create("y").unwrap();
+        assert!(Btree::create(f, 2, 32).is_err());
+        let f = pfs.create("z").unwrap();
+        let t = Btree::create(f, 2, 256).unwrap();
+        assert!(t.get(&[1]).is_err());
+    }
+}

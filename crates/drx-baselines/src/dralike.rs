@@ -1,0 +1,332 @@
+//! DRA-like chunked array file — a miniature of the Disk Resident Arrays
+//! library (Nieplocha & Foster), "the persistent storage counterpart of the
+//! memory resident Global-Array" that DRX-MP is designed to replace
+//! (paper §I, §II-B).
+//!
+//! Like DRX, a DRA stores the array as fixed-shape chunks with *computed*
+//! chunk addresses — but the chunk grid is addressed in plain row-major
+//! order over bounds fixed at creation time. Consequence: only dimension 0
+//! can grow without reorganization (appending whole chunk-rows keeps
+//! row-major addresses stable); growing any other dimension invalidates
+//! every chunk address after the first chunk-row, forcing a chunk-level
+//! reorganization that the paper's `F*` eliminates.
+
+use crate::error::{BaselineError, Result};
+use crate::rowmajor::ExtendCost;
+use drx_core::index::{offset_with_strides, row_major_strides};
+use drx_core::{dtype, Chunking, Element, Layout, Region};
+use drx_pfs::{Pfs, PfsFile};
+
+/// A chunked array file with row-major chunk addressing over a fixed grid.
+pub struct DraLikeFile<T: Element> {
+    chunking: Chunking,
+    /// Element bounds (dimension 0 may grow).
+    bounds: Vec<usize>,
+    /// Chunk-grid bounds (`⌈bounds/chunk⌉`).
+    grid: Vec<usize>,
+    file: PfsFile,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Element> DraLikeFile<T> {
+    pub fn create(pfs: &Pfs, name: &str, chunk_shape: &[usize], bounds: &[usize]) -> Result<Self> {
+        let chunking = Chunking::new(chunk_shape)?;
+        if bounds.len() != chunking.rank() || bounds.contains(&0) {
+            return Err(BaselineError::Invalid("bad bounds".into()));
+        }
+        let grid = chunking.grid_for(bounds)?;
+        let file = pfs.create(name)?;
+        let f = DraLikeFile {
+            chunking,
+            bounds: bounds.to_vec(),
+            grid,
+            file,
+            _marker: std::marker::PhantomData,
+        };
+        f.file.set_len(f.total_chunks() * f.chunk_bytes())?;
+        Ok(f)
+    }
+
+    pub fn bounds(&self) -> &[usize] {
+        &self.bounds
+    }
+
+    pub fn grid(&self) -> &[usize] {
+        &self.grid
+    }
+
+    pub fn total_chunks(&self) -> u64 {
+        self.grid.iter().map(|&g| g as u64).product()
+    }
+
+    pub fn chunk_bytes(&self) -> u64 {
+        self.chunking.chunk_elems() * T::SIZE as u64
+    }
+
+    /// Row-major chunk address over the *current* grid bounds.
+    pub fn chunk_address(&self, chunk: &[usize]) -> Result<u64> {
+        Ok(drx_core::index::row_major_offset(chunk, &self.grid)?)
+    }
+
+    fn locate(&self, index: &[usize]) -> Result<u64> {
+        if index.len() != self.bounds.len()
+            || index.iter().zip(&self.bounds).any(|(&i, &n)| i >= n)
+        {
+            return Err(BaselineError::Invalid(format!(
+                "index {index:?} out of bounds {:?}",
+                self.bounds
+            )));
+        }
+        let (chunk, within) = self.chunking.split(index)?;
+        let addr = self.chunk_address(&chunk)?;
+        Ok(addr * self.chunk_bytes() + self.chunking.within_offset(&within) * T::SIZE as u64)
+    }
+
+    pub fn get(&self, index: &[usize]) -> Result<T> {
+        let off = self.locate(index)?;
+        let bytes = self.file.read_vec(off, T::SIZE)?;
+        Ok(T::read_le(&bytes))
+    }
+
+    pub fn set(&mut self, index: &[usize], value: T) -> Result<()> {
+        let off = self.locate(index)?;
+        let mut buf = Vec::with_capacity(T::SIZE);
+        value.write_le(&mut buf);
+        self.file.write_at(off, &buf)?;
+        Ok(())
+    }
+
+    /// Extend dimension 0 by `by` elements: whole chunk-rows append, chunk
+    /// addresses are stable (this is the one direction DRA handles well).
+    pub fn extend_dim0(&mut self, by: usize) -> Result<ExtendCost> {
+        self.bounds[0] += by;
+        let needed = self.bounds[0].div_ceil(self.chunking.shape()[0]);
+        if needed > self.grid[0] {
+            self.grid[0] = needed;
+            self.file.set_len(self.total_chunks() * self.chunk_bytes())?;
+        }
+        Ok(ExtendCost { bytes_moved: 0, reorganized: false })
+    }
+
+    /// Extend dimension `dim > 0`: chunk-level reorganization. Every chunk
+    /// whose row-major address changes under the new grid is read at its old
+    /// slot and rewritten at its new one (back to front).
+    pub fn extend(&mut self, dim: usize, by: usize) -> Result<ExtendCost> {
+        if dim >= self.bounds.len() {
+            return Err(BaselineError::Invalid(format!("dimension {dim} out of range")));
+        }
+        if by == 0 {
+            return Err(BaselineError::Invalid("extension amount must be positive".into()));
+        }
+        if dim == 0 {
+            return self.extend_dim0(by);
+        }
+        let old_grid = self.grid.clone();
+        self.bounds[dim] += by;
+        let new_needed = self.bounds[dim].div_ceil(self.chunking.shape()[dim]);
+        if new_needed == old_grid[dim] {
+            // Still fits in the existing edge chunks: metadata only.
+            return Ok(ExtendCost { bytes_moved: 0, reorganized: false });
+        }
+        let mut new_grid = old_grid.clone();
+        new_grid[dim] = new_needed;
+        let cb = self.chunk_bytes();
+        let old_strides = row_major_strides(&old_grid);
+        let new_strides = row_major_strides(&new_grid);
+        let new_total: u64 = new_grid.iter().map(|&g| g as u64).product();
+        self.file.set_len(new_total * cb)?;
+        // Move chunks back to front so no unread chunk is overwritten
+        // (row-major addresses only increase when a trailing dim grows).
+        let old_chunks: Vec<Vec<usize>> =
+            Region::of_shape(&old_grid)?.iter().collect();
+        let mut moved = 0u64;
+        for chunk in old_chunks.iter().rev() {
+            let old_addr = offset_with_strides(chunk, &old_strides);
+            let new_addr = offset_with_strides(chunk, &new_strides);
+            if old_addr != new_addr {
+                let bytes = self.file.read_vec(old_addr * cb, cb as usize)?;
+                self.file.write_at(new_addr * cb, &bytes)?;
+                moved += 2 * cb;
+            }
+        }
+        // Zero the newly created chunk slots.
+        let zero = vec![0u8; cb as usize];
+        for chunk in Region::of_shape(&new_grid)?.iter() {
+            if chunk[dim] >= old_grid[dim] {
+                let addr = offset_with_strides(&chunk, &new_strides);
+                self.file.write_at(addr * cb, &zero)?;
+            }
+        }
+        self.grid = new_grid;
+        Ok(ExtendCost { bytes_moved: moved, reorganized: true })
+    }
+
+    /// Read a rectilinear region (chunk-at-a-time) into the given layout.
+    pub fn read_region(&self, region: &Region, layout: Layout) -> Result<Vec<T>> {
+        if region.rank() != self.bounds.len()
+            || region.hi().iter().zip(&self.bounds).any(|(&h, &n)| h > n)
+        {
+            return Err(BaselineError::Invalid("region out of bounds".into()));
+        }
+        let chunk_region = self.chunking.chunks_covering(region)?;
+        let extents = region.extents();
+        let strides = layout.strides(&extents);
+        let mut out = vec![T::default(); region.volume() as usize];
+        for chunk in chunk_region.iter() {
+            let chunk_elems = self.chunking.chunk_elements(&chunk)?;
+            let Some(valid) = chunk_elems.intersect(region) else { continue };
+            let addr = self.chunk_address(&chunk)?;
+            let bytes = self.file.read_vec(addr * self.chunk_bytes(), self.chunk_bytes() as usize)?;
+            let vals: Vec<T> = dtype::decode_slice(&bytes)?;
+            drx_core::index::for_each_offset_pair(
+                &valid,
+                chunk_elems.lo(),
+                self.chunking.strides(),
+                region.lo(),
+                &strides,
+                |src, dst| out[dst as usize] = vals[src as usize],
+            );
+        }
+        Ok(out)
+    }
+
+    /// Write a region from a dense buffer (read-modify-write on partial
+    /// chunks).
+    pub fn write_region(&mut self, region: &Region, layout: Layout, data: &[T]) -> Result<()> {
+        if data.len() as u64 != region.volume() {
+            return Err(BaselineError::Invalid("buffer size mismatch".into()));
+        }
+        if region.rank() != self.bounds.len()
+            || region.hi().iter().zip(&self.bounds).any(|(&h, &n)| h > n)
+        {
+            return Err(BaselineError::Invalid("region out of bounds".into()));
+        }
+        let chunk_region = self.chunking.chunks_covering(region)?;
+        let extents = region.extents();
+        let strides = layout.strides(&extents);
+        for chunk in chunk_region.iter() {
+            let chunk_elems = self.chunking.chunk_elements(&chunk)?;
+            let Some(valid) = chunk_elems.intersect(region) else { continue };
+            let addr = self.chunk_address(&chunk)?;
+            let base = addr * self.chunk_bytes();
+            let mut bytes = self.file.read_vec(base, self.chunk_bytes() as usize)?;
+            let mut tmp = Vec::with_capacity(T::SIZE);
+            drx_core::index::for_each_offset_pair(
+                &valid,
+                chunk_elems.lo(),
+                self.chunking.strides(),
+                region.lo(),
+                &strides,
+                |dst, src| {
+                    let dst = dst as usize * T::SIZE;
+                    tmp.clear();
+                    data[src as usize].write_le(&mut tmp);
+                    bytes[dst..dst + T::SIZE].copy_from_slice(&tmp);
+                },
+            );
+            self.file.write_at(base, &bytes)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pfs() -> Pfs {
+        Pfs::memory(2, 512).unwrap()
+    }
+
+    fn tag(idx: &[usize]) -> i64 {
+        idx.iter().fold(17i64, |a, &i| a * 59 + i as i64)
+    }
+
+    fn filled(pfs: &Pfs, chunk: &[usize], bounds: &[usize]) -> DraLikeFile<i64> {
+        let mut f = DraLikeFile::create(pfs, "dra", chunk, bounds).unwrap();
+        let region = Region::new(vec![0; bounds.len()], bounds.to_vec()).unwrap();
+        let data: Vec<i64> = region.iter().map(|i| tag(&i)).collect();
+        f.write_region(&region, Layout::C, &data).unwrap();
+        f
+    }
+
+    #[test]
+    fn get_set_and_region_round_trip() {
+        let fs = pfs();
+        let mut f = filled(&fs, &[2, 3], &[7, 8]);
+        assert_eq!(f.get(&[6, 7]).unwrap(), tag(&[6, 7]));
+        f.set(&[0, 0], -5).unwrap();
+        assert_eq!(f.get(&[0, 0]).unwrap(), -5);
+        let r = Region::new(vec![1, 2], vec![5, 6]).unwrap();
+        let c = f.read_region(&r, Layout::C).unwrap();
+        let fo = f.read_region(&r, Layout::Fortran).unwrap();
+        assert_eq!(c.len(), 16);
+        assert_eq!(c[0], fo[0]);
+        assert_eq!(c[1], fo[4]); // (1,3): C pos 1, Fortran pos 4 in a 4×4 region
+    }
+
+    #[test]
+    fn dim0_extension_is_free() {
+        let fs = pfs();
+        let mut f = filled(&fs, &[2, 2], &[4, 6]);
+        let cost = f.extend_dim0(4).unwrap();
+        assert_eq!(cost, ExtendCost { bytes_moved: 0, reorganized: false });
+        assert_eq!(f.bounds(), &[8, 6]);
+        for i in 0..4 {
+            for j in 0..6 {
+                assert_eq!(f.get(&[i, j]).unwrap(), tag(&[i, j]));
+            }
+        }
+        assert_eq!(f.get(&[7, 5]).unwrap(), 0);
+    }
+
+    #[test]
+    fn dim1_extension_reorganizes_chunks() {
+        let fs = pfs();
+        let mut f = filled(&fs, &[2, 2], &[6, 6]);
+        let cost = f.extend(1, 2).unwrap();
+        assert!(cost.reorganized);
+        assert!(cost.bytes_moved > 0);
+        assert_eq!(f.bounds(), &[6, 8]);
+        assert_eq!(f.grid(), &[3, 4]);
+        for i in 0..6 {
+            for j in 0..6 {
+                assert_eq!(f.get(&[i, j]).unwrap(), tag(&[i, j]), "({i},{j})");
+            }
+            for j in 6..8 {
+                assert_eq!(f.get(&[i, j]).unwrap(), 0, "new ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn small_extension_within_edge_chunks_is_metadata_only() {
+        let fs = pfs();
+        let mut f = filled(&fs, &[2, 4], &[4, 6]); // grid [2,2], col chunk holds 8
+        let cost = f.extend(1, 2).unwrap(); // 6 → 8 elements still 2 chunk cols
+        assert!(!cost.reorganized);
+        assert_eq!(cost.bytes_moved, 0);
+        assert_eq!(f.get(&[3, 5]).unwrap(), tag(&[3, 5]));
+    }
+
+    #[test]
+    fn chunk_reorg_cost_scales_with_chunk_count_not_elements() {
+        // DRA moves whole chunks; the moved-byte count equals
+        // (chunks that change address) × chunk_bytes × 2.
+        let fs = pfs();
+        let mut f = filled(&fs, &[2, 2], &[8, 8]); // 4×4 grid
+        let cost = f.extend(1, 2).unwrap(); // grid 4×4 → 4×5
+        // Chunks in row 0 keep addresses 0..4; all 12 later chunks move.
+        assert_eq!(cost.bytes_moved, 12 * f.chunk_bytes() * 2);
+    }
+
+    #[test]
+    fn errors() {
+        let fs = pfs();
+        let mut f = filled(&fs, &[2, 2], &[4, 4]);
+        assert!(f.get(&[4, 0]).is_err());
+        assert!(f.extend(3, 1).is_err());
+        assert!(f.extend(1, 0).is_err());
+        assert!(DraLikeFile::<i64>::create(&fs, "bad", &[2, 2], &[0, 4]).is_err());
+    }
+}

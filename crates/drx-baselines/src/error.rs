@@ -1,0 +1,63 @@
+//! Error type for the baseline array-file formats.
+
+use std::fmt;
+
+#[derive(Debug)]
+pub enum BaselineError {
+    /// Mapping / metadata error from `drx-core`.
+    Core(drx_core::DrxError),
+    /// Parallel file system error.
+    Pfs(drx_pfs::PfsError),
+    /// Structural corruption detected in a baseline file (bad page, bad
+    /// header, …).
+    Corrupt(String),
+    /// Generic invalid argument.
+    Invalid(String),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Core(e) => write!(f, "{e}"),
+            BaselineError::Pfs(e) => write!(f, "{e}"),
+            BaselineError::Corrupt(why) => write!(f, "corrupt baseline file: {why}"),
+            BaselineError::Invalid(why) => write!(f, "invalid argument: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BaselineError::Core(e) => Some(e),
+            BaselineError::Pfs(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<drx_core::DrxError> for BaselineError {
+    fn from(e: drx_core::DrxError) -> Self {
+        BaselineError::Core(e)
+    }
+}
+
+impl From<drx_pfs::PfsError> for BaselineError {
+    fn from(e: drx_pfs::PfsError) -> Self {
+        BaselineError::Pfs(e)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, BaselineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_wraps() {
+        let e: BaselineError = drx_pfs::PfsError::NoSuchFile("q".into()).into();
+        assert!(e.to_string().contains("q"));
+        assert!(BaselineError::Corrupt("bad page".into()).to_string().contains("bad page"));
+    }
+}

@@ -1,0 +1,429 @@
+//! HDF5-like chunked array file: chunks allocated on first write, located
+//! through a disk-page B-tree index (paper §I/§II-B).
+//!
+//! Extension is cheap (just metadata), like DRX — but every chunk access
+//! pays B-tree page reads where DRX computes the address with `F*`
+//! ("Instead of managing the chunks by an index scheme, the chunks can be
+//! addressed by a computed access function in a manner similar to hashing",
+//! §V). Experiment E1/E9 quantify that difference.
+
+use crate::btree::{Btree, BtreeStats};
+use crate::error::{BaselineError, Result};
+use drx_core::{dtype, Chunking, DType, Element, Layout, Region};
+use drx_pfs::{Pfs, PfsFile};
+
+const SUPER_MAGIC: u32 = 0x4835_4C4B; // "H5LK"
+
+/// A chunked, B-tree-indexed array file (`name.h5s` superblock +
+/// `name.h5d` data + `name.h5i` index).
+pub struct Hdf5LikeFile<T: Element> {
+    chunking: Chunking,
+    bounds: Vec<usize>,
+    index: Btree,
+    data: PfsFile,
+    superblock: PfsFile,
+    /// Next free chunk slot in the data file.
+    next_chunk: u64,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Element> Hdf5LikeFile<T> {
+    /// Create a new dataset. Chunks are allocated lazily on first write
+    /// (HDF5 semantics); unwritten chunks read as the fill value
+    /// `T::default()`.
+    pub fn create(
+        pfs: &Pfs,
+        name: &str,
+        chunk_shape: &[usize],
+        initial_bounds: &[usize],
+        page_size: usize,
+    ) -> Result<Self> {
+        let chunking = Chunking::new(chunk_shape)?;
+        if initial_bounds.len() != chunking.rank() {
+            return Err(BaselineError::Invalid("bounds rank mismatch".into()));
+        }
+        let index = Btree::create(pfs.create(&format!("{name}.h5i"))?, chunking.rank(), page_size)?;
+        let data = pfs.create(&format!("{name}.h5d"))?;
+        let superblock = pfs.create(&format!("{name}.h5s"))?;
+        let mut f = Hdf5LikeFile {
+            chunking,
+            bounds: initial_bounds.to_vec(),
+            index,
+            data,
+            superblock,
+            next_chunk: 0,
+            _marker: std::marker::PhantomData,
+        };
+        f.write_superblock()?;
+        Ok(f)
+    }
+
+    /// Open an existing dataset; the stored element type must match `T`.
+    pub fn open(pfs: &Pfs, name: &str) -> Result<Self> {
+        let superblock = pfs.open(&format!("{name}.h5s"))?;
+        let head = superblock.read_vec(0, superblock.len() as usize)?;
+        if head.len() < 18 || u32::from_le_bytes(head[0..4].try_into().unwrap()) != SUPER_MAGIC {
+            return Err(BaselineError::Corrupt("bad hdf5like superblock".into()));
+        }
+        let stored = DType::from_code(head[4])?;
+        if stored != T::DTYPE {
+            return Err(BaselineError::Invalid(format!(
+                "file holds {}, requested {}",
+                stored.name(),
+                T::DTYPE.name()
+            )));
+        }
+        let rank = head[5] as usize;
+        let next_chunk = u64::from_le_bytes(head[6..14].try_into().unwrap());
+        let need = 14 + rank * 16;
+        if head.len() < need {
+            return Err(BaselineError::Corrupt("truncated hdf5like superblock".into()));
+        }
+        let mut chunk_shape = Vec::with_capacity(rank);
+        let mut bounds = Vec::with_capacity(rank);
+        for j in 0..rank {
+            let off = 14 + j * 8;
+            chunk_shape.push(u64::from_le_bytes(head[off..off + 8].try_into().unwrap()) as usize);
+            let off = 14 + (rank + j) * 8;
+            bounds.push(u64::from_le_bytes(head[off..off + 8].try_into().unwrap()) as usize);
+        }
+        let chunking = Chunking::new(&chunk_shape)?;
+        let index = Btree::open(pfs.open(&format!("{name}.h5i"))?)?;
+        let data = pfs.open(&format!("{name}.h5d"))?;
+        Ok(Hdf5LikeFile {
+            chunking,
+            bounds,
+            index,
+            data,
+            superblock,
+            next_chunk,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    fn write_superblock(&mut self) -> Result<()> {
+        let rank = self.chunking.rank();
+        let mut head = vec![0u8; 14 + rank * 16];
+        head[0..4].copy_from_slice(&SUPER_MAGIC.to_le_bytes());
+        head[4] = T::DTYPE.code();
+        head[5] = rank as u8;
+        head[6..14].copy_from_slice(&self.next_chunk.to_le_bytes());
+        for (j, &c) in self.chunking.shape().iter().enumerate() {
+            head[14 + j * 8..14 + j * 8 + 8].copy_from_slice(&(c as u64).to_le_bytes());
+        }
+        for (j, &b) in self.bounds.iter().enumerate() {
+            let off = 14 + (rank + j) * 8;
+            head[off..off + 8].copy_from_slice(&(b as u64).to_le_bytes());
+        }
+        self.superblock.write_at(0, &head)?;
+        Ok(())
+    }
+
+    pub fn bounds(&self) -> &[usize] {
+        &self.bounds
+    }
+
+    pub fn chunking(&self) -> &Chunking {
+        &self.chunking
+    }
+
+    fn chunk_bytes(&self) -> u64 {
+        self.chunking.chunk_elems() * T::SIZE as u64
+    }
+
+    /// Index I/O counters (page reads/writes since last reset).
+    pub fn index_stats(&self) -> BtreeStats {
+        self.index.stats()
+    }
+
+    pub fn reset_index_stats(&self) {
+        self.index.reset_stats()
+    }
+
+    /// Index storage overhead in bytes.
+    pub fn index_bytes(&self) -> u64 {
+        self.index.bytes()
+    }
+
+    /// Extend any dimension: pure metadata, like DRX (this is the one thing
+    /// HDF5 chunking also gets right — the costs differ in *access*, not
+    /// extension).
+    pub fn extend(&mut self, dim: usize, by: usize) -> Result<()> {
+        if dim >= self.bounds.len() {
+            return Err(BaselineError::Invalid(format!("dimension {dim} out of range")));
+        }
+        if by == 0 {
+            return Err(BaselineError::Invalid("extension amount must be positive".into()));
+        }
+        self.bounds[dim] += by;
+        self.write_superblock()
+    }
+
+    fn check_index(&self, index: &[usize]) -> Result<()> {
+        if index.len() != self.bounds.len()
+            || index.iter().zip(&self.bounds).any(|(&i, &n)| i >= n)
+        {
+            return Err(BaselineError::Invalid(format!(
+                "index {index:?} out of bounds {:?}",
+                self.bounds
+            )));
+        }
+        Ok(())
+    }
+
+    fn key_of(chunk: &[usize]) -> Vec<u64> {
+        chunk.iter().map(|&c| c as u64).collect()
+    }
+
+    /// Locate a chunk through the B-tree; `None` when never written.
+    fn chunk_slot(&self, chunk: &[usize]) -> Result<Option<u64>> {
+        self.index.get(&Self::key_of(chunk))
+    }
+
+    /// Locate-or-allocate a chunk slot for writing.
+    fn chunk_slot_mut(&mut self, chunk: &[usize]) -> Result<u64> {
+        let key = Self::key_of(chunk);
+        if let Some(slot) = self.index.get(&key)? {
+            return Ok(slot);
+        }
+        let slot = self.next_chunk;
+        self.next_chunk += 1;
+        // Materialize the chunk with fill values.
+        let zeros = vec![T::default(); self.chunking.chunk_elems() as usize];
+        self.data.write_at(slot * self.chunk_bytes(), &dtype::encode_slice(&zeros))?;
+        self.index.insert(&key, slot)?;
+        self.write_superblock()?;
+        Ok(slot)
+    }
+
+    pub fn get(&self, index: &[usize]) -> Result<T> {
+        self.check_index(index)?;
+        let (chunk, within) = self.chunking.split(index)?;
+        match self.chunk_slot(&chunk)? {
+            None => Ok(T::default()),
+            Some(slot) => {
+                let off = slot * self.chunk_bytes()
+                    + self.chunking.within_offset(&within) * T::SIZE as u64;
+                let bytes = self.data.read_vec(off, T::SIZE)?;
+                Ok(T::read_le(&bytes))
+            }
+        }
+    }
+
+    pub fn set(&mut self, index: &[usize], value: T) -> Result<()> {
+        self.check_index(index)?;
+        let (chunk, within) = self.chunking.split(index)?;
+        let slot = self.chunk_slot_mut(&chunk)?;
+        let off =
+            slot * self.chunk_bytes() + self.chunking.within_offset(&within) * T::SIZE as u64;
+        let mut buf = Vec::with_capacity(T::SIZE);
+        value.write_le(&mut buf);
+        self.data.write_at(off, &buf)?;
+        Ok(())
+    }
+
+    /// Read a rectilinear region (chunk-at-a-time, like the DRX serial
+    /// reader, but each chunk location costs a B-tree traversal).
+    pub fn read_region(&self, region: &Region, layout: Layout) -> Result<Vec<T>> {
+        self.check_region(region)?;
+        let chunk_region = self.chunking.chunks_covering(region)?;
+        let extents = region.extents();
+        let strides = layout.strides(&extents);
+        let mut out = vec![T::default(); region.volume() as usize];
+        for chunk in chunk_region.iter() {
+            let chunk_elems = self.chunking.chunk_elements(&chunk)?;
+            let Some(valid) = chunk_elems.intersect(region) else { continue };
+            let slot = self.chunk_slot(&chunk)?;
+            let bytes = match slot {
+                None => None,
+                Some(s) => {
+                    Some(self.data.read_vec(s * self.chunk_bytes(), self.chunk_bytes() as usize)?)
+                }
+            };
+            if let Some(b) = &bytes {
+                drx_core::index::for_each_offset_pair(
+                    &valid,
+                    chunk_elems.lo(),
+                    self.chunking.strides(),
+                    region.lo(),
+                    &strides,
+                    |src, dst| {
+                        let src = src as usize * T::SIZE;
+                        out[dst as usize] = T::read_le(&b[src..src + T::SIZE]);
+                    },
+                );
+            }
+            // Unallocated chunks leave the fill value (T::default()) in place.
+        }
+        Ok(out)
+    }
+
+    /// Write a region from a dense buffer.
+    pub fn write_region(&mut self, region: &Region, layout: Layout, data: &[T]) -> Result<()> {
+        self.check_region(region)?;
+        let n = region.volume() as usize;
+        if data.len() != n {
+            return Err(BaselineError::Invalid(format!(
+                "buffer has {} elements for a {n}-element region",
+                data.len()
+            )));
+        }
+        let chunk_region = self.chunking.chunks_covering(region)?;
+        let extents = region.extents();
+        let strides = layout.strides(&extents);
+        for chunk in chunk_region.iter() {
+            let chunk_elems = self.chunking.chunk_elements(&chunk)?;
+            let Some(valid) = chunk_elems.intersect(region) else { continue };
+            let slot = self.chunk_slot_mut(&chunk)?;
+            let base = slot * self.chunk_bytes();
+            let mut bytes = self.data.read_vec(base, self.chunk_bytes() as usize)?;
+            let mut tmp = Vec::with_capacity(T::SIZE);
+            drx_core::index::for_each_offset_pair(
+                &valid,
+                chunk_elems.lo(),
+                self.chunking.strides(),
+                region.lo(),
+                &strides,
+                |dst, src| {
+                    let dst = dst as usize * T::SIZE;
+                    tmp.clear();
+                    data[src as usize].write_le(&mut tmp);
+                    bytes[dst..dst + T::SIZE].copy_from_slice(&tmp);
+                },
+            );
+            self.data.write_at(base, &bytes)?;
+        }
+        Ok(())
+    }
+
+    fn check_region(&self, region: &Region) -> Result<()> {
+        if region.rank() != self.bounds.len()
+            || region.hi().iter().zip(&self.bounds).any(|(&h, &n)| h > n)
+        {
+            return Err(BaselineError::Invalid(format!(
+                "region out of bounds {:?}",
+                self.bounds
+            )));
+        }
+        Ok(())
+    }
+
+    /// Allocated (written) chunk count.
+    pub fn allocated_chunks(&self) -> u64 {
+        self.next_chunk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pfs() -> Pfs {
+        Pfs::memory(2, 1024).unwrap()
+    }
+
+    #[test]
+    fn lazy_allocation_and_fill_values() {
+        let fs = pfs();
+        let mut f: Hdf5LikeFile<f64> = Hdf5LikeFile::create(&fs, "h", &[2, 2], &[8, 8], 256).unwrap();
+        assert_eq!(f.allocated_chunks(), 0);
+        assert_eq!(f.get(&[5, 5]).unwrap(), 0.0);
+        f.set(&[5, 5], 2.5).unwrap();
+        assert_eq!(f.allocated_chunks(), 1);
+        assert_eq!(f.get(&[5, 5]).unwrap(), 2.5);
+        assert_eq!(f.get(&[5, 4]).unwrap(), 0.0, "same chunk, fill value");
+        assert_eq!(f.get(&[0, 0]).unwrap(), 0.0, "unallocated chunk");
+    }
+
+    #[test]
+    fn extension_is_metadata_only() {
+        let fs = pfs();
+        let mut f: Hdf5LikeFile<i64> = Hdf5LikeFile::create(&fs, "h", &[2, 2], &[4, 4], 256).unwrap();
+        f.set(&[3, 3], 7).unwrap();
+        let chunks_before = f.allocated_chunks();
+        f.extend(1, 10).unwrap();
+        f.extend(0, 2).unwrap();
+        assert_eq!(f.bounds(), &[6, 14]);
+        assert_eq!(f.allocated_chunks(), chunks_before);
+        assert_eq!(f.get(&[3, 3]).unwrap(), 7);
+        assert_eq!(f.get(&[5, 13]).unwrap(), 0);
+        f.set(&[5, 13], 9).unwrap();
+        assert_eq!(f.get(&[5, 13]).unwrap(), 9);
+    }
+
+    #[test]
+    fn region_io_matches_reference() {
+        let fs = pfs();
+        let mut f: Hdf5LikeFile<i64> = Hdf5LikeFile::create(&fs, "h", &[2, 3], &[7, 8], 256).unwrap();
+        let mut reference: drx_core::ExtendibleArray<i64> =
+            drx_core::ExtendibleArray::new(&[2, 3], &[7, 8]).unwrap();
+        let region = Region::new(vec![0, 0], vec![7, 8]).unwrap();
+        let data: Vec<i64> = region.iter().map(|i| (i[0] * 100 + i[1]) as i64).collect();
+        f.write_region(&region, Layout::C, &data).unwrap();
+        reference.write_region(&region, Layout::C, &data).unwrap();
+        for (lo, hi) in [(vec![0, 0], vec![7, 8]), (vec![1, 2], vec![6, 7])] {
+            let r = Region::new(lo, hi).unwrap();
+            for layout in [Layout::C, Layout::Fortran] {
+                assert_eq!(
+                    f.read_region(&r, layout).unwrap(),
+                    reference.read_region(&r, layout).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn access_pays_btree_reads() {
+        let fs = pfs();
+        let mut f: Hdf5LikeFile<i64> =
+            Hdf5LikeFile::create(&fs, "h", &[1, 1], &[64, 64], 128).unwrap();
+        // Allocate many chunks so the tree is deep.
+        for i in 0..64 {
+            for j in 0..8 {
+                f.set(&[i, j], 1).unwrap();
+            }
+        }
+        f.reset_index_stats();
+        f.get(&[63, 7]).unwrap();
+        let s = f.index_stats();
+        assert!(s.page_reads >= 2, "lookup must traverse the index, got {s:?}");
+        assert!(f.index_bytes() > 0);
+    }
+
+    #[test]
+    fn reopen_preserves_data_index_and_allocation_state() {
+        let fs = pfs();
+        {
+            let mut f: Hdf5LikeFile<f64> =
+                Hdf5LikeFile::create(&fs, "p", &[2, 2], &[6, 6], 256).unwrap();
+            f.set(&[5, 5], 2.5).unwrap();
+            f.extend(1, 4).unwrap();
+            f.set(&[0, 9], -1.0).unwrap();
+        }
+        let mut f: Hdf5LikeFile<f64> = Hdf5LikeFile::open(&fs, "p").unwrap();
+        assert_eq!(f.bounds(), &[6, 10]);
+        assert_eq!(f.get(&[5, 5]).unwrap(), 2.5);
+        assert_eq!(f.get(&[0, 9]).unwrap(), -1.0);
+        assert_eq!(f.get(&[0, 0]).unwrap(), 0.0);
+        let chunks = f.allocated_chunks();
+        // New writes continue from the persisted slot counter (no clobber).
+        f.set(&[3, 3], 9.0).unwrap();
+        assert!(f.allocated_chunks() > chunks);
+        assert_eq!(f.get(&[5, 5]).unwrap(), 2.5, "old chunk untouched");
+        // Type mismatch and missing files error.
+        assert!(Hdf5LikeFile::<i32>::open(&fs, "p").is_err());
+        assert!(Hdf5LikeFile::<f64>::open(&fs, "missing").is_err());
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let fs = pfs();
+        let mut f: Hdf5LikeFile<i32> = Hdf5LikeFile::create(&fs, "h", &[2, 2], &[4, 4], 256).unwrap();
+        assert!(f.get(&[4, 0]).is_err());
+        assert!(f.set(&[0, 4], 1).is_err());
+        assert!(f.extend(2, 1).is_err());
+        assert!(f.extend(0, 0).is_err());
+        let r = Region::new(vec![0, 0], vec![5, 4]).unwrap();
+        assert!(f.read_region(&r, Layout::C).is_err());
+    }
+}

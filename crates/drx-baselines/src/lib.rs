@@ -1,0 +1,28 @@
+//! # drx-baselines — comparator array-file formats
+//!
+//! Faithful miniatures of the formats the paper positions DRX-MP against
+//! (§I, §II-B, §V): a conventional **row-major array file** (extendible only
+//! in dimension 0; anything else forces a full reorganization), an
+//! **HDF5-like chunked store** whose chunks are located through a real
+//! disk-page **B-tree**, and a **netCDF-like record file** with one
+//! unlimited dimension (growing a fixed dimension redefines and copies the
+//! whole file).
+//!
+//! These exist so the benchmark harness can measure the paper's qualitative
+//! claims: computed access (`F*`) vs index lookups (E1), append-only
+//! extension vs reorganization (E2), and order-neutral chunked layout vs
+//! row-major access-order sensitivity (E3).
+
+pub mod btree;
+pub mod dralike;
+pub mod error;
+pub mod hdf5like;
+pub mod netcdflike;
+pub mod rowmajor;
+
+pub use btree::{Btree, BtreeStats};
+pub use dralike::DraLikeFile;
+pub use error::{BaselineError, Result};
+pub use hdf5like::Hdf5LikeFile;
+pub use netcdflike::NetcdfLikeFile;
+pub use rowmajor::{ExtendCost, RowMajorFile};

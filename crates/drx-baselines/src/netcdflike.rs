@@ -1,0 +1,328 @@
+//! NetCDF-like record file: a self-describing header, then fixed-size
+//! records along ONE unlimited dimension (dimension 0).
+//!
+//! "NetCDF['s] … data part consists of fixed size data … followed by data
+//! record\[s\] of variables that have an expandable dimension. Only one
+//! dimension is extendible." (paper §II-B). Extending the record dimension
+//! appends; *changing any other dimension requires rewriting the whole
+//! file* (netCDF's redefine-and-copy), which experiment E2 measures against
+//! DRX's append-only extension.
+
+use crate::error::{BaselineError, Result};
+use crate::rowmajor::ExtendCost;
+use drx_core::{dtype, Element, Layout, Region};
+use drx_core::index::{offset_with_strides, row_major_strides, volume};
+use drx_pfs::{Pfs, PfsFile};
+
+const MAGIC: u32 = 0x4E43_4446; // "NCDF"
+const HEADER_BYTES: u64 = 4 + 4 + 2 + 16 * 8; // magic, dtype, rank, dims
+
+/// A record-structured array file with one unlimited dimension (dim 0).
+pub struct NetcdfLikeFile<T: Element> {
+    shape: Vec<usize>,
+    file: PfsFile,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Element> NetcdfLikeFile<T> {
+    pub fn create(pfs: &Pfs, name: &str, shape: &[usize]) -> Result<Self> {
+        if shape.is_empty() || shape.len() > 16 || shape.contains(&0) {
+            return Err(BaselineError::Invalid("bad shape".into()));
+        }
+        let file = pfs.create(name)?;
+        let mut f = NetcdfLikeFile { shape: shape.to_vec(), file, _marker: std::marker::PhantomData };
+        f.write_header()?;
+        f.file.set_len(HEADER_BYTES + volume(shape) * T::SIZE as u64)?;
+        Ok(f)
+    }
+
+    pub fn open(pfs: &Pfs, name: &str) -> Result<Self> {
+        let file = pfs.open(name)?;
+        let mut head = vec![0u8; HEADER_BYTES as usize];
+        file.read_at(0, &mut head)?;
+        if u32::from_le_bytes(head[0..4].try_into().unwrap()) != MAGIC {
+            return Err(BaselineError::Corrupt("bad netcdf-like magic".into()));
+        }
+        let dtype = drx_core::DType::from_code(head[4])?;
+        if dtype != T::DTYPE {
+            return Err(BaselineError::Invalid(format!(
+                "file holds {}, requested {}",
+                dtype.name(),
+                T::DTYPE.name()
+            )));
+        }
+        let rank = u16::from_le_bytes(head[8..10].try_into().unwrap()) as usize;
+        let mut shape = Vec::with_capacity(rank);
+        for j in 0..rank {
+            let off = 10 + j * 8;
+            shape.push(u64::from_le_bytes(head[off..off + 8].try_into().unwrap()) as usize);
+        }
+        Ok(NetcdfLikeFile { shape, file, _marker: std::marker::PhantomData })
+    }
+
+    fn write_header(&mut self) -> Result<()> {
+        let mut head = vec![0u8; HEADER_BYTES as usize];
+        head[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+        head[4] = T::DTYPE.code();
+        head[8..10].copy_from_slice(&(self.shape.len() as u16).to_le_bytes());
+        for (j, &n) in self.shape.iter().enumerate() {
+            let off = 10 + j * 8;
+            head[off..off + 8].copy_from_slice(&(n as u64).to_le_bytes());
+        }
+        self.file.write_at(0, &head)?;
+        Ok(())
+    }
+
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Bytes per record (one index of the unlimited dimension).
+    pub fn record_bytes(&self) -> u64 {
+        volume(&self.shape[1..]) * T::SIZE as u64
+    }
+
+    fn offset_of(&self, index: &[usize]) -> Result<u64> {
+        let q = drx_core::index::row_major_offset(index, &self.shape)?;
+        Ok(HEADER_BYTES + q * T::SIZE as u64)
+    }
+
+    pub fn get(&self, index: &[usize]) -> Result<T> {
+        let off = self.offset_of(index)?;
+        let bytes = self.file.read_vec(off, T::SIZE)?;
+        Ok(T::read_le(&bytes))
+    }
+
+    pub fn set(&mut self, index: &[usize], value: T) -> Result<()> {
+        let off = self.offset_of(index)?;
+        let mut buf = Vec::with_capacity(T::SIZE);
+        value.write_le(&mut buf);
+        self.file.write_at(off, &buf)?;
+        Ok(())
+    }
+
+    /// Append `by` records (extend the unlimited dimension) — the one cheap
+    /// growth direction.
+    pub fn append_records(&mut self, by: usize) -> Result<ExtendCost> {
+        self.shape[0] += by;
+        self.write_header()?;
+        self.file.set_len(HEADER_BYTES + volume(&self.shape) * T::SIZE as u64)?;
+        Ok(ExtendCost { bytes_moved: 0, reorganized: false })
+    }
+
+    /// Extend a fixed dimension: redefine + full copy, the netCDF way. The
+    /// entire data section is rewritten at new offsets.
+    pub fn extend_fixed(&mut self, dim: usize, by: usize) -> Result<ExtendCost> {
+        if dim == 0 {
+            return self.append_records(by);
+        }
+        if dim >= self.shape.len() {
+            return Err(BaselineError::Invalid(format!("dimension {dim} out of range")));
+        }
+        if by == 0 {
+            return Err(BaselineError::Invalid("extension amount must be positive".into()));
+        }
+        let old_shape = self.shape.clone();
+        let old_bytes = volume(&old_shape) * T::SIZE as u64;
+        let old = self.file.read_vec(HEADER_BYTES, old_bytes as usize)?;
+        let mut new_shape = old_shape.clone();
+        new_shape[dim] += by;
+        self.shape = new_shape.clone();
+        self.write_header()?;
+        self.file.set_len(HEADER_BYTES + volume(&new_shape) * T::SIZE as u64)?;
+        // Rewrite every row at its new offset; zero the exposed cells.
+        let old_strides = row_major_strides(&old_shape);
+        let new_strides = row_major_strides(&new_shape);
+        let k = old_shape.len();
+        let run = old_shape[k - 1] * T::SIZE;
+        let rows = Region::new(vec![0; k - 1], old_shape[..k - 1].to_vec())?;
+        let mut moved = 0u64;
+        for row in rows.iter().collect::<Vec<_>>().into_iter().rev() {
+            let mut idx = row;
+            idx.push(0);
+            let old_off = offset_with_strides(&idx, &old_strides) as usize * T::SIZE;
+            let new_off = HEADER_BYTES + offset_with_strides(&idx, &new_strides) * T::SIZE as u64;
+            self.file.write_at(new_off, &old[old_off..old_off + run])?;
+            moved += 2 * run as u64;
+        }
+        // Zero the newly exposed region.
+        let mut lo = vec![0; k];
+        lo[dim] = old_shape[dim];
+        let region = Region::new(lo, new_shape)?;
+        if !region.is_empty() {
+            let zeros = vec![T::default(); region.volume() as usize];
+            self.write_region(&region, Layout::C, &zeros)?;
+        }
+        Ok(ExtendCost { bytes_moved: moved + old_bytes, reorganized: true })
+    }
+
+    /// Read a region (row-contiguous runs along the last dimension).
+    pub fn read_region(&self, region: &Region, layout: Layout) -> Result<Vec<T>> {
+        self.check_region(region)?;
+        let extents = region.extents();
+        let out_strides = layout.strides(&extents);
+        let mut out = vec![T::default(); region.volume() as usize];
+        if region.is_empty() {
+            return Ok(out);
+        }
+        let strides = row_major_strides(&self.shape);
+        let k = self.shape.len();
+        let run = extents[k - 1];
+        let rows = Region::new(region.lo()[..k - 1].to_vec(), region.hi()[..k - 1].to_vec());
+        let rows: Vec<Vec<usize>> = match rows {
+            Ok(r) => r.iter().collect(),
+            Err(_) => vec![Vec::new()], // rank 1
+        };
+        for row in rows {
+            let mut idx = row.clone();
+            idx.push(region.lo()[k - 1]);
+            let off = HEADER_BYTES + offset_with_strides(&idx, &strides) * T::SIZE as u64;
+            let bytes = self.file.read_vec(off, run * T::SIZE)?;
+            let vals: Vec<T> = dtype::decode_slice(&bytes)?;
+            for (j, v) in vals.into_iter().enumerate() {
+                let mut rel: Vec<usize> =
+                    idx.iter().zip(region.lo()).map(|(&a, &l)| a - l).collect();
+                rel[k - 1] = j;
+                out[offset_with_strides(&rel, &out_strides) as usize] = v;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Write a region from a dense buffer.
+    pub fn write_region(&mut self, region: &Region, layout: Layout, data: &[T]) -> Result<()> {
+        self.check_region(region)?;
+        let n = region.volume() as usize;
+        if data.len() != n {
+            return Err(BaselineError::Invalid("buffer size mismatch".into()));
+        }
+        if region.is_empty() {
+            return Ok(());
+        }
+        let extents = region.extents();
+        let in_strides = layout.strides(&extents);
+        let strides = row_major_strides(&self.shape);
+        let k = self.shape.len();
+        let run = extents[k - 1];
+        let rows = Region::new(region.lo()[..k - 1].to_vec(), region.hi()[..k - 1].to_vec());
+        let rows: Vec<Vec<usize>> = match rows {
+            Ok(r) => r.iter().collect(),
+            Err(_) => vec![Vec::new()],
+        };
+        for row in rows {
+            let mut idx = row.clone();
+            idx.push(region.lo()[k - 1]);
+            let mut vals = Vec::with_capacity(run);
+            for j in 0..run {
+                let mut rel: Vec<usize> =
+                    idx.iter().zip(region.lo()).map(|(&a, &l)| a - l).collect();
+                rel[k - 1] = j;
+                vals.push(data[offset_with_strides(&rel, &in_strides) as usize]);
+            }
+            let off = HEADER_BYTES + offset_with_strides(&idx, &strides) * T::SIZE as u64;
+            self.file.write_at(off, &dtype::encode_slice(&vals))?;
+        }
+        Ok(())
+    }
+
+    fn check_region(&self, region: &Region) -> Result<()> {
+        if region.rank() != self.shape.len()
+            || region.hi().iter().zip(&self.shape).any(|(&h, &n)| h > n)
+        {
+            return Err(BaselineError::Invalid("region out of bounds".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pfs() -> Pfs {
+        Pfs::memory(2, 512).unwrap()
+    }
+
+    #[test]
+    fn header_round_trips_through_reopen() {
+        let fs = pfs();
+        {
+            let mut f: NetcdfLikeFile<f64> = NetcdfLikeFile::create(&fs, "n", &[3, 4, 5]).unwrap();
+            f.set(&[2, 3, 4], 1.25).unwrap();
+        }
+        let f: NetcdfLikeFile<f64> = NetcdfLikeFile::open(&fs, "n").unwrap();
+        assert_eq!(f.shape(), &[3, 4, 5]);
+        assert_eq!(f.get(&[2, 3, 4]).unwrap(), 1.25);
+        assert!(NetcdfLikeFile::<i32>::open(&fs, "n").is_err(), "dtype mismatch");
+    }
+
+    #[test]
+    fn record_append_is_cheap() {
+        let fs = pfs();
+        let mut f: NetcdfLikeFile<i64> = NetcdfLikeFile::create(&fs, "n", &[2, 4]).unwrap();
+        f.set(&[1, 3], 5).unwrap();
+        let cost = f.append_records(10).unwrap();
+        assert_eq!(cost.bytes_moved, 0);
+        assert_eq!(f.shape(), &[12, 4]);
+        assert_eq!(f.get(&[1, 3]).unwrap(), 5);
+        assert_eq!(f.get(&[11, 3]).unwrap(), 0);
+        assert_eq!(f.record_bytes(), 32);
+    }
+
+    #[test]
+    fn fixed_dim_extension_rewrites_everything() {
+        let fs = pfs();
+        let mut f: NetcdfLikeFile<i64> = NetcdfLikeFile::create(&fs, "n", &[3, 4]).unwrap();
+        let region = Region::new(vec![0, 0], vec![3, 4]).unwrap();
+        let data: Vec<i64> = (0..12).collect();
+        f.write_region(&region, Layout::C, &data).unwrap();
+        let cost = f.extend_fixed(1, 2).unwrap();
+        assert!(cost.reorganized);
+        assert!(cost.bytes_moved >= 12 * 8);
+        assert_eq!(f.shape(), &[3, 6]);
+        for i in 0..3 {
+            for j in 0..4 {
+                assert_eq!(f.get(&[i, j]).unwrap(), (i * 4 + j) as i64, "({i},{j})");
+            }
+            for j in 4..6 {
+                assert_eq!(f.get(&[i, j]).unwrap(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn region_io_in_both_layouts() {
+        let fs = pfs();
+        let mut f: NetcdfLikeFile<i64> = NetcdfLikeFile::create(&fs, "n", &[4, 4]).unwrap();
+        let region = Region::new(vec![1, 1], vec![3, 4]).unwrap();
+        let data: Vec<i64> = (0..6).collect();
+        f.write_region(&region, Layout::Fortran, &data).unwrap();
+        assert_eq!(f.read_region(&region, Layout::Fortran).unwrap(), data);
+        // Fortran order of a 2×3 region: idx (1+i, 1+j) = data[j*2 + i].
+        assert_eq!(f.get(&[1, 1]).unwrap(), 0);
+        assert_eq!(f.get(&[2, 1]).unwrap(), 1);
+        assert_eq!(f.get(&[1, 2]).unwrap(), 2);
+    }
+
+    #[test]
+    fn one_dimensional_records() {
+        let fs = pfs();
+        let mut f: NetcdfLikeFile<f32> = NetcdfLikeFile::create(&fs, "v", &[5]).unwrap();
+        f.set(&[4], 2.0).unwrap();
+        f.append_records(5).unwrap();
+        assert_eq!(f.get(&[4]).unwrap(), 2.0);
+        let r = Region::new(vec![2], vec![6]).unwrap();
+        let vals = f.read_region(&r, Layout::C).unwrap();
+        assert_eq!(vals, vec![0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn bounds_checks() {
+        let fs = pfs();
+        let mut f: NetcdfLikeFile<i32> = NetcdfLikeFile::create(&fs, "n", &[2, 2]).unwrap();
+        assert!(f.get(&[2, 0]).is_err());
+        assert!(f.extend_fixed(5, 1).is_err());
+        assert!(f.extend_fixed(1, 0).is_err());
+        assert!(NetcdfLikeFile::<i32>::create(&fs, "bad", &[0, 2]).is_err());
+    }
+}

@@ -1,0 +1,374 @@
+//! Conventional row-major array file — the baseline the paper argues
+//! against (§I): "an array file that is organized in say row-major order
+//! causes applications that subsequently access the data in column-major
+//! order to have abysmal performance. Secondly, any subsequent expansion of
+//! the array file is limited to only one dimension. Expansions … along
+//! arbitrary dimensions require storage reorganization that can be very
+//! expensive."
+//!
+//! Elements are mapped by Eq. (3): `q = Σ i_j·C_j`, `C_j = ∏_{r>j} N_r`.
+//! Extending dimension 0 appends; extending any other dimension triggers a
+//! full reorganization whose cost ([`ExtendCost`]) experiment E2 measures.
+
+use drx_core::{dtype, Element, Layout, Region};
+use drx_core::index::{offset_with_strides, row_major_strides, volume};
+use drx_pfs::{Pfs, PfsFile};
+
+use crate::error::{BaselineError, Result};
+
+/// Cost accounting for one extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExtendCost {
+    /// Bytes read + written to move existing elements (0 for appends).
+    pub bytes_moved: u64,
+    /// Whether a full-file reorganization was required.
+    pub reorganized: bool,
+}
+
+/// A dense array stored in one file in row-major order.
+pub struct RowMajorFile<T: Element> {
+    shape: Vec<usize>,
+    file: PfsFile,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Element> RowMajorFile<T> {
+    pub fn create(pfs: &Pfs, name: &str, shape: &[usize]) -> Result<Self> {
+        if shape.is_empty() || shape.contains(&0) {
+            return Err(BaselineError::Invalid("shape extents must be positive".into()));
+        }
+        let file = pfs.create(name)?;
+        file.set_len(volume(shape) * T::SIZE as u64)?;
+        Ok(RowMajorFile { shape: shape.to_vec(), file, _marker: std::marker::PhantomData })
+    }
+
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    pub fn len_elements(&self) -> u64 {
+        volume(&self.shape)
+    }
+
+    fn offset_of(&self, index: &[usize]) -> Result<u64> {
+        Ok(drx_core::index::row_major_offset(index, &self.shape)?
+            * T::SIZE as u64)
+    }
+
+    pub fn get(&self, index: &[usize]) -> Result<T> {
+        let off = self.offset_of(index)?;
+        let bytes = self.file.read_vec(off, T::SIZE)?;
+        Ok(T::read_le(&bytes))
+    }
+
+    pub fn set(&mut self, index: &[usize], value: T) -> Result<()> {
+        let off = self.offset_of(index)?;
+        let mut buf = Vec::with_capacity(T::SIZE);
+        value.write_le(&mut buf);
+        self.file.write_at(off, &buf)?;
+        Ok(())
+    }
+
+    /// Read a rectilinear region into the requested memory layout. Rows
+    /// along the last dimension are contiguous runs in the file; reading in
+    /// any other order degenerates to strided requests — the access-order
+    /// effect of experiment E3.
+    pub fn read_region(&self, region: &Region, layout: Layout) -> Result<Vec<T>> {
+        self.check_region(region)?;
+        let extents = region.extents();
+        let out_strides = layout.strides(&extents);
+        let mut out = vec![T::default(); region.volume() as usize];
+        let k = self.shape.len();
+        let file_strides = row_major_strides(&self.shape);
+        // Read row-by-row (contiguous runs along the last dimension).
+        let run = extents[k - 1];
+        if run == 0 || region.is_empty() {
+            return Ok(out);
+        }
+        let mut row_lo = region.lo().to_vec();
+        loop {
+            let off = offset_with_strides(&row_lo, &file_strides) * T::SIZE as u64;
+            let bytes = self.file.read_vec(off, run * T::SIZE)?;
+            let vals: Vec<T> = dtype::decode_slice(&bytes)?;
+            for (j, v) in vals.into_iter().enumerate() {
+                let mut rel: Vec<usize> =
+                    row_lo.iter().zip(region.lo()).map(|(&a, &l)| a - l).collect();
+                rel[k - 1] += j;
+                let pos = offset_with_strides(&rel, &out_strides) as usize;
+                out[pos] = v;
+            }
+            // Advance to the next row.
+            let mut d = k - 1;
+            loop {
+                if d == 0 {
+                    return Ok(out);
+                }
+                d -= 1;
+                row_lo[d] += 1;
+                if row_lo[d] < region.hi()[d] {
+                    break;
+                }
+                row_lo[d] = region.lo()[d];
+                if d == 0 {
+                    return Ok(out);
+                }
+            }
+        }
+    }
+
+    /// Write a region from a dense buffer in the given layout.
+    pub fn write_region(&mut self, region: &Region, layout: Layout, data: &[T]) -> Result<()> {
+        self.check_region(region)?;
+        let n = region.volume() as usize;
+        if data.len() != n {
+            return Err(BaselineError::Invalid(format!(
+                "buffer has {} elements for a {n}-element region",
+                data.len()
+            )));
+        }
+        let extents = region.extents();
+        let in_strides = layout.strides(&extents);
+        let file_strides = row_major_strides(&self.shape);
+        let k = self.shape.len();
+        let run = extents[k - 1];
+        if run == 0 || region.is_empty() {
+            return Ok(());
+        }
+        let mut row_lo = region.lo().to_vec();
+        loop {
+            let mut row: Vec<T> = Vec::with_capacity(run);
+            for j in 0..run {
+                let mut rel: Vec<usize> =
+                    row_lo.iter().zip(region.lo()).map(|(&a, &l)| a - l).collect();
+                rel[k - 1] += j;
+                row.push(data[offset_with_strides(&rel, &in_strides) as usize]);
+            }
+            let off = offset_with_strides(&row_lo, &file_strides) * T::SIZE as u64;
+            self.file.write_at(off, &dtype::encode_slice(&row))?;
+            let mut d = k - 1;
+            loop {
+                if d == 0 {
+                    return Ok(());
+                }
+                d -= 1;
+                row_lo[d] += 1;
+                if row_lo[d] < region.hi()[d] {
+                    break;
+                }
+                row_lo[d] = region.lo()[d];
+                if d == 0 {
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Extend dimension `dim` by `by` indices.
+    ///
+    /// * `dim == 0`: pure append (the one cheap case a conventional array
+    ///   file supports).
+    /// * `dim > 0`: full reorganization — every element whose address
+    ///   changes is read at its old offset and rewritten at its new one,
+    ///   back to front so the file can be rewritten in place.
+    pub fn extend(&mut self, dim: usize, by: usize) -> Result<ExtendCost> {
+        if dim >= self.shape.len() {
+            return Err(BaselineError::Invalid(format!("dimension {dim} out of range")));
+        }
+        if by == 0 {
+            return Err(BaselineError::Invalid("extension amount must be positive".into()));
+        }
+        if dim == 0 {
+            self.shape[0] += by;
+            self.file.set_len(volume(&self.shape) * T::SIZE as u64)?;
+            return Ok(ExtendCost { bytes_moved: 0, reorganized: false });
+        }
+        // Reorganize: stream the old content out and back in at the new
+        // offsets. Old rows (runs along the last dimension, or sub-rows if
+        // dim == k-1) keep their internal order; only their base offsets
+        // change.
+        let old_shape = self.shape.clone();
+        let mut new_shape = self.shape.clone();
+        new_shape[dim] += by;
+        let esize = T::SIZE as u64;
+        let old_bytes = volume(&old_shape) * esize;
+        // Read the full old payload (out-of-core streaming would chunk this;
+        // the byte counts — what E2 reports — are identical).
+        let old = self.file.read_vec(0, old_bytes as usize)?;
+        self.file.set_len(volume(&new_shape) * esize)?;
+        let old_strides = row_major_strides(&old_shape);
+        let new_strides = row_major_strides(&new_shape);
+        let k = old_shape.len();
+        let run = old_shape[k - 1];
+        // Iterate rows back to front so in-place rewriting never clobbers
+        // unread data (new offsets are always >= old offsets when extending).
+        let rows: Vec<Vec<usize>> = {
+            let row_region = Region::new(
+                vec![0; k - 1],
+                old_shape[..k - 1].to_vec(),
+            )?;
+            row_region.iter().collect()
+        };
+        let mut moved = 0u64;
+        for row in rows.iter().rev() {
+            let mut idx = row.clone();
+            idx.push(0);
+            let old_off = offset_with_strides(&idx, &old_strides) * esize;
+            let new_off = offset_with_strides(&idx, &new_strides) * esize;
+            if old_off != new_off {
+                let chunk = &old[old_off as usize..(old_off + run as u64 * esize) as usize];
+                self.file.write_at(new_off, chunk)?;
+                moved += 2 * run as u64 * esize; // read + write
+            }
+        }
+        // Zero the newly exposed gaps (elements with index >= old bound in
+        // `dim` read as default).
+        self.shape = new_shape;
+        self.zero_new_region(dim, old_shape[dim])?;
+        Ok(ExtendCost { bytes_moved: moved + old_bytes, reorganized: true })
+    }
+
+    /// Zero every element with `index[dim] >= from` (newly exposed cells).
+    fn zero_new_region(&mut self, dim: usize, from: usize) -> Result<()> {
+        let mut lo = vec![0; self.shape.len()];
+        lo[dim] = from;
+        let region = Region::new(lo, self.shape.clone())?;
+        if region.is_empty() {
+            return Ok(());
+        }
+        let zeros = vec![T::default(); region.volume() as usize];
+        self.write_region(&region, Layout::C, &zeros)
+    }
+
+    fn check_region(&self, region: &Region) -> Result<()> {
+        if region.rank() != self.shape.len() {
+            return Err(BaselineError::Invalid("region rank mismatch".into()));
+        }
+        for (&h, &n) in region.hi().iter().zip(&self.shape) {
+            if h > n {
+                return Err(BaselineError::Invalid(format!(
+                    "region {:?} exceeds shape {:?}",
+                    region.hi(),
+                    self.shape
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pfs() -> Pfs {
+        Pfs::memory(2, 512).unwrap()
+    }
+
+    fn tag(idx: &[usize]) -> i64 {
+        idx.iter().fold(11i64, |a, &i| a * 101 + i as i64)
+    }
+
+    fn fill(f: &mut RowMajorFile<i64>) {
+        let shape = f.shape().to_vec();
+        let region = Region::new(vec![0; shape.len()], shape).unwrap();
+        let data: Vec<i64> = region.iter().map(|i| tag(&i)).collect();
+        f.write_region(&region, Layout::C, &data).unwrap();
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let fs = pfs();
+        let mut f: RowMajorFile<i64> = RowMajorFile::create(&fs, "rm", &[4, 5]).unwrap();
+        f.set(&[2, 3], 42).unwrap();
+        assert_eq!(f.get(&[2, 3]).unwrap(), 42);
+        assert_eq!(f.get(&[0, 0]).unwrap(), 0);
+        assert!(f.get(&[4, 0]).is_err());
+    }
+
+    #[test]
+    fn read_region_layouts() {
+        let fs = pfs();
+        let mut f: RowMajorFile<i64> = RowMajorFile::create(&fs, "rm", &[3, 4]).unwrap();
+        fill(&mut f);
+        let region = Region::new(vec![1, 1], vec![3, 3]).unwrap();
+        let c = f.read_region(&region, Layout::C).unwrap();
+        assert_eq!(c, vec![tag(&[1, 1]), tag(&[1, 2]), tag(&[2, 1]), tag(&[2, 2])]);
+        let fo = f.read_region(&region, Layout::Fortran).unwrap();
+        assert_eq!(fo, vec![tag(&[1, 1]), tag(&[2, 1]), tag(&[1, 2]), tag(&[2, 2])]);
+    }
+
+    #[test]
+    fn dim0_extension_is_free() {
+        let fs = pfs();
+        let mut f: RowMajorFile<i64> = RowMajorFile::create(&fs, "rm", &[3, 4]).unwrap();
+        fill(&mut f);
+        let cost = f.extend(0, 2).unwrap();
+        assert_eq!(cost, ExtendCost { bytes_moved: 0, reorganized: false });
+        assert_eq!(f.shape(), &[5, 4]);
+        for i in 0..3 {
+            for j in 0..4 {
+                assert_eq!(f.get(&[i, j]).unwrap(), tag(&[i, j]));
+            }
+        }
+        assert_eq!(f.get(&[4, 3]).unwrap(), 0);
+    }
+
+    #[test]
+    fn dim1_extension_reorganizes_but_preserves_data() {
+        let fs = pfs();
+        let mut f: RowMajorFile<i64> = RowMajorFile::create(&fs, "rm", &[3, 4]).unwrap();
+        fill(&mut f);
+        let cost = f.extend(1, 2).unwrap();
+        assert!(cost.reorganized);
+        assert!(cost.bytes_moved > 0);
+        assert_eq!(f.shape(), &[3, 6]);
+        for i in 0..3 {
+            for j in 0..4 {
+                assert_eq!(f.get(&[i, j]).unwrap(), tag(&[i, j]), "({i},{j})");
+            }
+            for j in 4..6 {
+                assert_eq!(f.get(&[i, j]).unwrap(), 0, "new ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn middle_dim_extension_3d() {
+        let fs = pfs();
+        let mut f: RowMajorFile<i64> = RowMajorFile::create(&fs, "rm", &[2, 3, 4]).unwrap();
+        fill(&mut f);
+        let cost = f.extend(1, 1).unwrap();
+        assert!(cost.reorganized);
+        assert_eq!(f.shape(), &[2, 4, 4]);
+        for i in 0..2 {
+            for j in 0..3 {
+                for l in 0..4 {
+                    assert_eq!(f.get(&[i, j, l]).unwrap(), tag(&[i, j, l]), "({i},{j},{l})");
+                }
+            }
+            for l in 0..4 {
+                assert_eq!(f.get(&[i, 3, l]).unwrap(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn reorganization_cost_grows_with_array_size() {
+        let fs = pfs();
+        let mut small: RowMajorFile<f64> = RowMajorFile::create(&fs, "s", &[8, 8]).unwrap();
+        let mut large: RowMajorFile<f64> = RowMajorFile::create(&fs, "l", &[32, 32]).unwrap();
+        let cs = small.extend(1, 1).unwrap();
+        let cl = large.extend(1, 1).unwrap();
+        assert!(cl.bytes_moved > cs.bytes_moved * 8);
+    }
+
+    #[test]
+    fn last_dim_extension_of_1d_is_append() {
+        let fs = pfs();
+        let mut f: RowMajorFile<i32> = RowMajorFile::create(&fs, "v", &[5]).unwrap();
+        f.set(&[4], 7).unwrap();
+        let cost = f.extend(0, 3).unwrap();
+        assert!(!cost.reorganized);
+        assert_eq!(f.get(&[4]).unwrap(), 7);
+    }
+}

@@ -1,0 +1,78 @@
+//! E7 wall-clock bench: design-choice ablations — uninterrupted-extension
+//! merging on/off for `F*`, and merged-directory vs k-binary-searches for
+//! `F*⁻¹`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drx_core::ExtendibleShape;
+use std::hint::black_box;
+
+fn grow(e: usize, merge: bool) -> ExtendibleShape {
+    let mut s = ExtendibleShape::new(&[2, 2, 2]).unwrap();
+    for i in 0..e {
+        let dim = if i % 64 == 63 { 1 } else { 0 };
+        if merge {
+            s.extend(dim, 1).unwrap();
+        } else {
+            s.extend_unmerged(dim, 1).unwrap();
+        }
+    }
+    s
+}
+
+fn sample(s: &ExtendibleShape, n: usize) -> Vec<Vec<usize>> {
+    let mut seed = 12345u64;
+    (0..n)
+        .map(|_| {
+            s.bounds()
+                .iter()
+                .map(|&b| {
+                    seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    (seed % b as u64) as usize
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_ablation");
+    for &e in &[64usize, 512] {
+        let merged = grow(e, true);
+        let unmerged = grow(e, false);
+        let indices = sample(&merged, 128);
+        let addrs: Vec<u64> = indices.iter().map(|i| merged.address(i).unwrap()).collect();
+
+        group.bench_with_input(BenchmarkId::new("fstar_merged", e), &e, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % indices.len();
+                black_box(merged.address_unchecked(&indices[i]))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fstar_unmerged", e), &e, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % indices.len();
+                black_box(unmerged.address_unchecked(&indices[i]))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("inverse_directory", e), &e, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % addrs.len();
+                black_box(merged.index_of(addrs[i]).unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("inverse_k_searches", e), &e, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % addrs.len();
+                black_box(merged.index_of_searches(addrs[i]).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! E3 wall-clock bench: streaming an array in row vs column panels from a
+//! row-major file vs a DRX chunked file.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drx_baselines::RowMajorFile;
+use drx_core::{Layout, Region};
+use drx_mp::DrxFile;
+use drx_pfs::Pfs;
+use std::hint::black_box;
+
+const SIDE: usize = 128;
+const CHUNK: usize = 16;
+const PANELS: usize = 8;
+
+fn panels(by_rows: bool) -> Vec<Region> {
+    let w = SIDE / PANELS;
+    (0..PANELS)
+        .map(|p| {
+            if by_rows {
+                Region::new(vec![p * w, 0], vec![(p + 1) * w, SIDE]).unwrap()
+            } else {
+                Region::new(vec![0, p * w], vec![SIDE, (p + 1) * w]).unwrap()
+            }
+        })
+        .collect()
+}
+
+fn bench_access_order(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_access_order");
+    group.sample_size(20);
+    let region = Region::new(vec![0, 0], vec![SIDE, SIDE]).unwrap();
+    let data: Vec<f64> = (0..(SIDE * SIDE) as u64).map(|x| x as f64).collect();
+
+    let pfs_rm = Pfs::memory(4, 64 * 1024).unwrap();
+    let mut rm: RowMajorFile<f64> = RowMajorFile::create(&pfs_rm, "rm", &[SIDE, SIDE]).unwrap();
+    rm.write_region(&region, Layout::C, &data).unwrap();
+
+    let pfs_dx = Pfs::memory(4, 64 * 1024).unwrap();
+    let mut dx: DrxFile<f64> = DrxFile::create(&pfs_dx, "dx", &[CHUNK, CHUNK], &[SIDE, SIDE]).unwrap();
+    dx.write_region(&region, Layout::C, &data).unwrap();
+
+    for (by_rows, label) in [(true, "row_panels"), (false, "col_panels")] {
+        let ps = panels(by_rows);
+        group.bench_with_input(BenchmarkId::new("row_major_file", label), &by_rows, |b, _| {
+            b.iter(|| {
+                for p in &ps {
+                    black_box(rm.read_region(p, Layout::C).unwrap());
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("drx_chunked", label), &by_rows, |b, _| {
+            b.iter(|| {
+                for p in &ps {
+                    black_box(dx.read_region(p, Layout::C).unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_access_order);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! E8 wall-clock bench: element access with and without the Mpool chunk
+//! cache, under sequential and random patterns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drx_core::{Layout, Region};
+use drx_mp::{CachedDrxFile, DrxFile};
+use drx_pfs::Pfs;
+use std::hint::black_box;
+
+const SIDE: usize = 64;
+const CHUNK: usize = 16;
+
+fn seeded(pfs: &Pfs) -> DrxFile<f64> {
+    let mut f: DrxFile<f64> = DrxFile::create(pfs, "c", &[CHUNK, CHUNK], &[SIDE, SIDE]).unwrap();
+    let region = Region::new(vec![0, 0], vec![SIDE, SIDE]).unwrap();
+    let data: Vec<f64> = (0..(SIDE * SIDE) as u64).map(|x| x as f64).collect();
+    f.write_region(&region, Layout::C, &data).unwrap();
+    f
+}
+
+fn indices(random: bool) -> Vec<[usize; 2]> {
+    if random {
+        let mut seed = 7u64;
+        (0..4096)
+            .map(|_| {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                [(seed >> 11) as usize % SIDE, (seed >> 37) as usize % SIDE]
+            })
+            .collect()
+    } else {
+        (0..4096).map(|n| [(n / SIDE) % SIDE, n % SIDE]).collect()
+    }
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_cache");
+    group.sample_size(20);
+    for (random, pattern) in [(false, "sequential"), (true, "random")] {
+        let idx = indices(random);
+        group.bench_with_input(BenchmarkId::new("uncached", pattern), &random, |b, _| {
+            let pfs = Pfs::memory(2, 64 * 1024).unwrap();
+            let f = seeded(&pfs);
+            b.iter(|| {
+                for i in &idx {
+                    black_box(f.get(i).unwrap());
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("mpool_cached", pattern), &random, |b, _| {
+            let pfs = Pfs::memory(2, 64 * 1024).unwrap();
+            let mut f = CachedDrxFile::new(seeded(&pfs), 8).unwrap();
+            b.iter(|| {
+                for i in &idx {
+                    black_box(f.get(i).unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

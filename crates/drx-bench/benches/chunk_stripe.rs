@@ -1,0 +1,35 @@
+//! E5 wall-clock bench: full sequential chunk scan under different chunk
+//! sizes relative to the PFS stripe size (the paper's §V tuning question).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drx_core::{Layout, Region};
+use drx_mp::DrxFile;
+use drx_pfs::Pfs;
+use std::hint::black_box;
+
+const SIDE: usize = 192;
+const STRIPE: u64 = 16 * 1024;
+
+fn bench_chunk_stripe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_chunk_stripe");
+    group.sample_size(10);
+    for &chunk in &[16usize, 24, 32, 48, 64] {
+        let pfs = Pfs::memory(4, STRIPE).unwrap();
+        let mut f: DrxFile<f64> = DrxFile::create(&pfs, "arr", &[chunk, chunk], &[SIDE, SIDE]).unwrap();
+        let region = Region::new(vec![0, 0], vec![SIDE, SIDE]).unwrap();
+        let data: Vec<f64> = (0..(SIDE * SIDE) as u64).map(|x| x as f64).collect();
+        f.write_region(&region, Layout::C, &data).unwrap();
+        let total = f.meta().total_chunks();
+        group.bench_with_input(BenchmarkId::new("chunk_scan", chunk), &chunk, |b, _| {
+            b.iter(|| {
+                for addr in 0..total {
+                    black_box(f.read_chunk_raw(addr).unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chunk_stripe);
+criterion_main!(benches);

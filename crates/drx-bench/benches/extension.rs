@@ -1,0 +1,80 @@
+//! E2 wall-clock bench: extending dimension 1 of an N×N f64 array — DRX
+//! append-only vs row-major / netCDF-like reorganization vs HDF5-like
+//! metadata-only.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use drx_baselines::{Hdf5LikeFile, NetcdfLikeFile, RowMajorFile};
+use drx_core::{Layout, Region};
+use drx_mp::DrxFile;
+use drx_pfs::Pfs;
+
+const CHUNK: usize = 16;
+
+fn seeded_data(n: usize) -> Vec<f64> {
+    (0..(n * n) as u64).map(|x| x as f64).collect()
+}
+
+fn bench_extension(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_extension");
+    group.sample_size(10);
+    for &n in &[64usize, 128] {
+        let region = Region::new(vec![0, 0], vec![n, n]).unwrap();
+        let data = seeded_data(n);
+
+        group.bench_with_input(BenchmarkId::new("drx_fstar", n), &n, |b, _| {
+            b.iter_batched(
+                || {
+                    let pfs = Pfs::memory(4, 64 * 1024).unwrap();
+                    let mut f: DrxFile<f64> =
+                        DrxFile::create(&pfs, "a", &[CHUNK, CHUNK], &[n, n]).unwrap();
+                    f.write_region(&region, Layout::C, &data).unwrap();
+                    f
+                },
+                |mut f| f.extend(1, CHUNK).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("hdf5like_btree", n), &n, |b, _| {
+            b.iter_batched(
+                || {
+                    let pfs = Pfs::memory(4, 64 * 1024).unwrap();
+                    let mut f: Hdf5LikeFile<f64> =
+                        Hdf5LikeFile::create(&pfs, "a", &[CHUNK, CHUNK], &[n, n], 4096).unwrap();
+                    f.write_region(&region, Layout::C, &data).unwrap();
+                    f
+                },
+                |mut f| f.extend(1, CHUNK).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("row_major_reorg", n), &n, |b, _| {
+            b.iter_batched(
+                || {
+                    let pfs = Pfs::memory(4, 64 * 1024).unwrap();
+                    let mut f: RowMajorFile<f64> = RowMajorFile::create(&pfs, "a", &[n, n]).unwrap();
+                    f.write_region(&region, Layout::C, &data).unwrap();
+                    f
+                },
+                |mut f| f.extend(1, CHUNK).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("netcdf_redefine", n), &n, |b, _| {
+            b.iter_batched(
+                || {
+                    let pfs = Pfs::memory(4, 64 * 1024).unwrap();
+                    let mut f: NetcdfLikeFile<f64> =
+                        NetcdfLikeFile::create(&pfs, "a", &[n, n]).unwrap();
+                    f.write_region(&region, Layout::C, &data).unwrap();
+                    f
+                },
+                |mut f| f.extend_fixed(1, CHUNK).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_extension);
+criterion_main!(benches);

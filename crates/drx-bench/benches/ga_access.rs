@@ -1,0 +1,76 @@
+//! E6 wall-clock bench: Global-Array-style element access — local get,
+//! remote get and contended accumulate through RMA windows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drx_core::{Layout, Region};
+use drx_mp::{error::to_msg, DistSpec, DrxFile, DrxmpHandle, GaView};
+use drx_msg::run_spmd;
+use drx_pfs::Pfs;
+use std::hint::black_box;
+
+const SIDE: usize = 64;
+const CHUNK: usize = 8;
+const OPS: usize = 2_000;
+
+fn bench_ga(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_ga_access");
+    group.sample_size(10);
+    let pfs = Pfs::memory(4, 64 * 1024).unwrap();
+    {
+        let mut f: DrxFile<f64> = DrxFile::create(&pfs, "ga", &[CHUNK, CHUNK], &[SIDE, SIDE]).unwrap();
+        let region = Region::new(vec![0, 0], vec![SIDE, SIDE]).unwrap();
+        let data: Vec<f64> = (0..(SIDE * SIDE) as u64).map(|x| x as f64).collect();
+        f.write_region(&region, Layout::C, &data).unwrap();
+    }
+
+    // A whole SPMD session per iteration batch: measure per-op inside and
+    // report the batched figure (windows cannot outlive their ranks).
+    group.bench_function("spmd_get_local_and_remote_batch", |b| {
+        b.iter(|| {
+            let fs = pfs.clone();
+            run_spmd(4, move |comm| {
+                let dist = DistSpec::auto(comm.size(), 2);
+                let mut h: DrxmpHandle<f64> =
+                    DrxmpHandle::open(comm, &fs, "ga", dist).map_err(to_msg)?;
+                let ga = GaView::load(&mut h).map_err(to_msg)?;
+                ga.fence().map_err(to_msg)?;
+                let zones = ga.zones();
+                let local = zones[comm.rank()].clone().unwrap().lo().to_vec();
+                let peer = (comm.rank() + 1) % comm.size();
+                let remote = zones[peer].clone().unwrap().lo().to_vec();
+                for _ in 0..OPS {
+                    black_box(ga.get(&local).map_err(to_msg)?);
+                    black_box(ga.get(&remote).map_err(to_msg)?);
+                }
+                ga.fence().map_err(to_msg)?;
+                h.close().map_err(to_msg)?;
+                Ok(())
+            })
+            .unwrap()
+        })
+    });
+
+    group.bench_function("spmd_contended_accumulate_batch", |b| {
+        b.iter(|| {
+            let fs = pfs.clone();
+            run_spmd(4, move |comm| {
+                let dist = DistSpec::auto(comm.size(), 2);
+                let mut h: DrxmpHandle<f64> =
+                    DrxmpHandle::open(comm, &fs, "ga", dist).map_err(to_msg)?;
+                let ga = GaView::load(&mut h).map_err(to_msg)?;
+                ga.fence().map_err(to_msg)?;
+                for _ in 0..OPS {
+                    ga.accumulate(&[0, 0], 1.0).map_err(to_msg)?;
+                }
+                ga.fence().map_err(to_msg)?;
+                h.close().map_err(to_msg)?;
+                Ok(())
+            })
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ga);
+criterion_main!(benches);

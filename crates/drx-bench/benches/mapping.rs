@@ -1,0 +1,94 @@
+//! E1 wall-clock bench: chunk address computation — `F*` and `F*⁻¹` vs the
+//! conventional row-major `F`, Morton codes, and an HDF5-style B-tree
+//! lookup, across expansion counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drx_baselines::Btree;
+use drx_core::alloc::MortonK;
+use drx_core::index::row_major_offset;
+use drx_core::ExtendibleShape;
+use drx_pfs::Pfs;
+use std::hint::black_box;
+
+fn grown_shape(k: usize, e: usize) -> ExtendibleShape {
+    let mut s = ExtendibleShape::new(&vec![2; k]).unwrap();
+    for i in 0..e {
+        s.extend(i % k, 1).unwrap();
+    }
+    s
+}
+
+fn sample_indices(s: &ExtendibleShape, n: usize) -> Vec<Vec<usize>> {
+    let mut seed = 0x9E37_79B9_7F4A_7C15u64;
+    (0..n)
+        .map(|_| {
+            s.bounds()
+                .iter()
+                .map(|&b| {
+                    seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    (seed % b as u64) as usize
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_mapping");
+    for &e in &[4usize, 64, 512] {
+        let shape = grown_shape(3, e);
+        let indices = sample_indices(&shape, 128);
+        let addrs: Vec<u64> = indices.iter().map(|i| shape.address(i).unwrap()).collect();
+        let bounds = shape.bounds().to_vec();
+
+        group.bench_with_input(BenchmarkId::new("fstar", e), &e, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % indices.len();
+                black_box(shape.address_unchecked(&indices[i]))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fstar_inverse", e), &e, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % addrs.len();
+                black_box(shape.index_of(addrs[i]).unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("row_major_f", e), &e, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % indices.len();
+                black_box(row_major_offset(&indices[i], &bounds).unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("morton", e), &e, |b, _| {
+            let morton = MortonK::new(3, 20).unwrap();
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % indices.len();
+                black_box(morton.encode(&indices[i]).unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("btree_lookup", e), &e, |b, _| {
+            let pfs = Pfs::memory(1, 1 << 20).unwrap();
+            let mut tree = Btree::create(pfs.create("idx").unwrap(), 3, 4096).unwrap();
+            for a in 0..shape.total_chunks().min(10_000) {
+                let idx = shape.index_of(a).unwrap();
+                let key: Vec<u64> = idx.iter().map(|&x| x as u64).collect();
+                tree.insert(&key, a).unwrap();
+            }
+            let keys: Vec<Vec<u64>> =
+                indices.iter().map(|i| i.iter().map(|&x| x as u64).collect()).collect();
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % keys.len();
+                black_box(tree.get(&keys[i]).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapping);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! E4 wall-clock bench: reading the BLOCK zones of a principal array over P
+//! rank-threads, independent vs two-phase collective I/O.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drx_core::{Layout, Region};
+use drx_mp::{error::to_msg, DistSpec, DrxFile, DrxmpHandle};
+use drx_msg::run_spmd;
+use drx_pfs::Pfs;
+
+const SIDE: usize = 128;
+const CHUNK: usize = 16;
+
+fn seeded_pfs() -> Pfs {
+    let pfs = Pfs::memory(4, 64 * 1024).unwrap();
+    let mut f: DrxFile<f64> = DrxFile::create(&pfs, "arr", &[CHUNK, CHUNK], &[SIDE, SIDE]).unwrap();
+    let region = Region::new(vec![0, 0], vec![SIDE, SIDE]).unwrap();
+    let data: Vec<f64> = (0..(SIDE * SIDE) as u64).map(|x| x as f64).collect();
+    f.write_region(&region, Layout::C, &data).unwrap();
+    pfs
+}
+
+fn bench_parallel_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_parallel_read");
+    group.sample_size(10);
+    for &p in &[1usize, 2, 4, 8] {
+        for (collective, label) in [(false, "independent"), (true, "collective")] {
+            let pfs = seeded_pfs();
+            group.bench_with_input(
+                BenchmarkId::new(label, p),
+                &p,
+                |b, &p| {
+                    b.iter(|| {
+                        let fs = pfs.clone();
+                        run_spmd(p, move |comm| {
+                            let dist = DistSpec::auto(comm.size(), 2);
+                            let mut h: DrxmpHandle<f64> =
+                                DrxmpHandle::open(comm, &fs, "arr", dist).map_err(to_msg)?;
+                            if collective {
+                                let _ = h.read_my_zone(Layout::C).map_err(to_msg)?;
+                            } else if let Some(zone) = h.my_zone() {
+                                let _ = h.read_region(&zone, Layout::C).map_err(to_msg)?;
+                            }
+                            h.close().map_err(to_msg)?;
+                            Ok(())
+                        })
+                        .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_read);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Print the paper's Figures 1–3 regenerated from the library.
+//!
+//! Usage: `figures [--fig 1|2|3]` (default: all).
+
+use drx_bench::figures;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args
+        .iter()
+        .position(|a| a == "--fig")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<u32>().ok());
+
+    let print_fig = |n: u32| match n {
+        1 => {
+            for t in figures::figure1_tables() {
+                println!("{t}");
+            }
+        }
+        2 => {
+            for t in figures::figure2_tables() {
+                println!("{t}");
+            }
+            println!("Bijectivity on the 8×8 square:");
+            for (name, ok) in figures::figure2_bijectivity() {
+                println!("  {name}: {}", if ok { "bijective" } else { "NOT bijective" });
+            }
+            println!();
+        }
+        3 => {
+            for t in figures::figure3_tables() {
+                println!("{t}");
+            }
+        }
+        other => {
+            eprintln!("unknown figure {other}; expected 1, 2 or 3");
+            std::process::exit(2);
+        }
+    };
+
+    match which {
+        Some(n) => print_fig(n),
+        None => {
+            for n in 1..=3 {
+                print_fig(n);
+            }
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! **E1 — mapping-function cost** (paper §III / §V).
+//!
+//! Claim: computing a chunk address with `F*` costs `O(k)` binary searches
+//! over the axial vectors (`O(k·log E)`, with the merged directory `O(k +
+//! log E)` for the inverse) — "a computed access function in a manner
+//! similar to hashing" — while an HDF5-style chunk B-tree pays real page
+//! reads per lookup. Expected shape: `F*` within a small factor of the
+//! conventional row-major `F`, nearly flat in `E`; B-tree lookups orders of
+//! magnitude more expensive and growing with the tree depth.
+
+use super::{time_per_op, Lcg};
+use crate::table::Table;
+use drx_baselines::Btree;
+use drx_core::alloc::MortonK;
+use drx_core::index::row_major_offset;
+use drx_core::ExtendibleShape;
+use drx_pfs::Pfs;
+
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Ranks to sweep.
+    pub ranks: Vec<usize>,
+    /// Expansion counts to sweep.
+    pub expansions: Vec<usize>,
+    /// Timed iterations per cell.
+    pub iters: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params { ranks: vec![2, 3, 4], expansions: vec![4, 32, 256], iters: 20_000 }
+    }
+}
+
+/// Build a shape of rank `k` grown by `e` cyclic single-index extensions.
+pub fn grown_shape(k: usize, e: usize) -> ExtendibleShape {
+    let mut s = ExtendibleShape::new(&vec![2; k]).expect("valid");
+    for i in 0..e {
+        // Cycle dimensions with a stride that avoids long uninterrupted runs
+        // (which would merge records and shrink E).
+        s.extend(i % k, 1).expect("valid");
+    }
+    s
+}
+
+/// Sample valid chunk indices of a shape.
+fn sample_indices(s: &ExtendibleShape, n: usize, seed: u64) -> Vec<Vec<usize>> {
+    let mut rng = Lcg::new(seed);
+    (0..n)
+        .map(|_| s.bounds().iter().map(|&b| rng.below(b)).collect())
+        .collect()
+}
+
+pub fn run(params: Params) -> Table {
+    let mut table = Table::new(
+        "E1 — chunk address computation cost (ns/op) and B-tree lookup pages",
+        &[
+            "rank k",
+            "expansions E",
+            "records",
+            "F* ns/op",
+            "F*⁻¹ ns/op",
+            "row-major F ns/op",
+            "Morton ns/op",
+            "B-tree ns/op",
+            "B-tree pages/lookup",
+        ],
+    );
+    for &k in &params.ranks {
+        for &e in &params.expansions {
+            let shape = grown_shape(k, e);
+            let indices = sample_indices(&shape, 256, (k * 1000 + e) as u64);
+            let addrs: Vec<u64> =
+                indices.iter().map(|i| shape.address(i).expect("valid")).collect();
+
+            let mut cursor = 0usize;
+            let fstar = time_per_op(params.iters, || {
+                cursor = (cursor + 1) % indices.len();
+                std::hint::black_box(shape.address_unchecked(&indices[cursor]));
+            });
+            let mut cursor = 0usize;
+            let finv = time_per_op(params.iters, || {
+                cursor = (cursor + 1) % addrs.len();
+                std::hint::black_box(shape.index_of(addrs[cursor]).expect("valid"));
+            });
+            // Conventional row-major F over the final bounds (the static
+            // baseline that cannot extend).
+            let bounds = shape.bounds().to_vec();
+            let mut cursor = 0usize;
+            let frow = time_per_op(params.iters, || {
+                cursor = (cursor + 1) % indices.len();
+                std::hint::black_box(row_major_offset(&indices[cursor], &bounds).expect("valid"));
+            });
+            // Morton over the same rank (power-of-two bits covering bounds).
+            let bits = bounds.iter().map(|&b| 64 - (b as u64).leading_zeros()).max().unwrap_or(1);
+            let morton = MortonK::new(k, bits.min(63 / k as u32).max(1)).expect("valid");
+            let morton_indices: Vec<Vec<usize>> = indices
+                .iter()
+                .map(|idx| idx.iter().map(|&i| i.min((1 << (63 / k)) - 1)).collect())
+                .collect();
+            let mut cursor = 0usize;
+            let mort = time_per_op(params.iters, || {
+                cursor = (cursor + 1) % morton_indices.len();
+                std::hint::black_box(morton.encode(&morton_indices[cursor]).expect("valid"));
+            });
+            // B-tree over all chunk addresses (HDF5-style chunk index).
+            let pfs = Pfs::memory(1, 1 << 20).expect("valid");
+            let mut tree =
+                Btree::create(pfs.create("idx").expect("fresh"), k, 4096).expect("valid");
+            // Insert a bounded number of chunk keys: enough for realistic
+            // depth without an O(total) harness.
+            let total = shape.total_chunks().min(20_000);
+            for a in 0..total {
+                let idx = shape.index_of(a).expect("valid");
+                let key: Vec<u64> = idx.iter().map(|&i| i as u64).collect();
+                tree.insert(&key, a).expect("insert");
+            }
+            let keys: Vec<Vec<u64>> = indices
+                .iter()
+                .map(|idx| idx.iter().map(|&i| i as u64).collect())
+                .collect();
+            tree.reset_stats();
+            let mut cursor = 0usize;
+            let bt = time_per_op(params.iters.min(5_000), || {
+                cursor = (cursor + 1) % keys.len();
+                std::hint::black_box(tree.get(&keys[cursor]).expect("lookup"));
+            });
+            let lookups = params.iters.min(5_000) as u64;
+            let pages = tree.stats().page_reads as f64 / lookups as f64;
+
+            table.row(vec![
+                k.to_string(),
+                e.to_string(),
+                shape.record_count().to_string(),
+                fstar.to_string(),
+                finv.to_string(),
+                frow.to_string(),
+                mort.to_string(),
+                bt.to_string(),
+                format!("{pages:.1}"),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grown_shape_has_expected_records() {
+        let s = grown_shape(3, 30);
+        // Cyclic extensions never merge: initial record + 30.
+        assert_eq!(s.record_count(), 31);
+        assert_eq!(s.bounds(), &[12, 12, 12]);
+    }
+
+    #[test]
+    fn runs_at_tiny_scale() {
+        let t = run(Params { ranks: vec![2], expansions: vec![4], iters: 200 });
+        assert_eq!(t.rows.len(), 1);
+        // F* must be in the same order of magnitude as row-major F (not
+        // thousands of times slower) — the "computed access" claim. Allow a
+        // generous factor for timer noise at tiny iteration counts.
+        let fstar: f64 = t.rows[0][3].parse().unwrap();
+        let btree: f64 = t.rows[0][7].parse().unwrap();
+        assert!(btree > fstar, "B-tree lookup should cost more than F*");
+    }
+}

@@ -1,0 +1,205 @@
+//! **E2 — extension cost along a non-primary dimension** (paper §I/§II).
+//!
+//! Claim: DRX extends *any* dimension by appending a segment of chunks —
+//! zero bytes of existing data move — while a conventional row-major array
+//! file must reorganize (move nearly every element) and a netCDF-style
+//! record file must redefine-and-copy. Expected shape: DRX and the
+//! HDF5-like chunked store flat at ~0 moved bytes; row-major and
+//! netCDF-like growing linearly with the array size.
+
+use crate::table::{fmt_bytes, fmt_ns, Table};
+use drx_core::{Layout, Region};
+use drx_baselines::{DraLikeFile, Hdf5LikeFile, NetcdfLikeFile, RowMajorFile};
+use drx_mp::DrxFile;
+use drx_pfs::Pfs;
+
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Square array sides to sweep (elements, f64).
+    pub sides: Vec<usize>,
+    /// Chunk side for the chunked formats.
+    pub chunk: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params { sides: vec![64, 128, 256], chunk: 32 }
+    }
+}
+
+/// One measured row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    pub format: &'static str,
+    pub side: usize,
+    pub bytes_moved: u64,
+    pub pfs_bytes: u64,
+    pub sim_ns: u64,
+}
+
+/// Extend dimension 1 (a non-record, non-primary dimension) of an N×N f64
+/// array by `chunk` indices in every format and account the costs.
+pub fn measure(params: &Params) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &n in &params.sides {
+        let region = Region::new(vec![0, 0], vec![n, n]).expect("valid");
+        let data: Vec<f64> = (0..(n * n) as u64).map(|x| x as f64).collect();
+
+        // DRX: chunked + F* → append-only.
+        {
+            let pfs = Pfs::memory(4, 64 * 1024).expect("valid");
+            let mut f: DrxFile<f64> =
+                DrxFile::create(&pfs, "drx", &[params.chunk, params.chunk], &[n, n]).expect("valid");
+            f.write_region(&region, Layout::C, &data).expect("seed");
+            pfs.reset_stats();
+            f.extend(1, params.chunk).expect("extend");
+            let st = pfs.stats();
+            rows.push(Row {
+                format: "DRX (F*)",
+                side: n,
+                bytes_moved: 0,
+                pfs_bytes: st.total_bytes(),
+                sim_ns: st.sim_time_parallel_ns(),
+            });
+        }
+        // HDF5-like: chunked + B-tree → metadata-only extension.
+        {
+            let pfs = Pfs::memory(4, 64 * 1024).expect("valid");
+            let mut f: Hdf5LikeFile<f64> =
+                Hdf5LikeFile::create(&pfs, "h5", &[params.chunk, params.chunk], &[n, n], 4096)
+                    .expect("valid");
+            f.write_region(&region, Layout::C, &data).expect("seed");
+            pfs.reset_stats();
+            f.extend(1, params.chunk).expect("extend");
+            let st = pfs.stats();
+            rows.push(Row {
+                format: "HDF5-like (B-tree)",
+                side: n,
+                bytes_moved: 0,
+                pfs_bytes: st.total_bytes(),
+                sim_ns: st.sim_time_parallel_ns(),
+            });
+        }
+        // DRA-like: chunked with row-major chunk addressing — reorganizes
+        // at chunk granularity for any dimension but 0.
+        {
+            let pfs = Pfs::memory(4, 64 * 1024).expect("valid");
+            let mut f: DraLikeFile<f64> =
+                DraLikeFile::create(&pfs, "dra", &[params.chunk, params.chunk], &[n, n])
+                    .expect("valid");
+            f.write_region(&region, Layout::C, &data).expect("seed");
+            pfs.reset_stats();
+            let cost = f.extend(1, params.chunk).expect("extend");
+            let st = pfs.stats();
+            rows.push(Row {
+                format: "DRA-like (row-major chunks)",
+                side: n,
+                bytes_moved: cost.bytes_moved,
+                pfs_bytes: st.total_bytes(),
+                sim_ns: st.sim_time_parallel_ns(),
+            });
+        }
+        // Conventional row-major: full reorganization.
+        {
+            let pfs = Pfs::memory(4, 64 * 1024).expect("valid");
+            let mut f: RowMajorFile<f64> = RowMajorFile::create(&pfs, "rm", &[n, n]).expect("valid");
+            f.write_region(&region, Layout::C, &data).expect("seed");
+            pfs.reset_stats();
+            let cost = f.extend(1, params.chunk).expect("extend");
+            let st = pfs.stats();
+            rows.push(Row {
+                format: "row-major file",
+                side: n,
+                bytes_moved: cost.bytes_moved,
+                pfs_bytes: st.total_bytes(),
+                sim_ns: st.sim_time_parallel_ns(),
+            });
+        }
+        // NetCDF-like: redefine + copy.
+        {
+            let pfs = Pfs::memory(4, 64 * 1024).expect("valid");
+            let mut f: NetcdfLikeFile<f64> = NetcdfLikeFile::create(&pfs, "nc", &[n, n]).expect("valid");
+            f.write_region(&region, Layout::C, &data).expect("seed");
+            pfs.reset_stats();
+            let cost = f.extend_fixed(1, params.chunk).expect("extend");
+            let st = pfs.stats();
+            rows.push(Row {
+                format: "netCDF-like",
+                side: n,
+                bytes_moved: cost.bytes_moved,
+                pfs_bytes: st.total_bytes(),
+                sim_ns: st.sim_time_parallel_ns(),
+            });
+        }
+        // NetCDF-like record-dimension append for contrast (the one cheap
+        // direction a record file has).
+        {
+            let pfs = Pfs::memory(4, 64 * 1024).expect("valid");
+            let mut f: NetcdfLikeFile<f64> = NetcdfLikeFile::create(&pfs, "nc", &[n, n]).expect("valid");
+            f.write_region(&region, Layout::C, &data).expect("seed");
+            pfs.reset_stats();
+            let cost = f.append_records(params.chunk).expect("extend");
+            let st = pfs.stats();
+            rows.push(Row {
+                format: "netCDF-like (record dim)",
+                side: n,
+                bytes_moved: cost.bytes_moved,
+                pfs_bytes: st.total_bytes(),
+                sim_ns: st.sim_time_parallel_ns(),
+            });
+        }
+    }
+    rows
+}
+
+pub fn run(params: Params) -> Table {
+    let mut table = Table::new(
+        "E2 — cost of extending dimension 1 of an N×N f64 array by one chunk width",
+        &["format", "N", "bytes moved", "PFS bytes", "simulated time"],
+    );
+    for r in measure(&params) {
+        table.row(vec![
+            r.format.to_string(),
+            r.side.to_string(),
+            fmt_bytes(r.bytes_moved),
+            fmt_bytes(r.pfs_bytes),
+            fmt_ns(r.sim_ns),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drx_moves_nothing_rowmajor_moves_everything() {
+        let rows = measure(&Params { sides: vec![32], chunk: 8 });
+        let drx = rows.iter().find(|r| r.format.starts_with("DRX")).unwrap();
+        let rm = rows.iter().find(|r| r.format == "row-major file").unwrap();
+        let nc = rows.iter().find(|r| r.format == "netCDF-like").unwrap();
+        let rec = rows.iter().find(|r| r.format == "netCDF-like (record dim)").unwrap();
+        let dra = rows.iter().find(|r| r.format.starts_with("DRA-like")).unwrap();
+        assert_eq!(drx.bytes_moved, 0);
+        assert!(
+            dra.bytes_moved > 0 && dra.bytes_moved >= (32 * 32 * 8) / 2,
+            "DRA must move most chunks, got {}",
+            dra.bytes_moved
+        );
+        assert!(rm.bytes_moved >= (32 * 32 * 8) as u64, "row-major must move ~the whole array");
+        assert!(nc.bytes_moved >= (32 * 32 * 8) as u64);
+        assert_eq!(rec.bytes_moved, 0, "record-dim append is the cheap direction");
+        assert!(drx.sim_ns < rm.sim_ns, "DRX extension must be cheaper in simulated time");
+    }
+
+    #[test]
+    fn reorganization_grows_with_n() {
+        let rows = measure(&Params { sides: vec![16, 64], chunk: 8 });
+        let rm16 = rows.iter().find(|r| r.format == "row-major file" && r.side == 16).unwrap();
+        let rm64 = rows.iter().find(|r| r.format == "row-major file" && r.side == 64).unwrap();
+        assert!(rm64.bytes_moved > rm16.bytes_moved * 8);
+        let drx64 = rows.iter().find(|r| r.format.starts_with("DRX") && r.side == 64).unwrap();
+        assert_eq!(drx64.bytes_moved, 0);
+    }
+}

@@ -1,0 +1,178 @@
+//! **E3 — access-order sensitivity** (paper §I).
+//!
+//! Claim: "an array file that is organized in say row-major order causes
+//! applications that subsequently access the data in column-major order to
+//! have abysmal performance", while the chunked DRX layout serves either
+//! order with "no significant performance degradation" (transposition
+//! happens on the fly in memory).
+//!
+//! Workload: stream an N×N f64 array through memory in `panels` slabs,
+//! either row panels (`N/panels × N`) or column panels (`N × N/panels`) —
+//! the classic out-of-core traversal where memory holds one panel at a
+//! time. Metrics: PFS requests, seeks and simulated time.
+
+use crate::table::{fmt_ns, Table};
+use drx_core::{Layout, Region};
+use drx_baselines::RowMajorFile;
+use drx_mp::DrxFile;
+use drx_pfs::{Pfs, PfsStats};
+
+#[derive(Debug, Clone)]
+pub struct Params {
+    pub side: usize,
+    pub chunk: usize,
+    pub panels: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params { side: 256, chunk: 32, panels: 8 }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct Row {
+    pub format: &'static str,
+    pub orientation: &'static str,
+    pub requests: u64,
+    pub seeks: u64,
+    pub sim_ns: u64,
+    /// Request-size histogram (buckets per `drx_pfs::SIZE_BUCKETS`).
+    pub histogram: [u64; 4],
+}
+
+fn panel_regions(side: usize, panels: usize, by_rows: bool) -> Vec<Region> {
+    let width = side / panels;
+    (0..panels)
+        .map(|p| {
+            if by_rows {
+                Region::new(vec![p * width, 0], vec![(p + 1) * width, side]).expect("valid")
+            } else {
+                Region::new(vec![0, p * width], vec![side, (p + 1) * width]).expect("valid")
+            }
+        })
+        .collect()
+}
+
+fn stats_row(format: &'static str, orientation: &'static str, st: &PfsStats) -> Row {
+    Row {
+        format,
+        orientation,
+        requests: st.total_requests(),
+        seeks: st.total_seeks(),
+        sim_ns: st.sim_time_parallel_ns(),
+        histogram: st.size_histogram(),
+    }
+}
+
+pub fn measure(params: &Params) -> Vec<Row> {
+    let n = params.side;
+    let region = Region::new(vec![0, 0], vec![n, n]).expect("valid");
+    let data: Vec<f64> = (0..(n * n) as u64).map(|x| x as f64).collect();
+    let mut rows = Vec::new();
+
+    // Row-major file.
+    {
+        let pfs = Pfs::memory(4, 64 * 1024).expect("valid");
+        let mut f: RowMajorFile<f64> = RowMajorFile::create(&pfs, "rm", &[n, n]).expect("valid");
+        f.write_region(&region, Layout::C, &data).expect("seed");
+        for (by_rows, orientation) in [(true, "row panels"), (false, "column panels")] {
+            pfs.reset_stats();
+            for panel in panel_regions(n, params.panels, by_rows) {
+                std::hint::black_box(f.read_region(&panel, Layout::C).expect("read"));
+            }
+            rows.push(stats_row("row-major file", orientation, &pfs.stats()));
+        }
+    }
+    // DRX chunked file.
+    {
+        let pfs = Pfs::memory(4, 64 * 1024).expect("valid");
+        let mut f: DrxFile<f64> =
+            DrxFile::create(&pfs, "drx", &[params.chunk, params.chunk], &[n, n]).expect("valid");
+        f.write_region(&region, Layout::C, &data).expect("seed");
+        for (by_rows, orientation) in [(true, "row panels"), (false, "column panels")] {
+            pfs.reset_stats();
+            for panel in panel_regions(n, params.panels, by_rows) {
+                std::hint::black_box(f.read_region(&panel, Layout::C).expect("read"));
+            }
+            rows.push(stats_row("DRX chunked file", orientation, &pfs.stats()));
+        }
+    }
+    rows
+}
+
+pub fn run(params: Params) -> Table {
+    let mut table = Table::new(
+        format!(
+            "E3 — streaming a {0}×{0} f64 array in {1} panels, row vs column orientation",
+            params.side, params.panels
+        ),
+        &[
+            "format",
+            "orientation",
+            "PFS requests",
+            "seeks",
+            "request sizes (<4K/64K/1M/more)",
+            "simulated time",
+            "slowdown vs rows",
+        ],
+    );
+    let rows = measure(&params);
+    for pair in rows.chunks(2) {
+        let base = pair[0].sim_ns.max(1);
+        for r in pair {
+            table.row(vec![
+                r.format.to_string(),
+                r.orientation.to_string(),
+                r.requests.to_string(),
+                r.seeks.to_string(),
+                format!(
+                    "{}/{}/{}/{}",
+                    r.histogram[0], r.histogram[1], r.histogram[2], r.histogram[3]
+                ),
+                fmt_ns(r.sim_ns),
+                format!("{:.2}×", r.sim_ns as f64 / base as f64),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_panels_punish_row_major_but_not_drx() {
+        let rows = measure(&Params { side: 64, chunk: 8, panels: 4 });
+        let rm_row = rows.iter().find(|r| r.format == "row-major file" && r.orientation == "row panels").unwrap();
+        let rm_col = rows.iter().find(|r| r.format == "row-major file" && r.orientation == "column panels").unwrap();
+        let dx_row = rows.iter().find(|r| r.format == "DRX chunked file" && r.orientation == "row panels").unwrap();
+        let dx_col = rows.iter().find(|r| r.format == "DRX chunked file" && r.orientation == "column panels").unwrap();
+        // Row-major: column panels generate `panels`× more (and much
+        // smaller) requests, and far more simulated time.
+        assert!(
+            rm_col.requests >= rm_row.requests * 4,
+            "row-major column panels should fragment: {} vs {}",
+            rm_col.requests,
+            rm_row.requests
+        );
+        assert!(rm_col.sim_ns > rm_row.sim_ns * 2);
+        // DRX: both orientations read every chunk exactly once — identical
+        // request counts (the structural order-neutrality of the layout).
+        assert_eq!(
+            dx_col.requests, dx_row.requests,
+            "DRX reads each chunk once in either orientation"
+        );
+        // DRX's column-order degradation (extra seeks only) is far smaller
+        // than row-major's (fragmented tiny requests + seeks).
+        let dx_ratio = dx_col.sim_ns as f64 / dx_row.sim_ns.max(1) as f64;
+        let rm_ratio = rm_col.sim_ns as f64 / rm_row.sim_ns.max(1) as f64;
+        assert!(
+            dx_ratio < rm_ratio / 2.0,
+            "DRX degradation ({dx_ratio:.2}×) should be well below row-major's ({rm_ratio:.2}×)"
+        );
+        // And DRX column access beats row-major column access outright.
+        assert!(dx_col.sim_ns < rm_col.sim_ns);
+    }
+}

@@ -1,0 +1,123 @@
+//! **E5 — reconciling chunk size with the stripe size** (paper §V future
+//! work: "Optimizing the access by reconciling the chunk size with the
+//! strip size of the parallel file system for optimal chunk accesses").
+//!
+//! A chunk whose byte size divides (or is a multiple of) the stripe size
+//! and is stripe-aligned touches the minimum number of I/O servers per
+//! request; misaligned chunk sizes split every chunk access across an extra
+//! server boundary. Expected shape: requests/chunk minimized when
+//! `chunk_bytes ≡ 0 (mod stripe)` or stripes per chunk is integral, with a
+//! jump for odd sizes.
+
+use crate::table::{fmt_bytes, fmt_ns, Table};
+use drx_core::{Layout, Region};
+use drx_mp::DrxFile;
+use drx_pfs::Pfs;
+
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Array side (elements, f64).
+    pub side: usize,
+    /// Chunk sides to sweep (elements).
+    pub chunk_sides: Vec<usize>,
+    pub servers: usize,
+    pub stripe: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        // stripe 16 KiB; chunk sides 16..64 give chunk bytes 2 KiB..32 KiB.
+        Params { side: 256, chunk_sides: vec![16, 24, 32, 45, 48, 64], servers: 4, stripe: 16 * 1024 }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct Row {
+    pub chunk_side: usize,
+    pub chunk_bytes: u64,
+    pub aligned: bool,
+    pub requests: u64,
+    pub requests_per_chunk: f64,
+    pub sim_ns: u64,
+}
+
+pub fn measure(params: &Params) -> Vec<Row> {
+    let n = params.side;
+    let mut rows = Vec::new();
+    for &c in &params.chunk_sides {
+        let pfs = Pfs::memory(params.servers, params.stripe).expect("valid");
+        let mut f: DrxFile<f64> = DrxFile::create(&pfs, "arr", &[c, c], &[n, n]).expect("valid");
+        let region = Region::new(vec![0, 0], vec![n, n]).expect("valid");
+        let data: Vec<f64> = (0..(n * n) as u64).map(|x| x as f64).collect();
+        f.write_region(&region, Layout::C, &data).expect("seed");
+        // Read back chunk-by-chunk (the unit of access) and count requests.
+        pfs.reset_stats();
+        let total_chunks = f.meta().total_chunks();
+        for addr in 0..total_chunks {
+            std::hint::black_box(f.read_chunk_raw(addr).expect("read"));
+        }
+        let st = pfs.stats();
+        let chunk_bytes = f.meta().chunk_bytes();
+        rows.push(Row {
+            chunk_side: c,
+            chunk_bytes,
+            aligned: chunk_bytes.is_multiple_of(params.stripe) || params.stripe.is_multiple_of(chunk_bytes),
+            requests: st.total_requests(),
+            requests_per_chunk: st.total_requests() as f64 / total_chunks as f64,
+            sim_ns: st.sim_time_parallel_ns(),
+        });
+    }
+    rows
+}
+
+pub fn run(params: Params) -> Table {
+    let mut table = Table::new(
+        format!(
+            "E5 — chunk size vs stripe size ({} servers, {} stripes): full sequential chunk scan of a {}×{} f64 array",
+            params.servers,
+            fmt_bytes(params.stripe),
+            params.side,
+            params.side
+        ),
+        &["chunk side", "chunk bytes", "stripe-aligned", "PFS requests", "requests/chunk", "simulated time"],
+    );
+    for r in measure(&params) {
+        table.row(vec![
+            r.chunk_side.to_string(),
+            fmt_bytes(r.chunk_bytes),
+            if r.aligned { "yes" } else { "no" }.to_string(),
+            r.requests.to_string(),
+            format!("{:.2}", r.requests_per_chunk),
+            fmt_ns(r.sim_ns),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_chunks_need_fewer_requests_per_chunk() {
+        let params = Params {
+            side: 96,
+            chunk_sides: vec![16, 24],          // 2 KiB vs 4.5 KiB chunks
+            servers: 2,
+            stripe: 2 * 1024,                   // 2 KiB stripes
+        };
+        let rows = measure(&params);
+        let aligned = rows.iter().find(|r| r.chunk_side == 16).unwrap(); // 2 KiB = stripe
+        let misaligned = rows.iter().find(|r| r.chunk_side == 24).unwrap(); // 4.5 KiB
+        assert!(aligned.aligned);
+        assert!(!misaligned.aligned);
+        assert!(
+            misaligned.requests_per_chunk > aligned.requests_per_chunk,
+            "misaligned chunks must fragment: {:.2} vs {:.2}",
+            misaligned.requests_per_chunk,
+            aligned.requests_per_chunk
+        );
+        // Aligned chunks of exactly one stripe: exactly 1 request per chunk.
+        assert!((aligned.requests_per_chunk - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,126 @@
+//! **E6 — Global-Array-style element access** (paper §II-A).
+//!
+//! Claim: with replicated metadata, every process can locate any element's
+//! owner zone and access it "either as a local array element or as a remote
+//! array element" through RMA. Expected shape: local gets are cheap; remote
+//! gets cost more (lock + copy across threads; on a real cluster, a network
+//! round-trip); accumulates are atomic under concurrency.
+
+use super::time_per_op;
+use crate::table::Table;
+use drx_core::{Layout, Region};
+use drx_mp::{DistSpec, DrxFile, DrxmpHandle, GaView};
+use drx_msg::run_spmd;
+use drx_pfs::Pfs;
+
+#[derive(Debug, Clone)]
+pub struct Params {
+    pub side: usize,
+    pub chunk: usize,
+    pub ranks: usize,
+    pub ops: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params { side: 128, chunk: 16, ranks: 4, ops: 20_000 }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    pub local_get_ns: u64,
+    pub remote_get_ns: u64,
+    pub accumulate_ns: u64,
+    /// Value of the contended counter after all ranks accumulated — checks
+    /// atomicity (must equal ranks × ops_accumulate).
+    pub contended_total: f64,
+    pub expected_total: f64,
+}
+
+pub fn measure(params: &Params) -> Measurement {
+    let n = params.side;
+    let pfs = Pfs::memory(4, 64 * 1024).expect("valid");
+    {
+        let mut f: DrxFile<f64> = DrxFile::create(&pfs, "ga", &[params.chunk, params.chunk], &[n, n])
+            .expect("valid");
+        let region = Region::new(vec![0, 0], vec![n, n]).expect("valid");
+        let data: Vec<f64> = (0..(n * n) as u64).map(|x| x as f64).collect();
+        f.write_region(&region, Layout::C, &data).expect("seed");
+    }
+    let ops = params.ops;
+    let acc_ops = 500usize;
+    let results = run_spmd(params.ranks, move |comm| {
+        let dist = DistSpec::auto(comm.size(), 2);
+        let mut h: DrxmpHandle<f64> =
+            DrxmpHandle::open(comm, &pfs, "ga", dist).map_err(drx_mp::error::to_msg)?;
+        let ga = GaView::load(&mut h).map_err(drx_mp::error::to_msg)?;
+        ga.fence().map_err(drx_mp::error::to_msg)?;
+        // Pick one local and one remote element for this rank.
+        let zones = ga.zones();
+        let my_zone = zones[comm.rank()].clone().expect("zone");
+        let local_idx = my_zone.lo().to_vec();
+        let peer = (comm.rank() + 1) % comm.size();
+        let remote_idx = zones[peer].clone().expect("zone").lo().to_vec();
+        let local_ns = time_per_op(ops, || {
+            std::hint::black_box(ga.get(&local_idx).expect("local get"));
+        });
+        let remote_ns = time_per_op(ops, || {
+            std::hint::black_box(ga.get(&remote_idx).expect("remote get"));
+        });
+        ga.fence().map_err(drx_mp::error::to_msg)?;
+        // Contended accumulate into element (0,0).
+        let acc_ns = time_per_op(acc_ops, || {
+            ga.accumulate(&[0, 0], 1.0).expect("accumulate");
+        });
+        ga.fence().map_err(drx_mp::error::to_msg)?;
+        let total = ga.get(&[0, 0]).map_err(drx_mp::error::to_msg)?;
+        h.close().map_err(drx_mp::error::to_msg)?;
+        Ok((local_ns, remote_ns, acc_ns, total))
+    })
+    .expect("spmd run");
+
+    let k = results.len() as u64;
+    Measurement {
+        local_get_ns: results.iter().map(|r| r.0).sum::<u64>() / k,
+        remote_get_ns: results.iter().map(|r| r.1).sum::<u64>() / k,
+        accumulate_ns: results.iter().map(|r| r.2).sum::<u64>() / k,
+        contended_total: results[0].3,
+        expected_total: (params.ranks * acc_ops) as f64,
+    }
+}
+
+pub fn run(params: Params) -> Table {
+    let m = measure(&params);
+    let mut table = Table::new(
+        format!(
+            "E6 — GA-style element access over {} ranks ({}×{} f64 array)",
+            params.ranks, params.side, params.side
+        ),
+        &["operation", "ns/op (mean over ranks)", "note"],
+    );
+    table.row(vec!["local get".into(), m.local_get_ns.to_string(), "owner == self".into()]);
+    table.row(vec!["remote get".into(), m.remote_get_ns.to_string(), "owner == peer rank".into()]);
+    table.row(vec![
+        "contended accumulate".into(),
+        m.accumulate_ns.to_string(),
+        format!(
+            "atomicity check: counter = {} (expected {} + initial value)",
+            m.contended_total, m.expected_total
+        ),
+    ]);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_are_atomic_under_contention() {
+        let m = measure(&Params { side: 32, chunk: 8, ranks: 4, ops: 200 });
+        // Element (0,0) starts at 0.0 and gets ranks × 500 increments.
+        assert_eq!(m.contended_total, m.expected_total);
+        assert!(m.local_get_ns > 0 || m.remote_get_ns > 0);
+    }
+}

@@ -1,0 +1,107 @@
+//! **E7 — ablations of the two design choices inside the mapping machinery**
+//! (DESIGN.md §5).
+//!
+//! 1. *Uninterrupted-extension merging* (§III-B): repeated extensions of the
+//!    same dimension share one axial record. Ablation: force a record per
+//!    extension (`extend_unmerged`) and measure how `F*` slows as the
+//!    per-dimension binary searches deepen.
+//! 2. *Merged segment directory for `F*⁻¹`*: the paper computes the inverse
+//!    with k independent binary searches (§III-C); we additionally keep one
+//!    directory sorted by segment start. Ablation: compare
+//!    `index_of_searches` (paper) vs `index_of` (directory).
+
+use super::{time_per_op, Lcg};
+use crate::table::Table;
+use drx_core::ExtendibleShape;
+
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Number of extensions, all of the same dimension (the merge-friendly
+    /// worst case for the unmerged variant).
+    pub extensions: Vec<usize>,
+    pub iters: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params { extensions: vec![16, 128, 1024], iters: 20_000 }
+    }
+}
+
+fn sample_indices(s: &ExtendibleShape, n: usize, seed: u64) -> Vec<Vec<usize>> {
+    let mut rng = Lcg::new(seed);
+    (0..n).map(|_| s.bounds().iter().map(|&b| rng.below(b)).collect()).collect()
+}
+
+pub fn run(params: Params) -> Table {
+    let mut table = Table::new(
+        "E7 — ablations: record merging and the merged segment directory",
+        &[
+            "extensions (same dim)",
+            "records merged",
+            "records unmerged",
+            "F* merged ns/op",
+            "F* unmerged ns/op",
+            "F*⁻¹ directory ns/op",
+            "F*⁻¹ k-searches ns/op",
+        ],
+    );
+    for &e in &params.extensions {
+        // Alternate a little so the merged variant still has a few records,
+        // but extend dimension 0 overwhelmingly (uninterrupted runs).
+        let mut merged = ExtendibleShape::new(&[2, 2, 2]).expect("valid");
+        let mut unmerged = ExtendibleShape::new(&[2, 2, 2]).expect("valid");
+        for i in 0..e {
+            let dim = if i % 64 == 63 { 1 } else { 0 };
+            merged.extend(dim, 1).expect("valid");
+            unmerged.extend_unmerged(dim, 1).expect("valid");
+        }
+        let indices = sample_indices(&merged, 256, e as u64);
+        let addrs: Vec<u64> = indices.iter().map(|i| merged.address(i).expect("valid")).collect();
+
+        let mut c = 0usize;
+        let f_merged = time_per_op(params.iters, || {
+            c = (c + 1) % indices.len();
+            std::hint::black_box(merged.address_unchecked(&indices[c]));
+        });
+        let mut c = 0usize;
+        let f_unmerged = time_per_op(params.iters, || {
+            c = (c + 1) % indices.len();
+            std::hint::black_box(unmerged.address_unchecked(&indices[c]));
+        });
+        let mut c = 0usize;
+        let inv_dir = time_per_op(params.iters, || {
+            c = (c + 1) % addrs.len();
+            std::hint::black_box(merged.index_of(addrs[c]).expect("valid"));
+        });
+        let mut c = 0usize;
+        let inv_search = time_per_op(params.iters, || {
+            c = (c + 1) % addrs.len();
+            std::hint::black_box(merged.index_of_searches(addrs[c]).expect("valid"));
+        });
+        table.row(vec![
+            e.to_string(),
+            merged.record_count().to_string(),
+            unmerged.record_count().to_string(),
+            f_merged.to_string(),
+            f_unmerged.to_string(),
+            inv_dir.to_string(),
+            inv_search.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_keeps_record_count_small() {
+        let t = run(Params { extensions: vec![128], iters: 500 });
+        let merged: usize = t.rows[0][1].parse().unwrap();
+        let unmerged: usize = t.rows[0][2].parse().unwrap();
+        assert!(merged < 10, "merged records should be a handful, got {merged}");
+        assert_eq!(unmerged, 129, "one record per extension plus the initial");
+    }
+}

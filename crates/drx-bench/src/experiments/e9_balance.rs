@@ -1,0 +1,206 @@
+//! **E9 — data-distribution balance** (paper §V future work: "we intend to
+//! explore how the array distribution method can be generalized to ensure
+//! relative balanced data distribution and how to distribute the array by
+//! BLOCK Cyclic(K) methods").
+//!
+//! For a set of chunk-grid shapes (including awkward, non-divisible ones and
+//! grids produced by growth), measure how evenly BLOCK and BLOCK_CYCLIC
+//! spread chunks over the ranks. Balance metric: `max/mean` chunks per rank
+//! (1.0 = perfect). Expected shape: BLOCK degrades on grids that divide the
+//! process grid badly; BLOCK_CYCLIC with small blocks stays near 1 at the
+//! cost of non-contiguous zones.
+
+use crate::table::Table;
+use drx_mp::DistSpec;
+
+#[derive(Debug, Clone)]
+pub struct Params {
+    pub nprocs: usize,
+    /// Chunk-grid shapes to evaluate.
+    pub grids: Vec<Vec<usize>>,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            nprocs: 4,
+            grids: vec![
+                vec![8, 8],   // divides evenly
+                vec![5, 4],   // the Figure-1 grid
+                vec![9, 7],   // awkward primes
+                vec![3, 17],  // long and thin
+                vec![2, 2],   // fewer chunks than... exactly nprocs
+            ],
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct Row {
+    pub grid: Vec<usize>,
+    pub dist: String,
+    pub per_rank: Vec<usize>,
+    /// max / mean chunks per rank (1.0 = perfectly balanced).
+    pub imbalance: f64,
+}
+
+fn imbalance(per_rank: &[usize]) -> f64 {
+    let total: usize = per_rank.iter().sum();
+    let mean = total as f64 / per_rank.len() as f64;
+    let max = *per_rank.iter().max().unwrap_or(&0) as f64;
+    if mean == 0.0 {
+        0.0
+    } else {
+        max / mean
+    }
+}
+
+pub fn measure(params: &Params) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for grid in &params.grids {
+        let specs: Vec<(String, DistSpec)> = vec![
+            ("BLOCK (auto grid)".into(), DistSpec::auto(params.nprocs, grid.len())),
+            (
+                "BLOCK_CYCLIC(1)".into(),
+                DistSpec::block_cyclic(
+                    DistSpec::auto(params.nprocs, grid.len()).proc_grid().to_vec(),
+                    vec![1; grid.len()],
+                ),
+            ),
+            (
+                "BLOCK_CYCLIC(2)".into(),
+                DistSpec::block_cyclic(
+                    DistSpec::auto(params.nprocs, grid.len()).proc_grid().to_vec(),
+                    vec![2; grid.len()],
+                ),
+            ),
+        ];
+        for (name, spec) in specs {
+            let per_rank: Vec<usize> =
+                (0..params.nprocs).map(|r| spec.chunks_of(r, grid).len()).collect();
+            rows.push(Row {
+                grid: grid.clone(),
+                dist: name,
+                imbalance: imbalance(&per_rank),
+                per_rank,
+            });
+        }
+    }
+    rows
+}
+
+/// Ownership churn under growth: starting from `initial` chunks, apply the
+/// extension history and count how many *pre-existing* chunks change owner
+/// at each step. BLOCK zones are recomputed from the instantaneous bounds
+/// (self-balancing but churning — data must migrate between ranks to keep
+/// in-memory views consistent); BLOCK_CYCLIC ownership depends only on the
+/// chunk index, so it never churns.
+pub fn measure_churn(
+    nprocs: usize,
+    initial: &[usize],
+    history: &[(usize, usize)],
+) -> Vec<(String, u64, f64)> {
+    let specs: Vec<(String, DistSpec)> = vec![
+        ("BLOCK (auto grid)".into(), DistSpec::auto(nprocs, initial.len())),
+        (
+            "BLOCK_CYCLIC(1)".into(),
+            DistSpec::block_cyclic(
+                DistSpec::auto(nprocs, initial.len()).proc_grid().to_vec(),
+                vec![1; initial.len()],
+            ),
+        ),
+    ];
+    specs
+        .into_iter()
+        .map(|(name, spec)| {
+            let mut grid = initial.to_vec();
+            let mut churned = 0u64;
+            let mut final_imbalance = 0.0;
+            for &(dim, by) in history {
+                // Owner of each existing chunk before and after the step.
+                let old_grid = grid.clone();
+                grid[dim] += by;
+                let region = drx_core::Region::of_shape(&old_grid).expect("valid");
+                for chunk in region.iter() {
+                    let o1 = spec.owner_of_chunk(&chunk, &old_grid);
+                    let o2 = spec.owner_of_chunk(&chunk, &grid);
+                    if o1 != o2 {
+                        churned += 1;
+                    }
+                }
+                let per_rank: Vec<usize> =
+                    (0..nprocs).map(|r| spec.chunks_of(r, &grid).len()).collect();
+                final_imbalance = imbalance(&per_rank);
+            }
+            (name, churned, final_imbalance)
+        })
+        .collect()
+}
+
+pub fn run(params: Params) -> Table {
+    let mut table = Table::new(
+        format!(
+            "E9 — distribution balance over {} ranks (imbalance = max/mean, 1.00 = perfect) and \
+             ownership churn under growth ([4,4] grid, +1 chunk per dim alternating ×6)",
+            params.nprocs
+        ),
+        &["chunk grid", "distribution", "chunks per rank", "imbalance", "churn under growth"],
+    );
+    let churn = measure_churn(params.nprocs, &[4, 4], &[(0, 1), (1, 1), (0, 1), (1, 1), (0, 1), (1, 1)]);
+    for r in measure(&params) {
+        let churn_cell = churn
+            .iter()
+            .find(|(name, _, _)| *name == r.dist)
+            .map(|&(_, c, _)| format!("{c} chunks"))
+            .unwrap_or_else(|| "—".into());
+        table.row(vec![
+            format!("{:?}", r.grid),
+            r.dist,
+            format!("{:?}", r.per_rank),
+            format!("{:.2}", r.imbalance),
+            churn_cell,
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_distribution_covers_all_chunks() {
+        let params = Params::default();
+        for r in measure(&params) {
+            let total: usize = r.per_rank.iter().sum();
+            let grid_total: usize = r.grid.iter().product();
+            assert_eq!(total, grid_total, "{} on {:?}", r.dist, r.grid);
+            assert!(r.imbalance >= 1.0 || total == 0);
+        }
+    }
+
+    #[test]
+    fn cyclic_ownership_is_growth_stable_block_churns() {
+        let churn = measure_churn(4, &[4, 4], &[(0, 1), (1, 1), (0, 2), (1, 3)]);
+        let block = churn.iter().find(|(n, _, _)| n.starts_with("BLOCK (")).unwrap();
+        let cyc = churn.iter().find(|(n, _, _)| n == "BLOCK_CYCLIC(1)").unwrap();
+        assert_eq!(cyc.1, 0, "cyclic ownership must never churn");
+        assert!(block.1 > 0, "BLOCK zones must churn as bounds grow");
+        // Both end reasonably balanced.
+        assert!(block.2 < 1.7 && cyc.2 < 1.7);
+    }
+
+    #[test]
+    fn cyclic_1_balances_awkward_grids_better_than_block() {
+        let params = Params { nprocs: 4, grids: vec![vec![9, 7]] };
+        let rows = measure(&params);
+        let block = rows.iter().find(|r| r.dist.starts_with("BLOCK (")).unwrap();
+        let cyc1 = rows.iter().find(|r| r.dist == "BLOCK_CYCLIC(1)").unwrap();
+        assert!(
+            cyc1.imbalance <= block.imbalance,
+            "cyclic(1) {:.2} should not be worse than block {:.2}",
+            cyc1.imbalance,
+            block.imbalance
+        );
+    }
+}

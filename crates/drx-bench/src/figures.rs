@@ -1,0 +1,294 @@
+//! Regeneration of the paper's three figures (experiments F1–F3).
+//!
+//! The figures are deterministic address layouts, so they are *asserted*,
+//! not just printed: the integration tests compare every value against the
+//! numbers visible in the paper.
+
+use crate::table::Table;
+use drx_core::alloc::{address_table, AllocScheme2, AxialScheme, Morton2, RowMajor, SymmetricShell2};
+use drx_core::{ExtendibleShape, Region};
+
+/// Figure 1 state: the 2-D extendible array of the paper grown to a 5×4
+/// chunk grid, plus its 2×2 BLOCK zone decomposition.
+pub struct Figure1 {
+    pub shape: ExtendibleShape,
+    /// Chunk address grid, `grid[i][j] = F*(i, j)`.
+    pub grid: Vec<Vec<u64>>,
+    /// Chunk addresses per process, `zone_maps[rank]` — the listing's
+    /// `globalMap`.
+    pub zone_maps: Vec<Vec<u64>>,
+}
+
+/// Build Figure 1: growth history chunk 0 → +D1 (chunk 1) → +D0 (2,3) →
+/// +D0 (4,5) → +D1 (6,7,8) → +D0 (9,10,11) → +D1 (12..=15) → +D0 (16..=19).
+pub fn figure1() -> Figure1 {
+    let mut shape = ExtendibleShape::new(&[1, 1]).expect("valid");
+    for (dim, by) in [(1, 1), (0, 1), (0, 1), (1, 1), (0, 1), (1, 1), (0, 1)] {
+        shape.extend(dim, by).expect("valid extension");
+    }
+    let (rows, cols) = (shape.bounds()[0], shape.bounds()[1]);
+    let grid: Vec<Vec<u64>> = (0..rows)
+        .map(|i| (0..cols).map(|j| shape.address(&[i, j]).expect("in bounds")).collect())
+        .collect();
+    // 2×2 BLOCK zones, exactly as the paper's code listing distributes them.
+    let dist = drx_mp::DistSpec::block(vec![2, 2]);
+    let zone_maps: Vec<Vec<u64>> = (0..4)
+        .map(|rank| {
+            let mut addrs: Vec<u64> = dist
+                .chunks_of(rank, shape.bounds())
+                .into_iter()
+                .map(|c| shape.address(&c).expect("in bounds"))
+                .collect();
+            addrs.sort_unstable();
+            addrs
+        })
+        .collect();
+    Figure1 { shape, grid, zone_maps }
+}
+
+/// Render Figure 1 as tables.
+pub fn figure1_tables() -> Vec<Table> {
+    let fig = figure1();
+    let cols = fig.shape.bounds()[1];
+    let mut layout = Table::new(
+        "Figure 1 — chunk addresses of the 2-D extendible array (5×4 chunk grid, chunks 2×3)",
+        &std::iter::once("row".to_string())
+            .chain((0..cols).map(|j| format!("col {j}")))
+            .collect::<Vec<_>>()
+            .iter()
+            .map(|s| s.as_str())
+            .collect::<Vec<_>>(),
+    );
+    for (i, row) in fig.grid.iter().enumerate() {
+        let mut cells = vec![format!("{i}")];
+        cells.extend(row.iter().map(|a| a.to_string()));
+        layout.row(cells);
+    }
+    let mut zones = Table::new(
+        "Figure 1 — zone maps of the 4 processes (the listing's globalMap / inMemoryMap)",
+        &["process", "chunk addresses (globalMap)", "memory slots (inMemoryMap)"],
+    );
+    let mem_maps = figure1_memory_maps();
+    for (rank, (addrs, mem)) in fig.zone_maps.iter().zip(&mem_maps).enumerate() {
+        zones.row(vec![
+            format!("P{rank}"),
+            addrs.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(", "),
+            mem.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(", "),
+        ]);
+    }
+    vec![layout, zones]
+}
+
+/// The paper listing's `inMemoryMap`: for each process, the position each
+/// of its chunks takes in the zone's in-memory buffer (C-order over the
+/// zone's chunk grid), listed in increasing file-address order — exactly
+/// how the listing builds its `memtype` with `MPI_Type_indexed`.
+pub fn figure1_memory_maps() -> Vec<Vec<u64>> {
+    let fig = figure1();
+    let dist = drx_mp::DistSpec::block(vec![2, 2]);
+    (0..4)
+        .map(|rank| {
+            let zone = dist
+                .zone_chunk_region(rank, fig.shape.bounds())
+                .expect("BLOCK zones are rectilinear");
+            // Chunks in increasing file-address order.
+            let mut pairs: Vec<(Vec<usize>, u64)> = zone
+                .iter()
+                .map(|c| {
+                    let a = fig.shape.address(&c).expect("in bounds");
+                    (c, a)
+                })
+                .collect();
+            pairs.sort_by_key(|&(_, a)| a);
+            // Each chunk's C-order position within the zone's chunk grid.
+            pairs
+                .into_iter()
+                .map(|(c, _)| zone.local_offset(&c).expect("chunk in zone"))
+                .collect()
+        })
+        .collect()
+}
+
+/// Figure 2: the four 8×8 allocation-scheme address tables.
+pub fn figure2_tables() -> Vec<Table> {
+    let schemes: Vec<(Box<dyn AllocScheme2>, &str)> = vec![
+        (Box::new(RowMajor::new(vec![8, 8]).expect("valid")), "(a) row-major sequence order"),
+        (Box::new(Morton2::new()), "(b) Z (Morton) sequence order"),
+        (Box::new(SymmetricShell2::new()), "(c) symmetric linear shell sequence order"),
+        (
+            Box::new(AxialScheme::figure2d().expect("valid")),
+            "(d) arbitrary linear shell sequence order (axial vectors, F*)",
+        ),
+    ];
+    schemes
+        .into_iter()
+        .map(|(scheme, title)| {
+            let t = address_table(scheme.as_ref(), 8).expect("8x8 in range");
+            let headers: Vec<String> = std::iter::once("i\\j".to_string())
+                .chain((0..8).map(|j| format!("{j}")))
+                .collect();
+            let mut table = Table::new(
+                format!("Figure 2{title}", title = title),
+                &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+            );
+            for (i, row) in t.iter().enumerate() {
+                let mut cells = vec![format!("{i}")];
+                cells.extend(row.iter().map(|a| a.to_string()));
+                table.row(cells);
+            }
+            table
+        })
+        .collect()
+}
+
+/// Figure 3 state: the 3-D example with its axial vectors.
+pub struct Figure3 {
+    pub shape: ExtendibleShape,
+}
+
+/// Build Figure 3: initial `A[4][3][1]`, extend D2 ×2 (uninterrupted),
+/// D1 +1, D0 +2, D2 +1 → bounds `[6,4,4]`, 96 chunks.
+pub fn figure3() -> Figure3 {
+    let mut shape = ExtendibleShape::new(&[4, 3, 1]).expect("valid");
+    for (dim, by) in [(2, 1), (2, 1), (1, 1), (0, 2), (2, 1)] {
+        shape.extend(dim, by).expect("valid extension");
+    }
+    Figure3 { shape }
+}
+
+/// Render Figure 3's axial vectors (with the paper's sentinel rows) and the
+/// worked-example addresses.
+pub fn figure3_tables() -> Vec<Table> {
+    let fig = figure3();
+    let mut axial = Table::new(
+        "Figure 3b — the three axial vectors (start index N*; start address M*; coefficients C)",
+        &["dimension", "N*", "M*", "C[0..3]"],
+    );
+    for dim in (0..3).rev() {
+        for (start, addr, coeffs) in fig.shape.axial(dim).display_records(3) {
+            axial.row(vec![
+                format!("D{dim}"),
+                start.to_string(),
+                addr.to_string(),
+                format!("{coeffs:?}"),
+            ]);
+        }
+    }
+    let mut spots = Table::new(
+        "Figure 3 / §III-B — spot addresses",
+        &["chunk index", "F* (computed)", "paper"],
+    );
+    for (idx, paper) in [([2usize, 1, 0], 7u64), ([3, 1, 2], 34), ([4, 2, 2], 56)] {
+        spots.row(vec![
+            format!("{idx:?}"),
+            fig.shape.address(&idx).expect("in bounds").to_string(),
+            paper.to_string(),
+        ]);
+    }
+    let mut inverse = Table::new(
+        "Figure 3 — inverse mapping F*⁻¹ samples",
+        &["address", "F*⁻¹(address)"],
+    );
+    for addr in [0u64, 7, 34, 56, 71, 95] {
+        inverse.row(vec![
+            addr.to_string(),
+            format!("{:?}", fig.shape.index_of(addr).expect("in bounds")),
+        ]);
+    }
+    vec![axial, spots, inverse]
+}
+
+/// Bijectivity sweep used by tests and the figures binary: every scheme of
+/// Figure 2 assigns distinct addresses on the 8×8 square.
+pub fn figure2_bijectivity() -> Vec<(String, bool)> {
+    use drx_core::alloc::is_bijective_on_square;
+    let schemes: Vec<Box<dyn AllocScheme2>> = vec![
+        Box::new(RowMajor::new(vec![8, 8]).expect("valid")),
+        Box::new(Morton2::new()),
+        Box::new(SymmetricShell2::new()),
+        Box::new(AxialScheme::figure2d().expect("valid")),
+    ];
+    schemes
+        .iter()
+        .map(|s| (s.name().to_string(), is_bijective_on_square(s.as_ref(), 8).unwrap_or(false)))
+        .collect()
+}
+
+/// Sanity helper used in tests: the number of valid (clipped) elements in
+/// Figure 1's array `A[10][12]`.
+pub fn figure1_element_region() -> Region {
+    Region::new(vec![0, 0], vec![10, 12]).expect("valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_grid_matches_paper() {
+        let fig = figure1();
+        assert_eq!(
+            fig.grid,
+            vec![
+                vec![0, 1, 6, 12],
+                vec![2, 3, 7, 13],
+                vec![4, 5, 8, 14],
+                vec![9, 10, 11, 15],
+                vec![16, 17, 18, 19],
+            ]
+        );
+    }
+
+    #[test]
+    fn figure1_zone_maps_match_listing() {
+        let fig = figure1();
+        assert_eq!(
+            fig.zone_maps,
+            vec![
+                vec![0, 1, 2, 3, 4, 5],
+                vec![6, 7, 8, 12, 13, 14],
+                vec![9, 10, 16, 17],
+                vec![11, 15, 18, 19],
+            ]
+        );
+    }
+
+    #[test]
+    fn figure1_in_memory_maps_match_listing() {
+        // The listing: inMemoryMap = {{0,1,2,3,4,5}, {0,2,4,1,3,5},
+        // {0,1,2,3}, {0,1,2,3}}.
+        assert_eq!(
+            figure1_memory_maps(),
+            vec![
+                vec![0, 1, 2, 3, 4, 5],
+                vec![0, 2, 4, 1, 3, 5],
+                vec![0, 1, 2, 3],
+                vec![0, 1, 2, 3],
+            ]
+        );
+    }
+
+    #[test]
+    fn figure3_spots() {
+        let fig = figure3();
+        assert_eq!(fig.shape.address(&[2, 1, 0]).unwrap(), 7);
+        assert_eq!(fig.shape.address(&[3, 1, 2]).unwrap(), 34);
+        assert_eq!(fig.shape.address(&[4, 2, 2]).unwrap(), 56);
+        assert_eq!(fig.shape.total_chunks(), 96);
+    }
+
+    #[test]
+    fn tables_render_without_panicking() {
+        for t in figure1_tables().iter().chain(&figure2_tables()).chain(&figure3_tables()) {
+            let s = t.to_string();
+            assert!(s.contains("##"));
+        }
+    }
+
+    #[test]
+    fn all_schemes_bijective() {
+        for (name, ok) in figure2_bijectivity() {
+            assert!(ok, "{name} not bijective on 8×8");
+        }
+    }
+}

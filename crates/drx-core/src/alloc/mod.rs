@@ -1,0 +1,86 @@
+//! Allocation schemes for array elements (paper §III-A, Figure 2).
+//!
+//! The paper contrasts four ways of assigning linear addresses to the cells
+//! of a (potentially growing) 2-D array:
+//!
+//! * **(a) row-major sequence order** — conventional; extendible in
+//!   dimension 0 only;
+//! * **(b) Z (Morton) sequence order** — a space-filling curve; growth is
+//!   constrained to doubling in a cyclic order of the dimensions;
+//! * **(c) symmetric linear shell sequence order** — linear growth but only
+//!   in a cyclic order of the dimensions;
+//! * **(d) arbitrary linear shell sequence order** — the axial-vector scheme
+//!   (`F*`), which extends any dimension in any order.
+//!
+//! These schemes back the Figure 2 regeneration and the mapping-cost
+//! comparison (experiment E1).
+
+mod axial_scheme;
+mod morton;
+mod row_major;
+mod shell;
+
+pub use axial_scheme::AxialScheme;
+pub use morton::{Morton2, MortonK};
+pub use row_major::RowMajor;
+pub use shell::{SymmetricShell2, SymmetricShellK};
+
+use crate::error::Result;
+
+/// A 2-D allocation scheme: a (partial) bijection from cell indices to
+/// linear addresses.
+pub trait AllocScheme2 {
+    /// Short name used in figure output.
+    fn name(&self) -> &'static str;
+    /// Linear address of cell `(i, j)`.
+    fn address2(&self, i: usize, j: usize) -> Result<u64>;
+}
+
+/// Render the `n×n` address table of a scheme — the format of the Figure 2
+/// panels.
+pub fn address_table(scheme: &dyn AllocScheme2, n: usize) -> Result<Vec<Vec<u64>>> {
+    (0..n)
+        .map(|i| (0..n).map(|j| scheme.address2(i, j)).collect())
+        .collect()
+}
+
+/// Check that a scheme assigns each of the `n×n` cells a distinct address in
+/// `0..n²` (all four Figure 2 schemes are bijections on the square).
+pub fn is_bijective_on_square(scheme: &dyn AllocScheme2, n: usize) -> Result<bool> {
+    let mut seen = vec![false; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let a = scheme.address2(i, j)? as usize;
+            if a >= seen.len() || seen[a] {
+                return Ok(false);
+            }
+            seen[a] = true;
+        }
+    }
+    Ok(seen.iter().all(|&b| b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_four_schemes_are_bijective_on_8x8() {
+        let schemes: Vec<Box<dyn AllocScheme2>> = vec![
+            Box::new(RowMajor::new(vec![8, 8]).unwrap()),
+            Box::new(Morton2::new()),
+            Box::new(SymmetricShell2::new()),
+            Box::new(AxialScheme::figure2d().unwrap()),
+        ];
+        for s in &schemes {
+            assert!(is_bijective_on_square(s.as_ref(), 8).unwrap(), "{} not bijective", s.name());
+        }
+    }
+
+    #[test]
+    fn address_table_shape() {
+        let t = address_table(&Morton2::new(), 4).unwrap();
+        assert_eq!(t.len(), 4);
+        assert!(t.iter().all(|row| row.len() == 4));
+    }
+}

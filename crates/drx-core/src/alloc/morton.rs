@@ -1,0 +1,182 @@
+//! Z-order / Morton sequence allocation (Figure 2b).
+//!
+//! "An allocation scheme based on the Z-order mapping function is
+//! constrained to have exponential growth since the array can grow by
+//! doubling its size and only in a cyclic order of its dimensions" (§III-A).
+
+use super::AllocScheme2;
+use crate::error::{DrxError, Result};
+
+/// 2-D Morton (Z-order) allocation: the bits of the row index `i` are
+/// interleaved into the odd positions and the bits of the column index `j`
+/// into the even positions, so `(i, j) = (1, 0) → 2` and `(0, 1) → 1`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Morton2;
+
+impl Morton2 {
+    pub const fn new() -> Self {
+        Morton2
+    }
+
+    /// Interleave the low 32 bits of `v` with zeros (helper for any rank-2
+    /// Morton code).
+    fn spread(v: u64) -> u64 {
+        let mut x = v & 0xFFFF_FFFF;
+        x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+        x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+        x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+        x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+        x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+        x
+    }
+
+    /// Inverse of [`Morton2::spread`].
+    fn unspread(v: u64) -> u64 {
+        let mut x = v & 0x5555_5555_5555_5555;
+        x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+        x = (x | (x >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+        x = (x | (x >> 4)) & 0x00FF_00FF_00FF_00FF;
+        x = (x | (x >> 8)) & 0x0000_FFFF_0000_FFFF;
+        x = (x | (x >> 16)) & 0x0000_0000_FFFF_FFFF;
+        x
+    }
+
+    /// Morton code of `(i, j)`.
+    pub fn encode(i: u64, j: u64) -> Result<u64> {
+        if i >= 1 << 32 || j >= 1 << 32 {
+            return Err(DrxError::Invalid("Morton index exceeds 32 bits".into()));
+        }
+        Ok((Self::spread(i) << 1) | Self::spread(j))
+    }
+
+    /// Inverse Morton code: address → `(i, j)`.
+    pub fn decode(code: u64) -> (u64, u64) {
+        (Self::unspread(code >> 1), Self::unspread(code))
+    }
+}
+
+impl AllocScheme2 for Morton2 {
+    fn name(&self) -> &'static str {
+        "z-order"
+    }
+
+    fn address2(&self, i: usize, j: usize) -> Result<u64> {
+        Morton2::encode(i as u64, j as u64)
+    }
+}
+
+/// General k-dimensional Morton code, used by the mapping-cost benchmark to
+/// compare against `F*` at higher ranks. Bits of dimension 0 occupy the
+/// highest interleave positions.
+#[derive(Debug, Clone)]
+pub struct MortonK {
+    rank: usize,
+    bits: u32,
+}
+
+impl MortonK {
+    /// A Morton code over `rank` dimensions with `bits` bits per dimension.
+    pub fn new(rank: usize, bits: u32) -> Result<Self> {
+        crate::index::check_rank(rank)?;
+        if bits == 0 || bits as usize * rank > 64 {
+            return Err(DrxError::Invalid(format!("{bits} bits × rank {rank} exceeds 64")));
+        }
+        Ok(MortonK { rank, bits })
+    }
+
+    pub fn encode(&self, index: &[usize]) -> Result<u64> {
+        crate::index::check_rank_of(index, self.rank)?;
+        let mut out = 0u64;
+        for b in 0..self.bits {
+            for (d, &i) in index.iter().enumerate() {
+                if i >> 32 != 0 || (i as u64) >= (1 << self.bits) {
+                    return Err(DrxError::Invalid(format!("index {i} exceeds {} bits", self.bits)));
+                }
+                let bit = (i as u64 >> b) & 1;
+                // Dimension 0 gets the most significant slot of each group.
+                let pos = b as usize * self.rank + (self.rank - 1 - d);
+                out |= bit << pos;
+            }
+        }
+        Ok(out)
+    }
+
+    pub fn decode(&self, code: u64) -> Vec<usize> {
+        let mut index = vec![0usize; self.rank];
+        for b in 0..self.bits {
+            for (d, slot) in index.iter_mut().enumerate() {
+                let pos = b as usize * self.rank + (self.rank - 1 - d);
+                *slot |= (((code >> pos) & 1) as usize) << b;
+            }
+        }
+        index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2b_corner_values() {
+        // Standard Z-order over an 8×8 square: the 2×2 macro-blocks follow
+        // 0,1 / 2,3.
+        let m = Morton2::new();
+        assert_eq!(m.address2(0, 0).unwrap(), 0);
+        assert_eq!(m.address2(0, 1).unwrap(), 1);
+        assert_eq!(m.address2(1, 0).unwrap(), 2);
+        assert_eq!(m.address2(1, 1).unwrap(), 3);
+        assert_eq!(m.address2(0, 2).unwrap(), 4);
+        assert_eq!(m.address2(2, 0).unwrap(), 8);
+        assert_eq!(m.address2(7, 7).unwrap(), 63);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for i in 0..64u64 {
+            for j in 0..64u64 {
+                let c = Morton2::encode(i, j).unwrap();
+                assert_eq!(Morton2::decode(c), (i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn doubling_growth_property() {
+        // Z-order is only stable under doubling growth: all addresses of the
+        // n×n square fall in 0..n² when n is a power of two.
+        for n in [1usize, 2, 4, 8, 16] {
+            for i in 0..n {
+                for j in 0..n {
+                    assert!(Morton2::encode(i as u64, j as u64).unwrap() < (n * n) as u64);
+                }
+            }
+        }
+        // …but NOT when the square is not a power of two: the 3×3 square
+        // needs address 12 for (2, 2) although it only has 9 cells —
+        // the "chunk locations assigned but unused" restriction of §III-A.
+        assert_eq!(Morton2::encode(2, 2).unwrap(), 12);
+    }
+
+    #[test]
+    fn morton_k_round_trip() {
+        let m = MortonK::new(3, 5).unwrap();
+        for idx in [[0, 0, 0], [1, 2, 3], [31, 31, 31], [7, 0, 19]] {
+            let c = m.encode(&idx).unwrap();
+            assert_eq!(m.decode(c), idx.to_vec());
+        }
+        assert!(m.encode(&[32, 0, 0]).is_err());
+        assert!(m.encode(&[0, 0]).is_err());
+        assert!(MortonK::new(9, 8).is_err());
+    }
+
+    #[test]
+    fn morton_k_rank2_matches_morton2() {
+        let m = MortonK::new(2, 6).unwrap();
+        for i in 0..16usize {
+            for j in 0..16usize {
+                assert_eq!(m.encode(&[i, j]).unwrap(), Morton2::encode(i as u64, j as u64).unwrap());
+            }
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Conventional row-major allocation (Figure 2a) — the baseline mapping
+//! `F()` of Eq. (3), extendible in dimension 0 only.
+
+use super::AllocScheme2;
+use crate::error::{DrxError, Result};
+use crate::index::{check_rank, row_major_offset, row_major_strides};
+
+/// Row-major ("C-language order") allocation over a fixed shape.
+///
+/// Extending dimension 0 appends addresses; extending any other dimension
+/// invalidates every address computed so far — which is precisely the
+/// limitation the paper's `F*` removes (experiment E2 measures the
+/// reorganization this forces on array *files*).
+#[derive(Debug, Clone)]
+pub struct RowMajor {
+    shape: Vec<usize>,
+    strides: Vec<u64>,
+}
+
+impl RowMajor {
+    pub fn new(shape: Vec<usize>) -> Result<Self> {
+        check_rank(shape.len())?;
+        if shape.contains(&0) {
+            return Err(DrxError::ZeroExtent("shape extent"));
+        }
+        let strides = row_major_strides(&shape);
+        Ok(RowMajor { shape, strides })
+    }
+
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// k-dimensional address (Eq. 3).
+    pub fn address(&self, index: &[usize]) -> Result<u64> {
+        row_major_offset(index, &self.shape)
+    }
+
+    /// Extend dimension 0 — the only dimension a row-major file can grow
+    /// without reorganization.
+    pub fn extend_dim0(&mut self, by: usize) {
+        self.shape[0] += by;
+        // Strides of dimensions > 0 are unchanged; stride of dim 0 too.
+    }
+
+    /// Would extending `dim` preserve existing addresses?
+    pub fn extension_is_append(&self, dim: usize) -> bool {
+        dim == 0
+    }
+
+    /// Addresses whose value changes if dimension `dim` is extended by
+    /// `by` — i.e. the number of elements a file reorganization must move.
+    /// Zero for dim 0; everything except the first "row block" otherwise.
+    pub fn cells_moved_by_extension(&self, dim: usize, by: usize) -> u64 {
+        if dim == 0 || by == 0 {
+            return 0;
+        }
+        // After extending any dim > 0, every cell with a nonzero index in
+        // some dimension j < dim keeps its address only if all higher-order
+        // contributions are unchanged — which they are not, because the
+        // strides of all dimensions < dim grow. Cells unaffected are exactly
+        // those with index 0 in every dimension j < dim (their address uses
+        // only strides >= dim, which do not change).
+        let total: u64 = self.shape.iter().map(|&n| n as u64).product();
+        let untouched: u64 = self.shape.iter().skip(dim).map(|&n| n as u64).product();
+        total - untouched
+    }
+
+    fn strides(&self) -> &[u64] {
+        &self.strides
+    }
+}
+
+impl AllocScheme2 for RowMajor {
+    fn name(&self) -> &'static str {
+        "row-major"
+    }
+
+    fn address2(&self, i: usize, j: usize) -> Result<u64> {
+        let _ = self.strides();
+        self.address(&[i, j])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2a_8x8_table() {
+        // Figure 2a: the 8×8 row-major table is simply 8i + j.
+        let s = RowMajor::new(vec![8, 8]).unwrap();
+        for i in 0..8 {
+            for j in 0..8 {
+                assert_eq!(s.address2(i, j).unwrap(), (8 * i + j) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn dim0_extension_preserves_addresses() {
+        let mut s = RowMajor::new(vec![4, 5]).unwrap();
+        let before: Vec<u64> = (0..4).flat_map(|i| (0..5).map(move |j| (i, j)))
+            .map(|(i, j)| s.address(&[i, j]).unwrap())
+            .collect();
+        s.extend_dim0(3);
+        let after: Vec<u64> = (0..4).flat_map(|i| (0..5).map(move |j| (i, j)))
+            .map(|(i, j)| s.address(&[i, j]).unwrap())
+            .collect();
+        assert_eq!(before, after);
+        assert!(s.extension_is_append(0));
+        assert!(!s.extension_is_append(1));
+    }
+
+    #[test]
+    fn cells_moved_counts() {
+        let s = RowMajor::new(vec![4, 5]).unwrap();
+        assert_eq!(s.cells_moved_by_extension(0, 2), 0);
+        // Extending dim 1 of a 4×5 array moves every cell not in row 0:
+        // 20 − 5 = 15.
+        assert_eq!(s.cells_moved_by_extension(1, 1), 15);
+        let s3 = RowMajor::new(vec![3, 4, 5]).unwrap();
+        assert_eq!(s3.cells_moved_by_extension(1, 1), 60 - 20);
+        assert_eq!(s3.cells_moved_by_extension(2, 1), 60 - 5);
+    }
+
+    #[test]
+    fn rejects_empty_shapes() {
+        assert!(RowMajor::new(vec![]).is_err());
+        assert!(RowMajor::new(vec![3, 0]).is_err());
+    }
+}

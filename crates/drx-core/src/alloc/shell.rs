@@ -1,0 +1,304 @@
+//! Symmetric linear shell sequence allocation (Figure 2c).
+//!
+//! "A linear expansion of an array is possible with the symmetric linear
+//! shell sequence order … [the] mapping function is well defined but
+//! restricts expansions to be in a cyclic order otherwise chunk locations
+//! may be assigned but unused" (§III-A).
+//!
+//! Shell `k` consists of the cells with `max(i, j) = k`. Shells are
+//! allocated consecutively: shell `k` occupies addresses `k² .. (k+1)²`.
+//! Within a shell the new *column* part `(0..k, k)` comes first, then the
+//! new *row* part `(k, 0..=k)` — i.e. the array alternates extending
+//! dimension 1 and dimension 0 on every shell, which is exactly one round of
+//! the cyclic growth order. (This convention reproduces the bottom row
+//! `56 … 63` of the paper's Figure 2c.)
+
+use super::AllocScheme2;
+use crate::error::{DrxError, Result};
+
+/// 2-D symmetric linear shell allocation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SymmetricShell2;
+
+impl SymmetricShell2 {
+    pub const fn new() -> Self {
+        SymmetricShell2
+    }
+
+    /// Address of cell `(i, j)`:
+    /// `i < j` (column part of shell `j`): `j² + i`;
+    /// `i ≥ j` (row part of shell `i`): `i² + i + j`.
+    pub fn encode(i: u64, j: u64) -> u64 {
+        if i < j {
+            j * j + i
+        } else {
+            i * i + i + j
+        }
+    }
+
+    /// Inverse: address → `(i, j)`.
+    pub fn decode(addr: u64) -> (u64, u64) {
+        let k = isqrt(addr);
+        let off = addr - k * k;
+        if off < k {
+            (off, k) // column part
+        } else {
+            (k, off - k) // row part
+        }
+    }
+}
+
+/// k-dimensional symmetric linear shell allocation — the general form of
+/// the scheme (Otoo & Merrett, *A storage scheme for extendible arrays*,
+/// Computing 1983, cited by the paper as ref. [21]).
+///
+/// Shell `m` is the set of cells with `max(i_0 … i_{k-1}) = m`; shells are
+/// allocated consecutively, so the `n^k` hypercube occupies exactly
+/// addresses `0..n^k` (linear growth, but only in the cyclic order of the
+/// dimensions — the restriction the paper's axial vectors remove).
+///
+/// Within shell `m`, cells are grouped by the *first* dimension that
+/// attains `m`: group `d` holds the cells with `i_d = m` and `i_j < m` for
+/// `j < d` (dimensions after `d` range over `0..=m`). Groups are laid out
+/// in **descending** dimension order (the convention that reduces to
+/// [`SymmetricShell2`] at rank 2: the new column before the new row),
+/// row-major within a group.
+#[derive(Debug, Clone, Copy)]
+pub struct SymmetricShellK {
+    rank: usize,
+}
+
+impl SymmetricShellK {
+    pub fn new(rank: usize) -> Result<Self> {
+        crate::index::check_rank(rank)?;
+        Ok(SymmetricShellK { rank })
+    }
+
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Cells in shell `m`: `(m+1)^k − m^k`.
+    fn shell_base(&self, m: u64) -> u64 {
+        m.pow(self.rank as u32)
+    }
+
+    /// Cells in group `d` of shell `m`: `m^d · (m+1)^(k−1−d)`.
+    fn group_size(&self, m: u64, d: usize) -> u64 {
+        m.pow(d as u32) * (m + 1).pow((self.rank - 1 - d) as u32)
+    }
+
+    /// Linear address of a cell.
+    pub fn encode(&self, index: &[usize]) -> Result<u64> {
+        crate::index::check_rank_of(index, self.rank)?;
+        let m = *index.iter().max().expect("rank >= 1") as u64;
+        let d = index.iter().position(|&i| i as u64 == m).expect("max exists");
+        let mut addr = self.shell_base(m);
+        for g in d + 1..self.rank {
+            addr += self.group_size(m, g);
+        }
+        // Row-major offset of the remaining coordinates: dims < d range
+        // over 0..m, dims > d over 0..=m (dim d is pinned at m).
+        let mut off = 0u64;
+        for (j, &i) in index.iter().enumerate() {
+            if j == d {
+                continue;
+            }
+            let radix = if j < d { m } else { m + 1 };
+            off = off * radix + i as u64;
+        }
+        Ok(addr + off)
+    }
+
+    /// Inverse of [`SymmetricShellK::encode`].
+    pub fn decode(&self, addr: u64) -> Vec<usize> {
+        // Find the shell: largest m with m^k <= addr.
+        let mut m = (addr as f64).powf(1.0 / self.rank as f64) as u64;
+        while self.shell_base(m + 1) <= addr {
+            m += 1;
+        }
+        while m > 0 && self.shell_base(m) > addr {
+            m -= 1;
+        }
+        let mut rest = addr - self.shell_base(m);
+        let mut d = self.rank - 1;
+        while rest >= self.group_size(m, d) {
+            rest -= self.group_size(m, d);
+            d -= 1;
+        }
+        // Undo the mixed-radix packing.
+        let mut index = vec![0usize; self.rank];
+        index[d] = m as usize;
+        for j in (0..self.rank).rev() {
+            if j == d {
+                continue;
+            }
+            let radix = if j < d { m } else { m + 1 };
+            index[j] = (rest % radix) as usize;
+            rest /= radix;
+        }
+        index
+    }
+}
+
+/// Integer square root (floor). `u64::isqrt` is stable only since 1.84; a
+/// local Newton iteration keeps the MSRV generous.
+fn isqrt(v: u64) -> u64 {
+    if v < 2 {
+        return v;
+    }
+    let mut x = (v as f64).sqrt() as u64;
+    // Correct the float estimate in both directions.
+    while x.checked_mul(x).is_none_or(|sq| sq > v) {
+        x -= 1;
+    }
+    while (x + 1).checked_mul(x + 1).is_some_and(|sq| sq <= v) {
+        x += 1;
+    }
+    x
+}
+
+impl AllocScheme2 for SymmetricShell2 {
+    fn name(&self) -> &'static str {
+        "symmetric-shell"
+    }
+
+    fn address2(&self, i: usize, j: usize) -> Result<u64> {
+        if i >= 1 << 31 || j >= 1 << 31 {
+            return Err(DrxError::Invalid("shell index too large".into()));
+        }
+        Ok(SymmetricShell2::encode(i as u64, j as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_shell_values() {
+        // Shell 0: (0,0)=0. Shell 1: (0,1)=1, (1,0)=2, (1,1)=3.
+        // Shell 2: (0,2)=4, (1,2)=5, (2,0)=6, (2,1)=7, (2,2)=8.
+        assert_eq!(SymmetricShell2::encode(0, 0), 0);
+        assert_eq!(SymmetricShell2::encode(0, 1), 1);
+        assert_eq!(SymmetricShell2::encode(1, 0), 2);
+        assert_eq!(SymmetricShell2::encode(1, 1), 3);
+        assert_eq!(SymmetricShell2::encode(0, 2), 4);
+        assert_eq!(SymmetricShell2::encode(1, 2), 5);
+        assert_eq!(SymmetricShell2::encode(2, 0), 6);
+        assert_eq!(SymmetricShell2::encode(2, 2), 8);
+        // Row 7 of the 8×8 table is 56..=63 (Figure 2c bottom row).
+        for j in 0..8 {
+            assert_eq!(SymmetricShell2::encode(7, j), 56 + j);
+        }
+    }
+
+    #[test]
+    fn linear_growth_property() {
+        // Every n×n square uses exactly addresses 0..n² — linear (not
+        // exponential) growth, unlike Z-order.
+        for n in 1..=20u64 {
+            let mut max = 0;
+            for i in 0..n {
+                for j in 0..n {
+                    max = max.max(SymmetricShell2::encode(i, j));
+                }
+            }
+            assert_eq!(max, n * n - 1);
+        }
+    }
+
+    #[test]
+    fn decode_round_trip() {
+        for i in 0..40u64 {
+            for j in 0..40u64 {
+                let a = SymmetricShell2::encode(i, j);
+                assert_eq!(SymmetricShell2::decode(a), (i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn isqrt_edges() {
+        assert_eq!(isqrt(0), 0);
+        assert_eq!(isqrt(1), 1);
+        assert_eq!(isqrt(3), 1);
+        assert_eq!(isqrt(4), 2);
+        assert_eq!(isqrt(24), 4);
+        assert_eq!(isqrt(25), 5);
+        assert_eq!(isqrt(u64::MAX), (1u64 << 32) - 1);
+    }
+
+    #[test]
+    fn shell_k_reduces_to_shell_2_at_rank_2() {
+        let k = SymmetricShellK::new(2).unwrap();
+        for i in 0..12u64 {
+            for j in 0..12u64 {
+                assert_eq!(
+                    k.encode(&[i as usize, j as usize]).unwrap(),
+                    SymmetricShell2::encode(i, j),
+                    "({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shell_k_is_dense_and_invertible_in_3d_and_4d() {
+        for rank in [1usize, 3, 4] {
+            let s = SymmetricShellK::new(rank).unwrap();
+            let n = match rank {
+                1 => 64,
+                3 => 7,
+                _ => 5,
+            };
+            let total = (n as u64).pow(rank as u32);
+            let mut seen = vec![false; total as usize];
+            let region = crate::index::Region::of_shape(&vec![n; rank]).unwrap();
+            for idx in region.iter() {
+                let a = s.encode(&idx).unwrap();
+                // Dense: the n^k hypercube fills 0..n^k (linear growth).
+                assert!(a < total, "{idx:?} → {a} out of {total}");
+                assert!(!seen[a as usize], "duplicate {a}");
+                seen[a as usize] = true;
+                assert_eq!(s.decode(a), idx, "inverse of {a}");
+            }
+            assert!(seen.into_iter().all(|b| b));
+        }
+    }
+
+    #[test]
+    fn shell_k_shell_membership() {
+        let s = SymmetricShellK::new(3).unwrap();
+        // Every cell of shell m lands in [m³, (m+1)³).
+        for m in 0..5usize {
+            let lo = (m as u64).pow(3);
+            let hi = (m as u64 + 1).pow(3);
+            let region = crate::index::Region::of_shape(&[m + 1; 3]).unwrap();
+            for idx in region.iter() {
+                if idx.iter().max() == Some(&m) {
+                    let a = s.encode(&idx).unwrap();
+                    assert!(a >= lo && a < hi, "{idx:?} → {a} not in shell {m}");
+                }
+            }
+        }
+        assert!(SymmetricShellK::new(0).is_err());
+        assert!(s.encode(&[1, 2]).is_err());
+    }
+
+    #[test]
+    fn non_cyclic_growth_leaves_holes() {
+        // Growing only dimension 0 (rows) to 4×2 uses addresses
+        // {0,1,3,4,5,9,10} ∪ … — some of 0..8 are unused, demonstrating the
+        // §III-A restriction the axial-vector scheme removes.
+        let mut used: Vec<u64> = Vec::new();
+        for i in 0..4u64 {
+            for j in 0..2u64 {
+                used.push(SymmetricShell2::encode(i, j));
+            }
+        }
+        used.sort_unstable();
+        let contiguous: Vec<u64> = (0..used.len() as u64).collect();
+        assert_ne!(used, contiguous, "rectangular region should not be address-contiguous");
+    }
+}

@@ -1,0 +1,201 @@
+//! Axial vectors — the per-dimension expansion history of an extendible
+//! array (paper §III-B).
+//!
+//! Every time dimension `l` of the array is extended (and the previous
+//! extension was of a *different* dimension), one [`AxialRecord`] is appended
+//! to the axial vector `Γ_l`. The record stores everything needed to compute
+//! linear chunk addresses inside the adjoined segment:
+//!
+//! * `start_index` — `N*_l`, the first (chunk) index of the adjoined segment
+//!   along dimension `l`;
+//! * `start_addr` — `M*_l`, the linear address of the segment's first chunk,
+//!   which equals the total number of chunks allocated before the extension
+//!   (the array is always rectilinear, so that total is `∏ N*_j`);
+//! * `coeffs` — the multiplying coefficients `C*_0 … C*_{k-1}` of Eq. (1):
+//!   inside the segment, dimension `l` is the least-varying dimension and all
+//!   other dimensions keep their relative order.
+//!
+//! Repeated extensions of the same dimension with no intervening extension of
+//! another dimension ("uninterrupted extensions") share a single record: the
+//! coefficients do not involve `N*_l`, so the segment simply grows.
+
+use crate::error::{DrxError, Result};
+
+/// One expansion record of an axial vector (paper Figure 3b).
+///
+/// The paper's record also carries `S^i_l`, the byte displacement of the
+/// segment in the file; for chunk-granular array files that value is always
+/// `start_addr × chunk_bytes` because segments are appended in address order,
+/// so we do not store it separately (the paper itself notes the field "is not
+/// required, since new records are always allocated by appending").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AxialRecord {
+    /// `N*_l`: first chunk index along the extended dimension covered by this
+    /// segment.
+    pub start_index: usize,
+    /// `M*_l`: linear chunk address of the first chunk of the segment.
+    pub start_addr: u64,
+    /// `C*_j` for `j = 0..k`: multiplying coefficients valid inside the
+    /// segment. `coeffs[l]` is the coefficient of the extended dimension
+    /// itself (the product of all other bounds at extension time).
+    pub coeffs: Vec<u64>,
+}
+
+impl AxialRecord {
+    /// Evaluate the segment-relative part of Eq. (1) for a full index,
+    /// where `dim` is the dimension this record belongs to:
+    ///
+    /// `q* = M* + (I_dim − N*_dim)·C*_dim + Σ_{j≠dim} I_j·C*_j`
+    pub fn address(&self, dim: usize, index: &[usize]) -> u64 {
+        let mut q = self.start_addr;
+        for (j, (&i, &c)) in index.iter().zip(&self.coeffs).enumerate() {
+            if j == dim {
+                q += (i - self.start_index) as u64 * c;
+            } else {
+                q += i as u64 * c;
+            }
+        }
+        q
+    }
+}
+
+/// The axial vector `Γ_l` of one dimension: expansion records sorted by
+/// `start_index` (equivalently by `start_addr` — both grow monotonically).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AxialVector {
+    records: Vec<AxialRecord>,
+}
+
+impl AxialVector {
+    pub const fn new() -> Self {
+        AxialVector { records: Vec::new() }
+    }
+
+    /// Number of stored records (`E_l` in the paper). Never-extended
+    /// dimensions other than the last have zero records — the paper stores an
+    /// explicit sentinel record with `M* = −1` instead; the two encodings are
+    /// equivalent and the sentinel form is reconstructed for display by
+    /// [`AxialVector::display_records`].
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    pub fn records(&self) -> &[AxialRecord] {
+        &self.records
+    }
+
+    /// Append a record; enforces monotonicity of both keys.
+    pub(crate) fn push(&mut self, rec: AxialRecord) -> Result<()> {
+        if let Some(last) = self.records.last() {
+            if rec.start_index <= last.start_index || rec.start_addr <= last.start_addr {
+                return Err(DrxError::Invalid(format!(
+                    "axial record out of order: start_index {} after {}, start_addr {} after {}",
+                    rec.start_index, last.start_index, rec.start_addr, last.start_addr
+                )));
+            }
+        }
+        self.records.push(rec);
+        Ok(())
+    }
+
+    /// The paper's "modified binary search": the record with the **highest**
+    /// `start_index ≤ i`, or `None` when `i` precedes every record (the
+    /// paper's `M* = −1` sentinel case).
+    pub fn search(&self, i: usize) -> Option<&AxialRecord> {
+        // partition_point gives the count of records with start_index <= i.
+        let pos = self.records.partition_point(|r| r.start_index <= i);
+        if pos == 0 {
+            None
+        } else {
+            Some(&self.records[pos - 1])
+        }
+    }
+
+    /// Records in the presentation used by Figure 3b of the paper: a sentinel
+    /// `{start 0, addr −1, coeffs 0}` is prepended when the stored records do
+    /// not begin at index 0.
+    pub fn display_records(&self, rank: usize) -> Vec<(usize, i64, Vec<u64>)> {
+        let mut rows = Vec::with_capacity(self.records.len() + 1);
+        if self.records.first().is_none_or(|r| r.start_index != 0) {
+            rows.push((0, -1i64, vec![0u64; rank]));
+        }
+        for r in &self.records {
+            rows.push((r.start_index, r.start_addr as i64, r.coeffs.clone()));
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(start_index: usize, start_addr: u64, coeffs: &[u64]) -> AxialRecord {
+        AxialRecord { start_index, start_addr, coeffs: coeffs.to_vec() }
+    }
+
+    #[test]
+    fn search_returns_highest_at_or_below() {
+        let mut v = AxialVector::new();
+        v.push(rec(0, 0, &[1])).unwrap();
+        v.push(rec(4, 10, &[1])).unwrap();
+        v.push(rec(9, 30, &[1])).unwrap();
+        assert_eq!(v.search(0).unwrap().start_addr, 0);
+        assert_eq!(v.search(3).unwrap().start_addr, 0);
+        assert_eq!(v.search(4).unwrap().start_addr, 10);
+        assert_eq!(v.search(8).unwrap().start_addr, 10);
+        assert_eq!(v.search(9).unwrap().start_addr, 30);
+        assert_eq!(v.search(100).unwrap().start_addr, 30);
+    }
+
+    #[test]
+    fn search_empty_and_before_first() {
+        let mut v = AxialVector::new();
+        assert!(v.search(5).is_none());
+        v.push(rec(3, 12, &[1])).unwrap();
+        assert!(v.search(2).is_none());
+        assert!(v.search(3).is_some());
+    }
+
+    #[test]
+    fn push_rejects_non_monotonic() {
+        let mut v = AxialVector::new();
+        v.push(rec(2, 8, &[1])).unwrap();
+        assert!(v.push(rec(2, 9, &[1])).is_err());
+        assert!(v.push(rec(3, 8, &[1])).is_err());
+        assert!(v.push(rec(1, 20, &[1])).is_err());
+        v.push(rec(5, 20, &[1])).unwrap();
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn record_address_formula() {
+        // Paper's Figure 3 worked example: record on D0 with N*=4, M*=48,
+        // C = [12, 3, 1]; F*(⟨4,2,2⟩) = 48 + 0·12 + 2·3 + 2·1 = 56.
+        let r = rec(4, 48, &[12, 3, 1]);
+        assert_eq!(r.address(0, &[4, 2, 2]), 56);
+        // D2 record with N*=1, M*=12, C=[3,1,12]: F*(⟨3,1,2⟩) = 12+12+9+1 = 34.
+        let r = rec(1, 12, &[3, 1, 12]);
+        assert_eq!(r.address(2, &[3, 1, 2]), 34);
+    }
+
+    #[test]
+    fn display_records_prepends_sentinel() {
+        let mut v = AxialVector::new();
+        v.push(rec(4, 48, &[12, 3, 1])).unwrap();
+        let rows = v.display_records(3);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], (0, -1, vec![0, 0, 0]));
+        assert_eq!(rows[1], (4, 48, vec![12, 3, 1]));
+
+        // A vector whose records start at 0 (the last dimension) gets no
+        // sentinel.
+        let mut v = AxialVector::new();
+        v.push(rec(0, 0, &[3, 1, 1])).unwrap();
+        assert_eq!(v.display_records(3).len(), 1);
+    }
+}

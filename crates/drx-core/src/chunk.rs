@@ -1,0 +1,194 @@
+//! Chunking: the regular partition of the element index space into
+//! fixed-shape k-dimensional sub-arrays (paper §I).
+//!
+//! "A chunk is a k-dimensional sub-array of elements whose shape is
+//! characterized by `[c_0, c_1, …, c_{k-1}]` … A chunk is the unit of access
+//! of data between memory and file storage." Elements within a chunk are laid
+//! out in conventional row-major order (§II-A).
+
+use crate::error::{DrxError, Result};
+use crate::index::{check_rank, check_rank_of, offset_with_strides, row_major_strides, volume, Region};
+
+/// The fixed chunk shape of an array and the element↔chunk index arithmetic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chunking {
+    shape: Vec<usize>,
+    /// Row-major strides inside one chunk, cached.
+    strides: Vec<u64>,
+}
+
+impl Chunking {
+    /// Create a chunking with the given per-dimension chunk extents
+    /// (all must be ≥ 1).
+    pub fn new(shape: &[usize]) -> Result<Self> {
+        check_rank(shape.len())?;
+        if shape.contains(&0) {
+            return Err(DrxError::ZeroExtent("chunk extent"));
+        }
+        let strides = row_major_strides(shape);
+        Ok(Chunking { shape: shape.to_vec(), strides })
+    }
+
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// The chunk shape `[c_0 … c_{k-1}]`.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Elements per chunk, `B = ∏ c_r`.
+    pub fn chunk_elems(&self) -> u64 {
+        volume(&self.shape)
+    }
+
+    /// Row-major strides inside one chunk (the frame used when scattering
+    /// between chunk buffers and user buffers).
+    pub fn strides(&self) -> &[u64] {
+        &self.strides
+    }
+
+    /// Split an element index into (chunk index, within-chunk element index).
+    pub fn split(&self, element: &[usize]) -> Result<(Vec<usize>, Vec<usize>)> {
+        check_rank_of(element, self.rank())?;
+        let mut chunk = vec![0usize; self.rank()];
+        let mut within = vec![0usize; self.rank()];
+        for (j, (&e, &c)) in element.iter().zip(&self.shape).enumerate() {
+            chunk[j] = e / c;
+            within[j] = e % c;
+        }
+        Ok((chunk, within))
+    }
+
+    /// Chunk index containing an element index.
+    pub fn chunk_of(&self, element: &[usize]) -> Result<Vec<usize>> {
+        Ok(self.split(element)?.0)
+    }
+
+    /// Row-major offset of a within-chunk index inside its chunk
+    /// ("computing the actual location of an element within the chunk is
+    /// trivial", §II-A).
+    pub fn within_offset(&self, within: &[usize]) -> u64 {
+        offset_with_strides(within, &self.strides)
+    }
+
+    /// Combined: element index → (chunk index, row-major offset in chunk).
+    pub fn locate(&self, element: &[usize]) -> Result<(Vec<usize>, u64)> {
+        let (chunk, within) = self.split(element)?;
+        let off = self.within_offset(&within);
+        Ok((chunk, off))
+    }
+
+    /// Chunk-grid bounds needed to cover `element_bounds` elements per
+    /// dimension (`I_i = ⌈N_i / c_i⌉`; the paper's `Σ_{I_i−1} c < N_i ≤ Σ_{I_i} c`).
+    pub fn grid_for(&self, element_bounds: &[usize]) -> Result<Vec<usize>> {
+        check_rank_of(element_bounds, self.rank())?;
+        Ok(element_bounds
+            .iter()
+            .zip(&self.shape)
+            .map(|(&n, &c)| n.div_ceil(c))
+            .collect())
+    }
+
+    /// The element region covered by a chunk index (unclipped; edge chunks
+    /// are allocated full even when the array bound falls inside them —
+    /// "the maximum index of a dimension does not necessarily fall exactly on
+    /// a segment boundary", §II-A).
+    pub fn chunk_elements(&self, chunk: &[usize]) -> Result<Region> {
+        check_rank_of(chunk, self.rank())?;
+        let lo: Vec<usize> = chunk.iter().zip(&self.shape).map(|(&i, &c)| i * c).collect();
+        let hi: Vec<usize> = lo.iter().zip(&self.shape).map(|(&l, &c)| l + c).collect();
+        Region::new(lo, hi)
+    }
+
+    /// The element region covered by a chunk, clipped to the array's
+    /// instantaneous element bounds (the *valid* part of an edge chunk).
+    pub fn chunk_valid_elements(&self, chunk: &[usize], element_bounds: &[usize]) -> Result<Option<Region>> {
+        let full = self.chunk_elements(chunk)?;
+        let bounds = Region::of_shape(element_bounds)?;
+        Ok(full.intersect(&bounds))
+    }
+
+    /// The chunk-index region covering an element region (chunk-granular
+    /// bounding box).
+    pub fn chunks_covering(&self, region: &Region) -> Result<Region> {
+        if region.rank() != self.rank() {
+            return Err(DrxError::RankMismatch { expected: self.rank(), got: region.rank() });
+        }
+        let lo: Vec<usize> = region.lo().iter().zip(&self.shape).map(|(&l, &c)| l / c).collect();
+        let hi: Vec<usize> = region
+            .hi()
+            .iter()
+            .zip(region.lo())
+            .zip(&self.shape)
+            .map(|((&h, &l), &c)| if h == l { l / c } else { h.div_ceil(c) })
+            .collect();
+        Region::new(lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_and_within_offset_2x3() {
+        // Figure 1: chunks of shape 2×3.
+        let c = Chunking::new(&[2, 3]).unwrap();
+        assert_eq!(c.chunk_elems(), 6);
+        let (chunk, within) = c.split(&[9, 7]).unwrap();
+        assert_eq!(chunk, vec![4, 2]);
+        assert_eq!(within, vec![1, 1]);
+        assert_eq!(c.within_offset(&within), 4); // row-major in a 2×3 chunk
+        let (chunk, off) = c.locate(&[0, 0]).unwrap();
+        assert_eq!((chunk, off), (vec![0, 0], 0));
+    }
+
+    #[test]
+    fn grid_for_rounds_up() {
+        let c = Chunking::new(&[2, 3]).unwrap();
+        // Figure 1: A[10][12] → 5×4 chunk grid; and bound 10 in dim 1 also
+        // needs 4 chunks (⌈10/3⌉).
+        assert_eq!(c.grid_for(&[10, 12]).unwrap(), vec![5, 4]);
+        assert_eq!(c.grid_for(&[10, 10]).unwrap(), vec![5, 4]);
+        assert_eq!(c.grid_for(&[1, 1]).unwrap(), vec![1, 1]);
+        assert_eq!(c.grid_for(&[0, 5]).unwrap(), vec![0, 2]);
+    }
+
+    #[test]
+    fn chunk_element_regions() {
+        let c = Chunking::new(&[2, 3]).unwrap();
+        let r = c.chunk_elements(&[4, 2]).unwrap();
+        assert_eq!(r, Region::new(vec![8, 6], vec![10, 9]).unwrap());
+        // Clipped against bounds [10, 10]: the chunk at [4, 3] covers
+        // elements [8..10, 9..12] of which only columns 9 is valid.
+        let v = c.chunk_valid_elements(&[4, 3], &[10, 10]).unwrap().unwrap();
+        assert_eq!(v, Region::new(vec![8, 9], vec![10, 10]).unwrap());
+        // A chunk fully beyond the bounds has no valid part.
+        assert!(c.chunk_valid_elements(&[5, 0], &[10, 10]).unwrap().is_none());
+    }
+
+    #[test]
+    fn chunks_covering_element_region() {
+        let c = Chunking::new(&[2, 3]).unwrap();
+        let r = Region::new(vec![1, 2], vec![5, 7]).unwrap();
+        let cr = c.chunks_covering(&r).unwrap();
+        assert_eq!(cr, Region::new(vec![0, 0], vec![3, 3]).unwrap());
+        // Exactly chunk-aligned region.
+        let r = Region::new(vec![2, 3], vec![4, 9]).unwrap();
+        assert_eq!(c.chunks_covering(&r).unwrap(), Region::new(vec![1, 1], vec![2, 3]).unwrap());
+        // Empty region maps to an empty chunk region.
+        let r = Region::new(vec![2, 3], vec![2, 9]).unwrap();
+        assert!(c.chunks_covering(&r).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_zero_extents_and_rank_mismatch() {
+        assert!(Chunking::new(&[2, 0]).is_err());
+        assert!(Chunking::new(&[]).is_err());
+        let c = Chunking::new(&[2, 3]).unwrap();
+        assert!(c.split(&[1]).is_err());
+        assert!(c.grid_for(&[1, 2, 3]).is_err());
+    }
+}

@@ -1,0 +1,102 @@
+//! Error type shared by all DRX crates that depend on `drx-core`.
+
+use std::fmt;
+
+/// Errors produced by the extendible-array mapping machinery and the
+/// metadata codec.
+#[derive(Debug)]
+pub enum DrxError {
+    /// An index or shape had a different rank (number of dimensions) than the
+    /// array it was used with.
+    RankMismatch { expected: usize, got: usize },
+    /// A k-dimensional index lies outside the current bounds of the array.
+    IndexOutOfBounds { index: Vec<usize>, bounds: Vec<usize> },
+    /// A linear address lies beyond the allocated chunks of the array.
+    AddressOutOfBounds { address: u64, total: u64 },
+    /// A shape, chunk shape or extension amount contained a zero where a
+    /// positive value is required.
+    ZeroExtent(&'static str),
+    /// The rank requested is outside the supported range `1..=MAX_RANK`.
+    BadRank(usize),
+    /// Metadata bytes could not be decoded (wrong magic, version, truncation
+    /// or checksum failure). The payload describes what went wrong.
+    CorruptMeta(String),
+    /// A datatype code read from a metadata file is unknown.
+    UnknownDType(u8),
+    /// An element buffer had the wrong length for the region it should cover.
+    BufferSize { expected: usize, got: usize },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Generic invalid-argument error with a human-readable description.
+    Invalid(String),
+}
+
+/// Maximum supported rank (number of dimensions). The paper's examples use
+/// k ≤ 3; we allow a generous fixed ceiling so metadata stays bounded.
+pub const MAX_RANK: usize = 16;
+
+impl fmt::Display for DrxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DrxError::RankMismatch { expected, got } => {
+                write!(f, "rank mismatch: expected {expected}, got {got}")
+            }
+            DrxError::IndexOutOfBounds { index, bounds } => {
+                write!(f, "index {index:?} out of bounds {bounds:?}")
+            }
+            DrxError::AddressOutOfBounds { address, total } => {
+                write!(f, "linear address {address} out of range (total {total})")
+            }
+            DrxError::ZeroExtent(what) => write!(f, "{what} must be positive"),
+            DrxError::BadRank(k) => {
+                write!(f, "rank {k} unsupported (must be 1..={MAX_RANK})")
+            }
+            DrxError::CorruptMeta(why) => write!(f, "corrupt metadata: {why}"),
+            DrxError::UnknownDType(code) => write!(f, "unknown dtype code {code}"),
+            DrxError::BufferSize { expected, got } => {
+                write!(f, "buffer size mismatch: expected {expected} elements, got {got}")
+            }
+            DrxError::Io(e) => write!(f, "I/O error: {e}"),
+            DrxError::Invalid(why) => write!(f, "invalid argument: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for DrxError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DrxError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DrxError {
+    fn from(e: std::io::Error) -> Self {
+        DrxError::Io(e)
+    }
+}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, DrxError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DrxError::IndexOutOfBounds { index: vec![4, 2], bounds: vec![4, 4] };
+        assert!(e.to_string().contains("[4, 2]"));
+        let e = DrxError::RankMismatch { expected: 3, got: 2 };
+        assert!(e.to_string().contains("expected 3"));
+    }
+
+    #[test]
+    fn io_error_round_trips_source() {
+        use std::error::Error;
+        let e: DrxError = std::io::Error::other("boom").into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,458 @@
+//! k-dimensional indices, shapes, and rectilinear regions.
+//!
+//! All arrays in this workspace are *dense*: a shape `[N0, N1, …, Nk-1]`
+//! describes `∏ Ni` elements, each addressed by a k-dimensional index
+//! `⟨i0, i1, …, ik-1⟩` with `0 ≤ ij < Nj` (paper §I).
+
+use crate::error::{DrxError, Result, MAX_RANK};
+
+/// Validate a rank value.
+pub fn check_rank(k: usize) -> Result<()> {
+    if k == 0 || k > MAX_RANK {
+        Err(DrxError::BadRank(k))
+    } else {
+        Ok(())
+    }
+}
+
+/// Validate that `index` has rank `k`.
+pub fn check_rank_of(index: &[usize], k: usize) -> Result<()> {
+    if index.len() != k {
+        Err(DrxError::RankMismatch { expected: k, got: index.len() })
+    } else {
+        Ok(())
+    }
+}
+
+/// Number of elements described by a shape. Panics on overflow (shapes are
+/// validated to fit in `u64` at creation sites).
+pub fn volume(shape: &[usize]) -> u64 {
+    shape.iter().map(|&n| n as u64).product()
+}
+
+/// Row-major (C-order) strides for a shape: `C_j = ∏_{r>j} N_r`.
+///
+/// This is Eq. (3) of the paper — the coefficient vector of a conventional
+/// array mapping.
+pub fn row_major_strides(shape: &[usize]) -> Vec<u64> {
+    let k = shape.len();
+    let mut strides = vec![1u64; k];
+    for j in (0..k.saturating_sub(1)).rev() {
+        strides[j] = strides[j + 1] * shape[j + 1] as u64;
+    }
+    strides
+}
+
+/// Column-major (FORTRAN-order) strides: `C_j = ∏_{r<j} N_r`.
+pub fn col_major_strides(shape: &[usize]) -> Vec<u64> {
+    let k = shape.len();
+    let mut strides = vec![1u64; k];
+    for j in 1..k {
+        strides[j] = strides[j - 1] * shape[j - 1] as u64;
+    }
+    strides
+}
+
+/// Linear offset of `index` under the given strides (dot product).
+pub fn offset_with_strides(index: &[usize], strides: &[u64]) -> u64 {
+    index.iter().zip(strides).map(|(&i, &s)| i as u64 * s).sum()
+}
+
+/// Row-major linear offset of `index` in `shape`, with bounds checking.
+pub fn row_major_offset(index: &[usize], shape: &[usize]) -> Result<u64> {
+    check_rank_of(index, shape.len())?;
+    for (&i, &n) in index.iter().zip(shape) {
+        if i >= n {
+            return Err(DrxError::IndexOutOfBounds { index: index.to_vec(), bounds: shape.to_vec() });
+        }
+    }
+    Ok(offset_with_strides(index, &row_major_strides(shape)))
+}
+
+/// Inverse of [`row_major_offset`]: recover the k-dimensional index from a
+/// linear offset by repeated division (paper §III-C, conventional case).
+pub fn row_major_unflatten(mut q: u64, shape: &[usize]) -> Result<Vec<usize>> {
+    let total = volume(shape);
+    if q >= total {
+        return Err(DrxError::AddressOutOfBounds { address: q, total });
+    }
+    let strides = row_major_strides(shape);
+    let mut index = vec![0usize; shape.len()];
+    for (j, &s) in strides.iter().enumerate() {
+        index[j] = (q / s) as usize;
+        q %= s;
+    }
+    Ok(index)
+}
+
+/// A half-open rectilinear region `lo[j] .. hi[j]` in each dimension.
+///
+/// Regions describe sub-arrays on disk and in memory, as well as the *zones*
+/// assigned to processes (paper §II-A).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    lo: Vec<usize>,
+    hi: Vec<usize>,
+}
+
+impl Region {
+    /// Build a region; `lo[j] <= hi[j]` is required for every dimension.
+    pub fn new(lo: Vec<usize>, hi: Vec<usize>) -> Result<Self> {
+        if lo.len() != hi.len() {
+            return Err(DrxError::RankMismatch { expected: lo.len(), got: hi.len() });
+        }
+        check_rank(lo.len())?;
+        for (j, (&l, &h)) in lo.iter().zip(&hi).enumerate() {
+            if l > h {
+                return Err(DrxError::Invalid(format!("region lo {l} > hi {h} in dim {j}")));
+            }
+        }
+        Ok(Region { lo, hi })
+    }
+
+    /// The full region of a shape: `0..N_j` in every dimension.
+    pub fn of_shape(shape: &[usize]) -> Result<Self> {
+        Region::new(vec![0; shape.len()], shape.to_vec())
+    }
+
+    pub fn rank(&self) -> usize {
+        self.lo.len()
+    }
+
+    pub fn lo(&self) -> &[usize] {
+        &self.lo
+    }
+
+    pub fn hi(&self) -> &[usize] {
+        &self.hi
+    }
+
+    /// Extent (`hi - lo`) per dimension.
+    pub fn extents(&self) -> Vec<usize> {
+        self.lo.iter().zip(&self.hi).map(|(&l, &h)| h - l).collect()
+    }
+
+    /// Number of cells contained.
+    pub fn volume(&self) -> u64 {
+        self.lo.iter().zip(&self.hi).map(|(&l, &h)| (h - l) as u64).product()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.lo.iter().zip(&self.hi).any(|(&l, &h)| l == h)
+    }
+
+    pub fn contains(&self, index: &[usize]) -> bool {
+        index.len() == self.rank()
+            && index
+                .iter()
+                .zip(self.lo.iter().zip(&self.hi))
+                .all(|(&i, (&l, &h))| i >= l && i < h)
+    }
+
+    /// Intersection with another region of the same rank; `None` when empty.
+    pub fn intersect(&self, other: &Region) -> Option<Region> {
+        if self.rank() != other.rank() {
+            return None;
+        }
+        let lo: Vec<usize> =
+            self.lo.iter().zip(&other.lo).map(|(&a, &b)| a.max(b)).collect();
+        let hi: Vec<usize> =
+            self.hi.iter().zip(&other.hi).map(|(&a, &b)| a.min(b)).collect();
+        if lo.iter().zip(&hi).any(|(&l, &h)| l >= h) {
+            None
+        } else {
+            Some(Region { lo, hi })
+        }
+    }
+
+    /// Iterate all contained indices in row-major order.
+    pub fn iter(&self) -> RegionIter {
+        RegionIter::new(self.clone())
+    }
+
+    /// Split the region into `count` contiguous slabs along `axis`
+    /// (near-equal widths, the first `extent % count` slabs one wider).
+    /// Slabs may be empty when `count` exceeds the extent. The out-of-core
+    /// panel-traversal building block used by the access-order experiments.
+    pub fn tiles(&self, axis: usize, count: usize) -> Result<Vec<Region>> {
+        if axis >= self.rank() {
+            return Err(DrxError::Invalid(format!("axis {axis} out of range for rank {}", self.rank())));
+        }
+        if count == 0 {
+            return Err(DrxError::ZeroExtent("tile count"));
+        }
+        let extent = self.hi[axis] - self.lo[axis];
+        let base = extent / count;
+        let rem = extent % count;
+        let mut out = Vec::with_capacity(count);
+        let mut start = self.lo[axis];
+        for t in 0..count {
+            let width = base + usize::from(t < rem);
+            let mut lo = self.lo.clone();
+            let mut hi = self.hi.clone();
+            lo[axis] = start;
+            hi[axis] = start + width;
+            start += width;
+            out.push(Region { lo, hi });
+        }
+        Ok(out)
+    }
+
+    /// The offset of `index` within this region, row-major over the extents.
+    ///
+    /// Used to place an element read from disk into the right slot of an
+    /// in-memory sub-array buffer (paper §II-A: "Once the k-dimensional index
+    /// is known the element can be assigned to the desired location in
+    /// memory").
+    pub fn local_offset(&self, index: &[usize]) -> Result<u64> {
+        if !self.contains(index) {
+            return Err(DrxError::IndexOutOfBounds { index: index.to_vec(), bounds: self.hi.clone() });
+        }
+        let rel: Vec<usize> = index.iter().zip(&self.lo).map(|(&i, &l)| i - l).collect();
+        Ok(offset_with_strides(&rel, &row_major_strides(&self.extents())))
+    }
+}
+
+/// Walk every cell of `region` in row-major order, giving `f` two linear
+/// offsets per cell computed against two (origin, strides) frames:
+/// `off_x = Σ_j (cell[j] − origin_x[j]) · strides_x[j]`.
+///
+/// This is the allocation-free inner loop of every scatter/gather between a
+/// chunk buffer (frame A: the chunk's element origin and in-chunk strides)
+/// and a user buffer (frame B: the request region's origin and layout
+/// strides). Offsets are maintained incrementally by the odometer — no
+/// per-cell index vectors or dot products.
+///
+/// Requirements (debug-asserted): `region` is contained in both frames,
+/// i.e. `origin_?[j] ≤ region.lo()[j]` for every dimension.
+pub fn for_each_offset_pair(
+    region: &Region,
+    origin_a: &[usize],
+    strides_a: &[u64],
+    origin_b: &[usize],
+    strides_b: &[u64],
+    mut f: impl FnMut(u64, u64),
+) {
+    let k = region.rank();
+    debug_assert_eq!(origin_a.len(), k);
+    debug_assert_eq!(origin_b.len(), k);
+    if region.is_empty() {
+        return;
+    }
+    debug_assert!(region.lo().iter().zip(origin_a).all(|(&l, &o)| l >= o));
+    debug_assert!(region.lo().iter().zip(origin_b).all(|(&l, &o)| l >= o));
+    let mut idx = region.lo().to_vec();
+    let mut off_a: u64 = idx.iter().zip(origin_a).zip(strides_a).map(|((&i, &o), &s)| (i - o) as u64 * s).sum();
+    let mut off_b: u64 = idx.iter().zip(origin_b).zip(strides_b).map(|((&i, &o), &s)| (i - o) as u64 * s).sum();
+    loop {
+        f(off_a, off_b);
+        // Odometer increment, last dimension fastest.
+        let mut j = k;
+        loop {
+            if j == 0 {
+                return;
+            }
+            j -= 1;
+            idx[j] += 1;
+            off_a += strides_a[j];
+            off_b += strides_b[j];
+            if idx[j] < region.hi()[j] {
+                break;
+            }
+            let span = (region.hi()[j] - region.lo()[j]) as u64;
+            off_a -= strides_a[j] * span;
+            off_b -= strides_b[j] * span;
+            idx[j] = region.lo()[j];
+            if j == 0 {
+                return;
+            }
+        }
+    }
+}
+
+/// Row-major iterator over the cells of a [`Region`].
+pub struct RegionIter {
+    region: Region,
+    cursor: Vec<usize>,
+    done: bool,
+}
+
+impl RegionIter {
+    fn new(region: Region) -> Self {
+        let done = region.is_empty();
+        let cursor = region.lo.clone();
+        RegionIter { region, cursor, done }
+    }
+}
+
+impl Iterator for RegionIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.done {
+            return None;
+        }
+        let out = self.cursor.clone();
+        // Odometer increment, last dimension fastest (row-major).
+        let k = self.region.rank();
+        let mut j = k;
+        loop {
+            if j == 0 {
+                self.done = true;
+                break;
+            }
+            j -= 1;
+            self.cursor[j] += 1;
+            if self.cursor[j] < self.region.hi[j] {
+                break;
+            }
+            self.cursor[j] = self.region.lo[j];
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_and_col_major() {
+        let shape = [4, 3, 2];
+        assert_eq!(row_major_strides(&shape), vec![6, 2, 1]);
+        assert_eq!(col_major_strides(&shape), vec![1, 4, 12]);
+    }
+
+    #[test]
+    fn row_major_offset_matches_paper_eq3() {
+        // A⟨i0,i1⟩ in A[10][12]: q = 12*i0 + i1.
+        let shape = [10, 12];
+        assert_eq!(row_major_offset(&[0, 0], &shape).unwrap(), 0);
+        assert_eq!(row_major_offset(&[2, 5], &shape).unwrap(), 29);
+        assert_eq!(row_major_offset(&[9, 11], &shape).unwrap(), 119);
+        assert!(row_major_offset(&[10, 0], &shape).is_err());
+        assert!(row_major_offset(&[0, 12], &shape).is_err());
+    }
+
+    #[test]
+    fn unflatten_is_inverse_of_offset() {
+        let shape = [3, 4, 5];
+        for q in 0..volume(&shape) {
+            let idx = row_major_unflatten(q, &shape).unwrap();
+            assert_eq!(row_major_offset(&idx, &shape).unwrap(), q);
+        }
+        assert!(row_major_unflatten(60, &shape).is_err());
+    }
+
+    #[test]
+    fn rank_checks() {
+        assert!(check_rank(0).is_err());
+        assert!(check_rank(1).is_ok());
+        assert!(check_rank(MAX_RANK).is_ok());
+        assert!(check_rank(MAX_RANK + 1).is_err());
+        assert!(check_rank_of(&[1, 2], 3).is_err());
+    }
+
+    #[test]
+    fn region_basics() {
+        let r = Region::new(vec![1, 2], vec![3, 5]).unwrap();
+        assert_eq!(r.volume(), 6);
+        assert_eq!(r.extents(), vec![2, 3]);
+        assert!(r.contains(&[1, 2]));
+        assert!(r.contains(&[2, 4]));
+        assert!(!r.contains(&[3, 2]));
+        assert!(!r.contains(&[0, 2]));
+        assert!(Region::new(vec![2], vec![1]).is_err());
+    }
+
+    #[test]
+    fn region_iter_row_major() {
+        let r = Region::new(vec![0, 1], vec![2, 3]).unwrap();
+        let cells: Vec<Vec<usize>> = r.iter().collect();
+        assert_eq!(cells, vec![vec![0, 1], vec![0, 2], vec![1, 1], vec![1, 2]]);
+    }
+
+    #[test]
+    fn region_iter_counts_match_volume() {
+        let r = Region::new(vec![1, 0, 2], vec![3, 2, 5]).unwrap();
+        assert_eq!(r.iter().count() as u64, r.volume());
+    }
+
+    #[test]
+    fn empty_region_iterates_nothing() {
+        let r = Region::new(vec![2, 2], vec![2, 5]).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(r.iter().count(), 0);
+        assert_eq!(r.volume(), 0);
+    }
+
+    #[test]
+    fn region_intersection() {
+        let a = Region::new(vec![0, 0], vec![4, 4]).unwrap();
+        let b = Region::new(vec![2, 3], vec![6, 8]).unwrap();
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i, Region::new(vec![2, 3], vec![4, 4]).unwrap());
+        let c = Region::new(vec![4, 0], vec![5, 4]).unwrap();
+        assert!(a.intersect(&c).is_none());
+    }
+
+    #[test]
+    fn offset_pair_walk_matches_naive_computation() {
+        let region = Region::new(vec![2, 1, 3], vec![4, 4, 5]).unwrap();
+        let origin_a = [2, 0, 3];
+        let strides_a = [20, 4, 1]; // a chunk-like frame
+        let origin_b = [2, 1, 3];
+        let strides_b = col_major_strides(&region.extents()); // a Fortran user buffer
+        let mut got = Vec::new();
+        for_each_offset_pair(&region, &origin_a, &strides_a, &origin_b, &strides_b, |a, b| {
+            got.push((a, b));
+        });
+        let expected: Vec<(u64, u64)> = region
+            .iter()
+            .map(|idx| {
+                let rel_a: Vec<usize> = idx.iter().zip(&origin_a).map(|(&i, &o)| i - o).collect();
+                let rel_b: Vec<usize> = idx.iter().zip(&origin_b).map(|(&i, &o)| i - o).collect();
+                (
+                    offset_with_strides(&rel_a, &strides_a),
+                    offset_with_strides(&rel_b, &strides_b),
+                )
+            })
+            .collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn offset_pair_walk_empty_region_is_noop() {
+        let region = Region::new(vec![1, 1], vec![1, 3]).unwrap();
+        let mut called = false;
+        for_each_offset_pair(&region, &[0, 0], &[3, 1], &[1, 1], &[2, 1], |_, _| called = true);
+        assert!(!called);
+    }
+
+    #[test]
+    fn tiles_partition_along_an_axis() {
+        let r = Region::new(vec![2, 0], vec![9, 4]).unwrap(); // 7×4
+        let tiles = r.tiles(0, 3).unwrap();
+        assert_eq!(tiles.len(), 3);
+        // Widths 3, 2, 2; contiguous; all share the other axis.
+        assert_eq!(tiles[0], Region::new(vec![2, 0], vec![5, 4]).unwrap());
+        assert_eq!(tiles[1], Region::new(vec![5, 0], vec![7, 4]).unwrap());
+        assert_eq!(tiles[2], Region::new(vec![7, 0], vec![9, 4]).unwrap());
+        let total: u64 = tiles.iter().map(|t| t.volume()).sum();
+        assert_eq!(total, r.volume());
+        // More tiles than extent → trailing empties.
+        let tiles = r.tiles(1, 6).unwrap();
+        assert_eq!(tiles.iter().filter(|t| t.is_empty()).count(), 2);
+        assert!(r.tiles(2, 2).is_err());
+        assert!(r.tiles(0, 0).is_err());
+    }
+
+    #[test]
+    fn local_offset_row_major_within_region() {
+        let r = Region::new(vec![2, 3], vec![4, 6]).unwrap(); // extents 2x3
+        assert_eq!(r.local_offset(&[2, 3]).unwrap(), 0);
+        assert_eq!(r.local_offset(&[2, 5]).unwrap(), 2);
+        assert_eq!(r.local_offset(&[3, 4]).unwrap(), 4);
+        assert!(r.local_offset(&[4, 3]).is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! # drx-core — dense extendible array mapping machinery
+//!
+//! Pure index arithmetic for **out-of-core dense extendible arrays**, after
+//! Otoo & Rotem, *"Parallel Access of Out-Of-Core Dense Extendible Arrays"*
+//! (IEEE CLUSTER 2007).
+//!
+//! A dense k-dimensional array is stored as fixed-shape **chunks**. Chunk
+//! indices are mapped to linear file addresses by the computed-access
+//! function **`F*`** ([`ExtendibleShape::address`]) backed by per-dimension
+//! **axial vectors** that record the array's growth history. The array can be
+//! extended along *any* dimension by appending a segment of chunks — existing
+//! chunks never move, and no index structure (B-tree etc.) is needed. The
+//! inverse function **`F*⁻¹`** ([`ExtendibleShape::index_of`]) recovers a
+//! chunk index from a linear address in `O(k + log E)`.
+//!
+//! This crate has no I/O and no concurrency; it is the metadata and address
+//! arithmetic that the storage (`drx-pfs`), runtime (`drx-msg`) and library
+//! (`drx-mp`) crates build on.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use drx_core::{ArrayMeta, DType};
+//!
+//! // Figure 1 of the paper: A[10][12] stored in 2×3 chunks.
+//! let mut meta = ArrayMeta::new(DType::Float64, &[2, 3], &[10, 12]).unwrap();
+//! // Element ⟨9,7⟩ lives in chunk [4,2]; the paper computes F*(4,2) = 18
+//! // for the row-major initial allocation of the 5×4 chunk grid.
+//! let (chunk_addr, within) = meta.locate_element(&[9, 7]).unwrap();
+//! assert_eq!(chunk_addr, 18);
+//! assert_eq!(within, 4);
+//! // Extend dimension 1 by 6 elements (two more chunk columns) — existing
+//! // chunk addresses are unchanged.
+//! meta.extend(1, 6).unwrap();
+//! assert_eq!(meta.locate_element(&[9, 7]).unwrap().0, 18);
+//! ```
+
+pub mod alloc;
+pub mod array;
+pub mod axial;
+pub mod chunk;
+pub mod dtype;
+pub mod error;
+pub mod index;
+pub mod mapping;
+pub mod meta;
+pub mod order;
+
+pub use array::ExtendibleArray;
+pub use axial::{AxialRecord, AxialVector};
+pub use chunk::Chunking;
+pub use dtype::{Complex64, DType, Element};
+pub use error::{DrxError, Result, MAX_RANK};
+pub use index::Region;
+pub use mapping::{ExtendibleShape, SegmentRef};
+pub use meta::{ArrayMeta, ExtendOutcome, InitialLayout};
+pub use order::Layout;

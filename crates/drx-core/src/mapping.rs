@@ -1,0 +1,592 @@
+//! The extendible mapping function `F*()` and its inverse `F*⁻¹()`
+//! (paper §III), packaged as [`ExtendibleShape`].
+//!
+//! An `ExtendibleShape` tracks the growth history of a dense extendible
+//! array *in chunk units*: the instantaneous bounds `N*_0 … N*_{k-1}`, the
+//! axial vectors, and a merged segment directory used by the inverse
+//! function. It is pure index arithmetic — no I/O, no element data — and is
+//! the piece of metadata that DRX-MP replicates on every node so that "the
+//! address of any element of the principal array can be computed and each
+//! node can determine whether the element is local or remote" (§I).
+
+use crate::axial::{AxialRecord, AxialVector};
+use crate::error::{DrxError, Result};
+use crate::index::{check_rank, check_rank_of, volume, Region};
+
+/// Reference into the axial vectors for one allocated segment, kept in a
+/// directory sorted by `start_addr` so `F*⁻¹` costs one binary search over
+/// all `E` records (paper: `O(k + log E)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentRef {
+    /// Linear chunk address where this segment starts.
+    pub start_addr: u64,
+    /// The dimension whose extension allocated the segment.
+    pub dim: usize,
+    /// Index of the record within `axial[dim]`.
+    pub rec: usize,
+}
+
+/// Growth history and computed-access mapping of a dense extendible array,
+/// in chunk units.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtendibleShape {
+    /// Instantaneous bounds `N*_j` (number of chunk indices per dimension).
+    bounds: Vec<usize>,
+    /// One axial vector per dimension.
+    axial: Vec<AxialVector>,
+    /// All segments in allocation order (== increasing `start_addr`).
+    segments: Vec<SegmentRef>,
+    /// Dimension extended by the most recent extension, for the
+    /// "uninterrupted extension" merge rule. `None` right after creation.
+    last_extended: Option<usize>,
+    /// Total chunks allocated: always `∏ bounds` (the array is rectilinear).
+    total: u64,
+}
+
+impl ExtendibleShape {
+    /// Create the shape with an initial allocation of `initial_bounds`
+    /// chunks per dimension (all must be ≥ 1).
+    ///
+    /// The initial allocation is laid out in row-major order, recorded as a
+    /// record at index 0 on the **last** dimension whose coefficients are the
+    /// ordinary row-major strides — exactly the encoding visible in the
+    /// paper's Figure 3b, where `Γ_2` holds `{0; 0; (3,1,1)}` for the initial
+    /// `A[4][3][1]` allocation.
+    pub fn new(initial_bounds: &[usize]) -> Result<Self> {
+        let k = initial_bounds.len();
+        check_rank(k)?;
+        if initial_bounds.contains(&0) {
+            return Err(DrxError::ZeroExtent("initial bound"));
+        }
+        let total = volume(initial_bounds);
+        let mut axial = vec![AxialVector::new(); k];
+        // Row-major strides of the initial allocation; coeffs[k-1] = 1 also
+        // serves as C*_l for l = k-1 in Eq. (1) because (I_l − 0)·1 equals
+        // the row-major contribution of the last dimension.
+        let mut coeffs = vec![1u64; k];
+        for j in (0..k - 1).rev() {
+            coeffs[j] = coeffs[j + 1] * initial_bounds[j + 1] as u64;
+        }
+        axial[k - 1].push(AxialRecord { start_index: 0, start_addr: 0, coeffs })?;
+        Ok(ExtendibleShape {
+            bounds: initial_bounds.to_vec(),
+            axial,
+            segments: vec![SegmentRef { start_addr: 0, dim: k - 1, rec: 0 }],
+            last_extended: None,
+            total,
+        })
+    }
+
+    /// Reconstruct a shape from decoded parts (bounds, axial vectors and the
+    /// last-extended marker), validating structural invariants. Used by the
+    /// `.xmd` codec.
+    pub fn from_parts(
+        bounds: Vec<usize>,
+        axial: Vec<AxialVector>,
+        last_extended: Option<usize>,
+    ) -> Result<Self> {
+        let k = bounds.len();
+        check_rank(k)?;
+        if axial.len() != k {
+            return Err(DrxError::RankMismatch { expected: k, got: axial.len() });
+        }
+        if bounds.contains(&0) {
+            return Err(DrxError::ZeroExtent("bound"));
+        }
+        let total = volume(&bounds);
+        let mut segments = Vec::new();
+        for (dim, v) in axial.iter().enumerate() {
+            for (rec_idx, r) in v.records().iter().enumerate() {
+                if r.coeffs.len() != k {
+                    return Err(DrxError::Invalid(format!(
+                        "record coeffs rank {} != {k}",
+                        r.coeffs.len()
+                    )));
+                }
+                if r.start_index >= bounds[dim] {
+                    return Err(DrxError::Invalid(format!(
+                        "record start index {} beyond bound {} in dim {dim}",
+                        r.start_index, bounds[dim]
+                    )));
+                }
+                if r.start_addr >= total {
+                    return Err(DrxError::Invalid(format!(
+                        "record start address {} beyond total {total}",
+                        r.start_addr
+                    )));
+                }
+                segments.push(SegmentRef { start_addr: r.start_addr, dim, rec: rec_idx });
+            }
+        }
+        segments.sort_by_key(|s| s.start_addr);
+        match segments.first() {
+            Some(s) if s.start_addr == 0 && s.dim == k - 1 => {}
+            _ => {
+                return Err(DrxError::Invalid(
+                    "missing initial allocation record at address 0 on the last dimension".into(),
+                ))
+            }
+        }
+        if segments.windows(2).any(|w| w[0].start_addr == w[1].start_addr) {
+            return Err(DrxError::Invalid("duplicate segment start addresses".into()));
+        }
+        if let Some(d) = last_extended {
+            if d >= k {
+                return Err(DrxError::Invalid(format!("last_extended {d} out of range")));
+            }
+        }
+        Ok(ExtendibleShape { bounds, axial, segments, last_extended, total })
+    }
+
+    /// Rank `k` of the array.
+    pub fn rank(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Instantaneous bounds `N*_j` in chunk units.
+    pub fn bounds(&self) -> &[usize] {
+        &self.bounds
+    }
+
+    /// Total number of allocated chunks (`∏ N*_j`).
+    pub fn total_chunks(&self) -> u64 {
+        self.total
+    }
+
+    /// The axial vector of one dimension.
+    pub fn axial(&self, dim: usize) -> &AxialVector {
+        &self.axial[dim]
+    }
+
+    /// Total number of expansion records across all axial vectors (`E`).
+    pub fn record_count(&self) -> usize {
+        self.axial.iter().map(|v| v.len()).sum()
+    }
+
+    /// The segment directory in allocation order.
+    pub fn segments(&self) -> &[SegmentRef] {
+        &self.segments
+    }
+
+    /// The dimension extended by the most recent extension, if any.
+    pub fn last_extended(&self) -> Option<usize> {
+        self.last_extended
+    }
+
+    /// The full chunk-index region `0..N*_j` in every dimension.
+    pub fn full_region(&self) -> Region {
+        Region::of_shape(&self.bounds).expect("bounds are a valid shape")
+    }
+
+    /// Extend dimension `dim` by `by` chunk indices, allocating one segment
+    /// of `by × ∏_{j≠dim} N*_j` chunks at the end of the address space
+    /// (paper §III-B). Existing chunk addresses are never altered.
+    ///
+    /// When the immediately preceding extension was of the same dimension,
+    /// the existing record is reused — an "uninterrupted extension" — because
+    /// its coefficients remain valid and the segment is simply longer.
+    ///
+    /// Returns the linear address of the first newly allocated chunk.
+    pub fn extend(&mut self, dim: usize, by: usize) -> Result<u64> {
+        let k = self.rank();
+        if dim >= k {
+            return Err(DrxError::Invalid(format!("dimension {dim} out of range for rank {k}")));
+        }
+        if by == 0 {
+            return Err(DrxError::ZeroExtent("extension amount"));
+        }
+        let first_new = self.total;
+        if self.last_extended != Some(dim) {
+            // Eq. (1) coefficients, computed against the bounds *before* the
+            // extension: C*_dim = ∏_{j≠dim} N*_j, and for j ≠ dim
+            // C*_j = ∏_{r>j, r≠dim} N*_r (dim is least-varying; all other
+            // dimensions keep their relative order).
+            let mut coeffs = vec![1u64; k];
+            for j in (0..k).rev() {
+                if j == dim {
+                    continue;
+                }
+                let mut c = 1u64;
+                for (r, &n) in self.bounds.iter().enumerate().skip(j + 1) {
+                    if r != dim {
+                        c *= n as u64;
+                    }
+                }
+                coeffs[j] = c;
+            }
+            coeffs[dim] = self
+                .bounds
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != dim)
+                .map(|(_, &n)| n as u64)
+                .product();
+            let rec = AxialRecord { start_index: self.bounds[dim], start_addr: self.total, coeffs };
+            self.axial[dim].push(rec)?;
+            self.segments.push(SegmentRef {
+                start_addr: self.total,
+                dim,
+                rec: self.axial[dim].len() - 1,
+            });
+        }
+        self.bounds[dim] += by;
+        self.total = volume(&self.bounds);
+        self.last_extended = Some(dim);
+        Ok(first_new)
+    }
+
+    /// The mapping function `F*()` (paper Eq. (1) and the `FunctionF∗`
+    /// listing): linear chunk address of the k-dimensional chunk index.
+    ///
+    /// One binary search per dimension selects the candidate record with
+    /// `start_index ≤ I_j`; the record with the maximum segment start address
+    /// owns the chunk, and its coefficients produce the address.
+    pub fn address(&self, index: &[usize]) -> Result<u64> {
+        let k = self.rank();
+        check_rank_of(index, k)?;
+        for (&i, &n) in index.iter().zip(&self.bounds) {
+            if i >= n {
+                return Err(DrxError::IndexOutOfBounds {
+                    index: index.to_vec(),
+                    bounds: self.bounds.clone(),
+                });
+            }
+        }
+        Ok(self.address_unchecked(index))
+    }
+
+    /// `F*()` without bounds validation — the hot path used by I/O planning
+    /// loops that already iterate a validated region.
+    pub fn address_unchecked(&self, index: &[usize]) -> u64 {
+        let mut best: Option<(usize, &AxialRecord)> = None;
+        for (j, (&i, vec)) in index.iter().zip(&self.axial).enumerate() {
+            if let Some(rec) = vec.search(i) {
+                match best {
+                    Some((_, b)) if b.start_addr >= rec.start_addr => {}
+                    _ => best = Some((j, rec)),
+                }
+            }
+        }
+        let (dim, rec) = best.expect("last dimension always holds a record at index 0");
+        rec.address(dim, index)
+    }
+
+    /// The inverse mapping function `F*⁻¹()` (paper §III-C): recover the
+    /// k-dimensional chunk index from a linear chunk address.
+    ///
+    /// One binary search over the merged segment directory locates the
+    /// owning record (`O(log E)`), after which the index falls out of
+    /// repeated division by the stored coefficients (`O(k)`).
+    pub fn index_of(&self, addr: u64) -> Result<Vec<usize>> {
+        if addr >= self.total {
+            return Err(DrxError::AddressOutOfBounds { address: addr, total: self.total });
+        }
+        let pos = self.segments.partition_point(|s| s.start_addr <= addr);
+        let seg = &self.segments[pos - 1]; // pos >= 1: segment 0 starts at 0
+        let rec = &self.axial[seg.dim].records()[seg.rec];
+        let r = addr - rec.start_addr;
+        Ok(decode_remainder(rec, seg.dim, seg.start_addr == 0, r, self.rank()))
+    }
+
+    /// `F*⁻¹` exactly as §III-C describes it: *k independent binary
+    /// searches* of the axial vectors locate the record whose segment start
+    /// address is the maximum lower bound of `addr`, then repeated division
+    /// recovers the index.
+    ///
+    /// [`ExtendibleShape::index_of`] replaces the k searches with one search
+    /// over the merged segment directory; this method is kept as the
+    /// paper-faithful reference and for the ablation benchmark (E7). Both
+    /// produce identical results (property-tested).
+    pub fn index_of_searches(&self, addr: u64) -> Result<Vec<usize>> {
+        if addr >= self.total {
+            return Err(DrxError::AddressOutOfBounds { address: addr, total: self.total });
+        }
+        let mut best: Option<(usize, usize, u64)> = None; // (dim, rec idx, start)
+        for (dim, v) in self.axial.iter().enumerate() {
+            let recs = v.records();
+            // Records are sorted by start_addr within a dimension.
+            let pos = recs.partition_point(|r| r.start_addr <= addr);
+            if pos > 0 {
+                let start = recs[pos - 1].start_addr;
+                if best.is_none_or(|(_, _, s)| start > s) {
+                    best = Some((dim, pos - 1, start));
+                }
+            }
+        }
+        let (dim, rec_idx, start) = best.expect("segment 0 always starts at address 0");
+        let rec = &self.axial[dim].records()[rec_idx];
+        let r = addr - rec.start_addr;
+        Ok(decode_remainder(rec, dim, start == 0, r, self.rank()))
+    }
+
+    /// Extend **without** the uninterrupted-extension merge rule: every call
+    /// appends a fresh axial record even when the same dimension was just
+    /// extended. Addresses are identical to [`ExtendibleShape::extend`]
+    /// (the coefficients do not involve the extended bound); only the record
+    /// count `E` grows faster. Exists for the E7 ablation that measures how
+    /// merging keeps `F*` flat in the number of extensions.
+    pub fn extend_unmerged(&mut self, dim: usize, by: usize) -> Result<u64> {
+        // Force the non-merge path by clearing the run tracker.
+        self.last_extended = None;
+        let first = self.extend(dim, by)?;
+        // Leave the tracker cleared so a following `extend` cannot merge
+        // with the record this call created either.
+        self.last_extended = None;
+        Ok(first)
+    }
+
+    /// Linear addresses (in increasing index order, not address order) of
+    /// every chunk inside a chunk-index region.
+    pub fn region_addresses(&self, region: &Region) -> Result<Vec<(Vec<usize>, u64)>> {
+        if region.rank() != self.rank() {
+            return Err(DrxError::RankMismatch { expected: self.rank(), got: region.rank() });
+        }
+        for (j, &h) in region.hi().iter().enumerate() {
+            if h > self.bounds[j] {
+                return Err(DrxError::IndexOutOfBounds {
+                    index: region.hi().to_vec(),
+                    bounds: self.bounds.clone(),
+                });
+            }
+        }
+        Ok(region.iter().map(|idx| {
+            let a = self.address_unchecked(&idx);
+            (idx, a)
+        }).collect())
+    }
+}
+
+/// Mixed-radix decode of a segment-relative remainder into a chunk index.
+///
+/// For the initial allocation record (`initial == true`) the coefficients
+/// are plain row-major strides, so division proceeds in ascending dimension
+/// order (last dimension fastest). For an extension record, the extended
+/// dimension is least-varying inside the segment (largest coefficient) and
+/// divides first, then the remaining dimensions in their relative order.
+fn decode_remainder(rec: &AxialRecord, dim: usize, initial: bool, mut r: u64, k: usize) -> Vec<usize> {
+    let mut index = vec![0usize; k];
+    if initial {
+        for (slot, &c) in index.iter_mut().zip(&rec.coeffs) {
+            *slot = (r / c) as usize;
+            r %= c;
+        }
+    } else {
+        index[dim] = rec.start_index + (r / rec.coeffs[dim]) as usize;
+        r %= rec.coeffs[dim];
+        for (j, (slot, &c)) in index.iter_mut().zip(&rec.coeffs).enumerate() {
+            if j == dim {
+                continue;
+            }
+            *slot = (r / c) as usize;
+            r %= c;
+        }
+    }
+    index
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build the paper's Figure 3 history: initial A[4][3][1]; extend D2 by 2
+    /// (two uninterrupted extensions of one index each), D1 by 1, D0 by 2,
+    /// D2 by 1.
+    fn figure3() -> ExtendibleShape {
+        let mut s = ExtendibleShape::new(&[4, 3, 1]).unwrap();
+        s.extend(2, 1).unwrap();
+        s.extend(2, 1).unwrap(); // uninterrupted: merges into the same record
+        s.extend(1, 1).unwrap();
+        s.extend(0, 2).unwrap();
+        s.extend(2, 1).unwrap();
+        s
+    }
+
+    #[test]
+    fn figure3_bounds_and_totals() {
+        let s = figure3();
+        assert_eq!(s.bounds(), &[6, 4, 4]);
+        assert_eq!(s.total_chunks(), 96);
+    }
+
+    #[test]
+    fn figure3_axial_vectors_match_paper() {
+        let s = figure3();
+        // Γ_0: one real record {N*=4, M*=48, C=(12,3,1)}.
+        let g0 = s.axial(0).records();
+        assert_eq!(g0.len(), 1);
+        assert_eq!(g0[0], AxialRecord { start_index: 4, start_addr: 48, coeffs: vec![12, 3, 1] });
+        // Γ_1: one real record {N*=3, M*=36, C=(3,12,1)}.
+        let g1 = s.axial(1).records();
+        assert_eq!(g1.len(), 1);
+        assert_eq!(g1[0], AxialRecord { start_index: 3, start_addr: 36, coeffs: vec![3, 12, 1] });
+        // Γ_2: initial {0,0,(3,1,1)}, merged extension {1,12,(3,1,12)},
+        // later {3,72,(4,1,24)}.
+        let g2 = s.axial(2).records();
+        assert_eq!(g2.len(), 3);
+        assert_eq!(g2[0], AxialRecord { start_index: 0, start_addr: 0, coeffs: vec![3, 1, 1] });
+        assert_eq!(g2[1], AxialRecord { start_index: 1, start_addr: 12, coeffs: vec![3, 1, 12] });
+        assert_eq!(g2[2], AxialRecord { start_index: 3, start_addr: 72, coeffs: vec![4, 1, 24] });
+        // Paper's E counts include the display sentinels: E0=2, E1=2, E2=3.
+        assert_eq!(s.axial(0).display_records(3).len(), 2);
+        assert_eq!(s.axial(1).display_records(3).len(), 2);
+        assert_eq!(s.axial(2).display_records(3).len(), 3);
+    }
+
+    #[test]
+    fn figure3_spot_addresses() {
+        let s = figure3();
+        // §II: chunk A[2,1,0] at address 7, chunk A[3,1,2] at address 34.
+        assert_eq!(s.address(&[2, 1, 0]).unwrap(), 7);
+        assert_eq!(s.address(&[3, 1, 2]).unwrap(), 34);
+        // §III-B worked example: F*(⟨4,2,2⟩) = 56.
+        assert_eq!(s.address(&[4, 2, 2]).unwrap(), 56);
+    }
+
+    #[test]
+    fn figure3_bijective_over_all_96_chunks() {
+        let s = figure3();
+        let mut seen = [false; 96];
+        for idx in s.full_region().iter() {
+            let a = s.address(&idx).unwrap() as usize;
+            assert!(!seen[a], "duplicate address {a} for {idx:?}");
+            seen[a] = true;
+            assert_eq!(s.index_of(a as u64).unwrap(), idx);
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn figure1_layout() {
+        // Figure 1 history (2-D, chunk grid): initial 1×1, extend D1 by 1,
+        // D0 by 1, D0 by 1 (uninterrupted), D1 by 1, D0 by 1, D1 by 1,
+        // D0 by 1 — yielding the 5×4 grid shown in the figure.
+        let mut s = ExtendibleShape::new(&[1, 1]).unwrap();
+        s.extend(1, 1).unwrap(); // chunk 1
+        s.extend(0, 1).unwrap(); // chunks 2,3
+        s.extend(0, 1).unwrap(); // chunks 4,5 (uninterrupted)
+        s.extend(1, 1).unwrap(); // chunks 6,7,8
+        s.extend(0, 1).unwrap(); // chunks 9,10,11
+        s.extend(1, 1).unwrap(); // chunks 12..=15
+        s.extend(0, 1).unwrap(); // chunks 16..=19
+        assert_eq!(s.bounds(), &[5, 4]);
+        let grid: Vec<Vec<u64>> = (0..5)
+            .map(|i| (0..4).map(|j| s.address(&[i, j]).unwrap()).collect())
+            .collect();
+        assert_eq!(
+            grid,
+            vec![
+                vec![0, 1, 6, 12],
+                vec![2, 3, 7, 13],
+                vec![4, 5, 8, 14],
+                vec![9, 10, 11, 15],
+                vec![16, 17, 18, 19],
+            ]
+        );
+    }
+
+    #[test]
+    fn extension_returns_first_new_address_and_preserves_prefix() {
+        let mut s = ExtendibleShape::new(&[2, 2]).unwrap();
+        let before: Vec<u64> = s.full_region().iter().map(|i| s.address(&i).unwrap()).collect();
+        let first_new = s.extend(0, 3).unwrap();
+        assert_eq!(first_new, 4);
+        let after: Vec<u64> = ExtendibleShape::new(&[2, 2])
+            .unwrap()
+            .full_region()
+            .iter()
+            .map(|i| s.address(&i).unwrap())
+            .collect();
+        assert_eq!(before, after, "extension must not move existing chunks");
+        assert_eq!(s.total_chunks(), 10);
+    }
+
+    #[test]
+    fn uninterrupted_extensions_share_one_record() {
+        let mut s = ExtendibleShape::new(&[2, 2]).unwrap();
+        s.extend(0, 1).unwrap();
+        s.extend(0, 1).unwrap();
+        s.extend(0, 5).unwrap();
+        assert_eq!(s.axial(0).len(), 1, "merged into one record");
+        s.extend(1, 1).unwrap();
+        s.extend(0, 1).unwrap();
+        assert_eq!(s.axial(0).len(), 2, "an intervening extension of D1 breaks the run");
+        assert_eq!(s.record_count(), 1 + 2 + 1); // initial + two on D0 + one on D1
+    }
+
+    #[test]
+    fn one_dimensional_array_is_append_only() {
+        let mut s = ExtendibleShape::new(&[3]).unwrap();
+        s.extend(0, 2).unwrap();
+        s.extend(0, 4).unwrap();
+        for i in 0..9 {
+            assert_eq!(s.address(&[i]).unwrap(), i as u64);
+            assert_eq!(s.index_of(i as u64).unwrap(), vec![i]);
+        }
+        assert_eq!(s.axial(0).len(), 2); // initial + one merged extension record
+    }
+
+    #[test]
+    fn errors_on_bad_inputs() {
+        let mut s = ExtendibleShape::new(&[2, 2]).unwrap();
+        assert!(ExtendibleShape::new(&[]).is_err());
+        assert!(ExtendibleShape::new(&[0, 2]).is_err());
+        assert!(s.extend(2, 1).is_err());
+        assert!(s.extend(0, 0).is_err());
+        assert!(s.address(&[2, 0]).is_err());
+        assert!(s.address(&[0]).is_err());
+        assert!(s.index_of(4).is_err());
+    }
+
+    #[test]
+    fn index_of_searches_matches_merged_directory() {
+        let s = figure3();
+        for a in 0..s.total_chunks() {
+            assert_eq!(s.index_of(a).unwrap(), s.index_of_searches(a).unwrap(), "addr {a}");
+        }
+        assert!(s.index_of_searches(96).is_err());
+    }
+
+    #[test]
+    fn unmerged_extension_same_addresses_more_records() {
+        let mut merged = ExtendibleShape::new(&[2, 2]).unwrap();
+        let mut unmerged = ExtendibleShape::new(&[2, 2]).unwrap();
+        for _ in 0..5 {
+            merged.extend(0, 1).unwrap();
+            unmerged.extend_unmerged(0, 1).unwrap();
+        }
+        assert_eq!(merged.axial(0).len(), 1);
+        assert_eq!(unmerged.axial(0).len(), 5);
+        assert_eq!(merged.bounds(), unmerged.bounds());
+        for idx in merged.full_region().iter() {
+            assert_eq!(merged.address(&idx).unwrap(), unmerged.address(&idx).unwrap());
+        }
+        for a in 0..merged.total_chunks() {
+            assert_eq!(unmerged.index_of(a).unwrap(), merged.index_of(a).unwrap());
+        }
+    }
+
+    #[test]
+    fn region_addresses_cover_region() {
+        let mut s = ExtendibleShape::new(&[2, 3]).unwrap();
+        s.extend(1, 2).unwrap();
+        let region = Region::new(vec![0, 2], vec![2, 5]).unwrap();
+        let pairs = s.region_addresses(&region).unwrap();
+        assert_eq!(pairs.len() as u64, region.volume());
+        for (idx, addr) in &pairs {
+            assert_eq!(s.address(idx).unwrap(), *addr);
+        }
+        let bad = Region::new(vec![0, 0], vec![3, 5]).unwrap();
+        assert!(s.region_addresses(&bad).is_err());
+    }
+
+    #[test]
+    fn row_major_order_is_default_before_any_extension() {
+        // Until the array is extended, F* must agree with the conventional
+        // row-major mapping of the initial bounds.
+        let s = ExtendibleShape::new(&[3, 4, 5]).unwrap();
+        for idx in s.full_region().iter() {
+            let expect = crate::index::row_major_offset(&idx, &[3, 4, 5]).unwrap();
+            assert_eq!(s.address(&idx).unwrap(), expect);
+        }
+    }
+}

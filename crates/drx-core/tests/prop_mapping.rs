@@ -1,0 +1,163 @@
+//! Property tests for the extendible mapping function `F*` and its inverse.
+//!
+//! These check the paper's structural claims over *arbitrary* growth
+//! histories, not just the worked examples:
+//! 1. `F*` is a bijection from the chunk-index space onto `0..total`;
+//! 2. `F*⁻¹(F*(I)) = I` for every valid index;
+//! 3. extension never changes the address of an existing chunk;
+//! 4. metadata encode/decode round-trips exactly.
+
+use drx_core::{ArrayMeta, DType, ExtendibleShape};
+use proptest::prelude::*;
+
+/// A random growth history: initial bounds plus a sequence of extensions,
+/// sized so the final array stays small enough to enumerate.
+fn history_strategy(max_rank: usize) -> impl Strategy<Value = (Vec<usize>, Vec<(usize, usize)>)> {
+    (1..=max_rank).prop_flat_map(|k| {
+        let initial = prop::collection::vec(1usize..4, k);
+        let exts = prop::collection::vec((0..k, 1usize..4), 0..8);
+        (initial, exts)
+    })
+}
+
+fn build(initial: &[usize], exts: &[(usize, usize)]) -> ExtendibleShape {
+    let mut s = ExtendibleShape::new(initial).unwrap();
+    for &(d, b) in exts {
+        s.extend(d, b).unwrap();
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn fstar_is_a_bijection((initial, exts) in history_strategy(4)) {
+        let s = build(&initial, &exts);
+        let total = s.total_chunks();
+        prop_assume!(total <= 4096);
+        let mut seen = vec![false; total as usize];
+        for idx in s.full_region().iter() {
+            let a = s.address(&idx).unwrap();
+            prop_assert!(a < total, "address {a} out of range {total}");
+            prop_assert!(!seen[a as usize], "duplicate address {a}");
+            seen[a as usize] = true;
+        }
+        prop_assert!(seen.iter().all(|&b| b), "address space has holes");
+    }
+
+    #[test]
+    fn inverse_round_trips((initial, exts) in history_strategy(4)) {
+        let s = build(&initial, &exts);
+        prop_assume!(s.total_chunks() <= 4096);
+        for a in 0..s.total_chunks() {
+            let idx = s.index_of(a).unwrap();
+            prop_assert_eq!(s.address(&idx).unwrap(), a);
+        }
+    }
+
+    #[test]
+    fn extension_is_address_stable((initial, exts) in history_strategy(4), extra in (0usize..4, 1usize..4)) {
+        let mut s = build(&initial, &exts);
+        prop_assume!(s.total_chunks() <= 2048);
+        let dim = extra.0 % s.rank();
+        let before: Vec<(Vec<usize>, u64)> = s
+            .full_region()
+            .iter()
+            .map(|i| { let a = s.address(&i).unwrap(); (i, a) })
+            .collect();
+        s.extend(dim, extra.1).unwrap();
+        for (idx, addr) in before {
+            prop_assert_eq!(s.address(&idx).unwrap(), addr, "chunk {:?} moved", idx);
+        }
+    }
+
+    #[test]
+    fn record_count_bounded_by_extension_count((initial, exts) in history_strategy(4)) {
+        let s = build(&initial, &exts);
+        // One initial record plus at most one per extension call; merging can
+        // only reduce the count ("the number of records in each axial-vector
+        // is … exactly the number of uninterrupted expansions").
+        prop_assert!(s.record_count() <= 1 + exts.len());
+        // Exact count: runs of equal dimensions collapse.
+        let mut runs = 0;
+        let mut prev: Option<usize> = None;
+        for &(d, _) in &exts {
+            if prev != Some(d) {
+                runs += 1;
+            }
+            prev = Some(d);
+        }
+        prop_assert_eq!(s.record_count(), 1 + runs);
+    }
+
+    #[test]
+    fn both_inverse_algorithms_agree((initial, exts) in history_strategy(4)) {
+        let s = build(&initial, &exts);
+        prop_assume!(s.total_chunks() <= 2048);
+        for a in 0..s.total_chunks() {
+            prop_assert_eq!(s.index_of(a).unwrap(), s.index_of_searches(a).unwrap());
+        }
+    }
+
+    #[test]
+    fn unmerged_history_is_address_equivalent((initial, exts) in history_strategy(3)) {
+        let mut merged = ExtendibleShape::new(&initial).unwrap();
+        let mut unmerged = ExtendibleShape::new(&initial).unwrap();
+        for &(d, b) in &exts {
+            merged.extend(d, b).unwrap();
+            unmerged.extend_unmerged(d, b).unwrap();
+        }
+        prop_assume!(merged.total_chunks() <= 2048);
+        prop_assert!(unmerged.record_count() >= merged.record_count());
+        for idx in merged.full_region().iter() {
+            prop_assert_eq!(merged.address(&idx).unwrap(), unmerged.address(&idx).unwrap());
+        }
+    }
+
+    #[test]
+    fn meta_codec_round_trips(
+        (initial, exts) in history_strategy(3),
+        chunk in prop::collection::vec(1usize..4, 3),
+    ) {
+        let k = initial.len();
+        let chunk_shape = &chunk[..k];
+        let mut m = ArrayMeta::new(DType::Float64, chunk_shape, &initial).unwrap();
+        for &(d, b) in &exts {
+            m.extend(d, b).unwrap();
+        }
+        let bytes = m.encode();
+        let back = ArrayMeta::decode(&bytes).unwrap();
+        prop_assert_eq!(&back, &m);
+        // Every element locates identically after the round trip.
+        prop_assume!(m.element_count() <= 4096);
+        for idx in m.element_region().iter() {
+            prop_assert_eq!(m.locate_element(&idx).unwrap(), back.locate_element(&idx).unwrap());
+        }
+    }
+
+    #[test]
+    fn truncated_meta_never_panics((initial, exts) in history_strategy(3), cut_frac in 0.0f64..1.0) {
+        let mut m = ArrayMeta::new(DType::Int32, &vec![2; initial.len()], &initial).unwrap();
+        for &(d, b) in &exts {
+            m.extend(d, b).unwrap();
+        }
+        let bytes = m.encode();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        prop_assert!(ArrayMeta::decode(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn element_locations_are_injective((initial, exts) in history_strategy(3)) {
+        let mut m = ArrayMeta::new(DType::Int32, &vec![2; initial.len()], &initial).unwrap();
+        for &(d, b) in &exts {
+            m.extend(d, b).unwrap();
+        }
+        prop_assume!(m.element_count() <= 2048);
+        let mut seen = std::collections::HashSet::new();
+        for idx in m.element_region().iter() {
+            let loc = m.locate_element(&idx).unwrap();
+            prop_assert!(seen.insert(loc), "two elements share location {:?}", loc);
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Paper-style API veneer (§IV-C).
+//!
+//! The paper specifies a C interface; this module provides functions with
+//! the same names, shapes and call discipline, as thin wrappers over
+//! [`DrxmpHandle`]. A Rust application would normally use the methods
+//! directly — this veneer exists so code written against the paper's
+//! prototypes ports line by line:
+//!
+//! | paper | here |
+//! |---|---|
+//! | `DRXMP_Init(&hdl, kdim, initsize, chkshape, dtype, comm)` | [`drxmp_init`] |
+//! | `DRXMP_Open(&hdl, filename, mode)` | [`drxmp_open`] |
+//! | `DRXMP_Close(hdl)` | [`drxmp_close`] |
+//! | `DRXMP_Terminate()` | [`DrxmpContext::terminate`] |
+//! | `DRXMP_Read(hdl, memhdl, &stat)` | [`drxmp_read`] |
+//! | `DRXMP_Read_all(hdl, memhdl, &stat)` | [`drxmp_read_all`] |
+//! | `DRXMP_Write(hdl, memhdl, &stat)` | [`drxmp_write`] |
+//! | `DRXMP_Write_all(hdl, memhdl, &stat)` | [`drxmp_write_all`] |
+//!
+//! The "memory handle" (`DRXMDMemHdl`) becomes [`MemHandle`]: a region of
+//! the principal array plus the requested in-memory layout order and the
+//! element buffer.
+
+use crate::error::Result;
+use crate::handle::DrxmpHandle;
+use crate::zones::DistSpec;
+use drx_core::{Element, Layout, Region};
+use drx_msg::Comm;
+use drx_pfs::Pfs;
+
+/// The paper's `DRXMPStatus`: what an I/O call transferred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DrxmpStatus {
+    /// Elements moved between file and memory.
+    pub elements: u64,
+    /// Chunks touched on disk.
+    pub chunks: u64,
+}
+
+/// The paper's `DRXMDMemHdl`: a memory-resident sub-array description —
+/// base buffer, covered region, and conventional layout order.
+#[derive(Debug)]
+pub struct MemHandle<T> {
+    pub region: Region,
+    pub layout: Layout,
+    pub buffer: Vec<T>,
+}
+
+impl<T: Element> MemHandle<T> {
+    /// Allocate a zeroed memory handle covering `region` in `layout` order.
+    pub fn alloc(region: Region, layout: Layout) -> Self {
+        let n = region.volume() as usize;
+        MemHandle { region, layout, buffer: vec![T::default(); n] }
+    }
+
+    /// Wrap an existing buffer (must match the region volume).
+    pub fn from_buffer(region: Region, layout: Layout, buffer: Vec<T>) -> Result<Self> {
+        if buffer.len() as u64 != region.volume() {
+            return Err(crate::error::MpError::Core(drx_core::DrxError::BufferSize {
+                expected: region.volume() as usize,
+                got: buffer.len(),
+            }));
+        }
+        Ok(MemHandle { region, layout, buffer })
+    }
+}
+
+/// `DRXMP_Init`: collective creation of a principal array file.
+pub fn drxmp_init<T: Element>(
+    comm: &Comm,
+    pfs: &Pfs,
+    filename: &str,
+    chkshape: &[usize],
+    initsize: &[usize],
+    dist: DistSpec,
+) -> Result<DrxmpHandle<T>> {
+    DrxmpHandle::create(comm, pfs, filename, chkshape, initsize, dist)
+}
+
+/// `DRXMP_Open`: collective open of an existing principal array file.
+pub fn drxmp_open<T: Element>(
+    comm: &Comm,
+    pfs: &Pfs,
+    filename: &str,
+    dist: DistSpec,
+) -> Result<DrxmpHandle<T>> {
+    DrxmpHandle::open(comm, pfs, filename, dist)
+}
+
+/// `DRXMP_Close`.
+pub fn drxmp_close<T: Element>(hdl: DrxmpHandle<T>) -> Result<()> {
+    hdl.close()
+}
+
+fn status_for<T: Element>(hdl: &DrxmpHandle<T>, region: &Region) -> Result<DrxmpStatus> {
+    let chunks = hdl.meta().chunking().chunks_covering(region)?.volume();
+    Ok(DrxmpStatus { elements: region.volume(), chunks })
+}
+
+/// `DRXMP_Read`: independent read of the memory handle's region.
+pub fn drxmp_read<T: Element>(
+    hdl: &mut DrxmpHandle<T>,
+    mem: &mut MemHandle<T>,
+) -> Result<DrxmpStatus> {
+    mem.buffer = hdl.read_region(&mem.region, mem.layout)?;
+    status_for(hdl, &mem.region)
+}
+
+/// `DRXMP_Read_all`: collective read (every rank participates; pass `None`
+/// for ranks without a request).
+pub fn drxmp_read_all<T: Element>(
+    hdl: &mut DrxmpHandle<T>,
+    mem: Option<&mut MemHandle<T>>,
+) -> Result<DrxmpStatus> {
+    match mem {
+        Some(m) => {
+            m.buffer = hdl.read_region_all(Some(&m.region), m.layout)?;
+            status_for(hdl, &m.region)
+        }
+        None => {
+            hdl.read_region_all(None, Layout::C)?;
+            Ok(DrxmpStatus::default())
+        }
+    }
+}
+
+/// `DRXMP_Write`: independent write of the memory handle's region.
+pub fn drxmp_write<T: Element>(
+    hdl: &mut DrxmpHandle<T>,
+    mem: &MemHandle<T>,
+) -> Result<DrxmpStatus> {
+    hdl.write_region(&mem.region, mem.layout, &mem.buffer)?;
+    status_for(hdl, &mem.region)
+}
+
+/// `DRXMP_Write_all`: collective write.
+pub fn drxmp_write_all<T: Element>(
+    hdl: &mut DrxmpHandle<T>,
+    mem: Option<&MemHandle<T>>,
+) -> Result<DrxmpStatus> {
+    match mem {
+        Some(m) => {
+            hdl.write_region_all(Some((&m.region, &m.buffer)), m.layout)?;
+            status_for(hdl, &m.region)
+        }
+        None => {
+            hdl.write_region_all(None, Layout::C)?;
+            Ok(DrxmpStatus::default())
+        }
+    }
+}
+
+/// The paper's `DRXMP_Terminate`: a context tracking open handles so one
+/// call closes everything ("closes all opened extendible arrays and frees
+/// the DRX-MP allocated structures").
+pub struct DrxmpContext<T: Element> {
+    open: Vec<DrxmpHandle<T>>,
+}
+
+impl<T: Element> Default for DrxmpContext<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Element> DrxmpContext<T> {
+    pub fn new() -> Self {
+        DrxmpContext { open: Vec::new() }
+    }
+
+    /// Track a handle; returns a stable slot index.
+    pub fn adopt(&mut self, hdl: DrxmpHandle<T>) -> usize {
+        self.open.push(hdl);
+        self.open.len() - 1
+    }
+
+    pub fn get_mut(&mut self, slot: usize) -> Option<&mut DrxmpHandle<T>> {
+        self.open.get_mut(slot)
+    }
+
+    /// `DRXMP_Terminate`: collective close of every tracked handle.
+    pub fn terminate(self) -> Result<()> {
+        for hdl in self.open {
+            hdl.close()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::to_msg;
+    use drx_msg::run_spmd;
+
+    #[test]
+    fn paper_call_sequence_round_trips() {
+        let pfs = Pfs::memory(2, 256).unwrap();
+        run_spmd(2, |comm| {
+            let mut ctx: DrxmpContext<f64> = DrxmpContext::new();
+            let hdl = drxmp_init::<f64>(
+                comm,
+                &pfs,
+                "papi",
+                &[2, 2],
+                &[6, 6],
+                DistSpec::block(vec![2, 1]),
+            )
+            .map_err(to_msg)?;
+            let slot = ctx.adopt(hdl);
+            let hdl = ctx.get_mut(slot).unwrap();
+            // Collective write of each rank's zone through the veneer.
+            let zone = hdl.my_zone().expect("zone");
+            let data: Vec<f64> = zone.iter().map(|i| (i[0] * 6 + i[1]) as f64).collect();
+            let mem = MemHandle::from_buffer(zone.clone(), Layout::C, data).map_err(to_msg)?;
+            let st = drxmp_write_all(hdl, Some(&mem)).map_err(to_msg)?;
+            assert_eq!(st.elements, zone.volume());
+            assert!(st.chunks > 0);
+            // Independent read back in FORTRAN order.
+            let mut rd = MemHandle::<f64>::alloc(zone.clone(), Layout::Fortran);
+            let st = drxmp_read(hdl, &mut rd).map_err(to_msg)?;
+            assert_eq!(st.elements, zone.volume());
+            let strides = Layout::Fortran.strides(&zone.extents());
+            for (pos, idx) in zone.iter().enumerate() {
+                let _ = pos;
+                let rel: Vec<usize> = idx.iter().zip(zone.lo()).map(|(&a, &l)| a - l).collect();
+                let off = drx_core::index::offset_with_strides(&rel, &strides) as usize;
+                assert_eq!(rd.buffer[off], (idx[0] * 6 + idx[1]) as f64);
+            }
+            // Collective read with one empty participant.
+            if comm.rank() == 0 {
+                let full = Region::new(vec![0, 0], vec![6, 6]).unwrap();
+                let mut all = MemHandle::<f64>::alloc(full, Layout::C);
+                drxmp_read_all(hdl, Some(&mut all)).map_err(to_msg)?;
+                assert_eq!(all.buffer[35], 35.0);
+            } else {
+                drxmp_read_all::<f64>(hdl, None).map_err(to_msg)?;
+            }
+            ctx.terminate().map_err(to_msg)?;
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn mem_handle_validates_buffer_size() {
+        let region = Region::new(vec![0, 0], vec![2, 2]).unwrap();
+        assert!(MemHandle::from_buffer(region.clone(), Layout::C, vec![1.0f64; 3]).is_err());
+        let m = MemHandle::<f64>::alloc(region, Layout::C);
+        assert_eq!(m.buffer.len(), 4);
+    }
+}

@@ -1,0 +1,106 @@
+//! Unified error type for the DRX / DRX-MP library layer.
+
+use std::fmt;
+
+/// Errors from the library layer, wrapping the substrate errors.
+#[derive(Debug)]
+pub enum MpError {
+    /// Mapping / metadata error from `drx-core`.
+    Core(drx_core::DrxError),
+    /// Parallel file system error.
+    Pfs(drx_pfs::PfsError),
+    /// Runtime / collective / RMA / MPI-IO error.
+    Msg(drx_msg::MsgError),
+    /// Element type of the opened file does not match the requested Rust
+    /// type.
+    DTypeMismatch { file: drx_core::DType, requested: drx_core::DType },
+    /// A distribution spec is inconsistent with the communicator or array.
+    BadDistribution(String),
+    /// Generic invalid argument.
+    Invalid(String),
+}
+
+impl fmt::Display for MpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpError::Core(e) => write!(f, "{e}"),
+            MpError::Pfs(e) => write!(f, "{e}"),
+            MpError::Msg(e) => write!(f, "{e}"),
+            MpError::DTypeMismatch { file, requested } => write!(
+                f,
+                "element type mismatch: file holds {}, requested {}",
+                file.name(),
+                requested.name()
+            ),
+            MpError::BadDistribution(why) => write!(f, "bad distribution: {why}"),
+            MpError::Invalid(why) => write!(f, "invalid argument: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for MpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MpError::Core(e) => Some(e),
+            MpError::Pfs(e) => Some(e),
+            MpError::Msg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<drx_core::DrxError> for MpError {
+    fn from(e: drx_core::DrxError) -> Self {
+        MpError::Core(e)
+    }
+}
+
+impl From<drx_pfs::PfsError> for MpError {
+    fn from(e: drx_pfs::PfsError) -> Self {
+        MpError::Pfs(e)
+    }
+}
+
+impl From<drx_msg::MsgError> for MpError {
+    fn from(e: drx_msg::MsgError) -> Self {
+        MpError::Msg(e)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, MpError>;
+
+impl MpError {
+    /// Bridge into the runtime's error type: useful inside `run_spmd`
+    /// closures, which must return `drx_msg::Result`.
+    pub fn into_msg(self) -> drx_msg::MsgError {
+        match self {
+            MpError::Msg(m) => m,
+            other => drx_msg::MsgError::Invalid(other.to_string()),
+        }
+    }
+}
+
+/// Free-function form of [`MpError::into_msg`] for `map_err(to_msg)`.
+pub fn to_msg(e: MpError) -> drx_msg::MsgError {
+    e.into_msg()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_and_displays() {
+        let e: MpError = drx_core::DrxError::BadRank(0).into();
+        assert!(e.to_string().contains("rank"));
+        let e: MpError = drx_pfs::PfsError::NoSuchFile("f".into()).into();
+        assert!(e.to_string().contains("f"));
+        let e: MpError = drx_msg::MsgError::Poisoned.into();
+        assert!(e.to_string().contains("poisoned"));
+        let e = MpError::DTypeMismatch {
+            file: drx_core::DType::Float64,
+            requested: drx_core::DType::Int32,
+        };
+        assert!(e.to_string().contains("float64"));
+    }
+}

@@ -1,0 +1,408 @@
+//! Global-Array-style shared access to the distributed principal array
+//! (paper §II-A).
+//!
+//! "To access an element from any process, the process first determines
+//! which zone the element lies \[in\] and consequently which process rank owns
+//! the zone. The element can then be accessed either as a local array
+//! element or as a remote array element. The remote memory access methods
+//! and the MPI-2 windowing features can now be applied for processing the
+//! array as if each process has access to the entire principal array. This
+//! model of programming is exactly the shared memory programming model of
+//! the Global-Array toolkit."
+//!
+//! [`GaView`] loads each rank's chunks into memory (collective read),
+//! exposes them through an RMA window, and routes `get`/`put`/`accumulate`
+//! by ownership. `sync_to_file` writes everything back collectively.
+//!
+//! The window is **chunk-granular**: each rank's buffer is the
+//! concatenation of its owned chunks in increasing file-address order
+//! (row-major within a chunk). This makes the GA layer work for *any*
+//! distribution — including `BLOCK_CYCLIC(k)`, the generalization the
+//! paper's §V lists as future work — because element location only needs
+//! the replicated metadata (owner = distribution of the chunk index;
+//! buffer slot = position of the chunk in the owner's address-sorted list).
+
+use crate::error::{MpError, Result};
+use crate::handle::DrxmpHandle;
+use crate::zones::DistSpec;
+use drx_core::{dtype, ArrayMeta, Element, Layout, Region};
+use drx_msg::Window;
+
+/// An in-memory, RMA-accessible view of the whole principal array,
+/// distributed chunk-wise by the handle's distribution.
+pub struct GaView<T: Element> {
+    window: Window,
+    /// Replicated metadata snapshot (chunk shape, grid, bounds).
+    meta: ArrayMeta,
+    /// The distribution in force.
+    dist: DistSpec,
+    /// Address-sorted chunk lists per rank (replicated, deterministic).
+    chunk_addrs: Vec<Vec<u64>>,
+    /// This rank's chunks (indices + addresses), address-sorted.
+    my_chunks: Vec<(Vec<usize>, u64)>,
+    /// Zone element region per rank for BLOCK distributions (`None` for
+    /// cyclic zones or empty ranks) — a convenience table, not used for
+    /// element location.
+    zones: Vec<Option<Region>>,
+    my_rank: usize,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Element> GaView<T> {
+    /// Collective: read every rank's chunks into memory (two-phase I/O) and
+    /// expose them through an RMA window. Works for `BLOCK` and
+    /// `BLOCK_CYCLIC` distributions alike.
+    pub fn load(handle: &mut DrxmpHandle<T>) -> Result<GaView<T>> {
+        let comm = handle.comm().clone();
+        let zones: Vec<Option<Region>> =
+            (0..comm.size()).map(|r| handle.zone_element_region(r)).collect();
+        let chunk_addrs: Vec<Vec<u64>> = (0..comm.size())
+            .map(|r| Ok(handle.zone_chunks(r)?.into_iter().map(|(_, a)| a).collect()))
+            .collect::<Result<_>>()?;
+        let my_chunks = handle.zone_chunks(comm.rank())?;
+        // Collective chunk read; concatenate in address order.
+        let loaded = handle.read_my_chunks()?;
+        let mut local = Vec::with_capacity(loaded.len() * handle.meta().chunk_bytes() as usize);
+        for (_, vals) in &loaded {
+            local.extend_from_slice(&dtype::encode_slice(vals));
+        }
+        let window = Window::create(&comm, local)?;
+        Ok(GaView {
+            window,
+            meta: handle.meta().clone(),
+            dist: handle.dist().clone(),
+            chunk_addrs,
+            my_chunks,
+            zones,
+            my_rank: comm.rank(),
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// The BLOCK zone table (region per rank; `None` for cyclic zones).
+    pub fn zones(&self) -> &[Option<Region>] {
+        &self.zones
+    }
+
+    /// The rank owning an element, with its byte offset in that rank's
+    /// chunk-concatenated window buffer.
+    fn locate(&self, index: &[usize]) -> Result<(usize, u64)> {
+        for (&i, &n) in index.iter().zip(self.meta.element_bounds()) {
+            if i >= n {
+                return Err(MpError::Core(drx_core::DrxError::IndexOutOfBounds {
+                    index: index.to_vec(),
+                    bounds: self.meta.element_bounds().to_vec(),
+                }));
+            }
+        }
+        let (chunk, within) = self.meta.chunking().split(index)?;
+        let addr = self.meta.grid().address(&chunk)?;
+        let owner = self.dist.owner_of_chunk(&chunk, self.meta.grid().bounds());
+        let slot = self.chunk_addrs[owner]
+            .binary_search(&addr)
+            .map_err(|_| MpError::Invalid(format!("chunk {chunk:?} missing from owner {owner}")))?;
+        let off = slot as u64 * self.meta.chunk_bytes()
+            + self.meta.chunking().within_offset(&within) * T::SIZE as u64;
+        Ok((owner, off))
+    }
+
+    /// The rank owning an element.
+    pub fn owner(&self, index: &[usize]) -> Result<usize> {
+        Ok(self.locate(index)?.0)
+    }
+
+    /// Whether this process owns the element locally.
+    pub fn is_local(&self, index: &[usize]) -> Result<bool> {
+        Ok(self.owner(index)? == self.my_rank)
+    }
+
+    /// Read one element, local or remote (`GA_Get` / `MPI_Get`).
+    pub fn get(&self, index: &[usize]) -> Result<T> {
+        let (rank, off) = self.locate(index)?;
+        let mut buf = vec![0u8; T::SIZE];
+        self.window.get(rank, off, &mut buf)?;
+        Ok(T::read_le(&buf))
+    }
+
+    /// Write one element, local or remote (`GA_Put` / `MPI_Put`).
+    pub fn put(&self, index: &[usize], value: T) -> Result<()> {
+        let (rank, off) = self.locate(index)?;
+        let mut buf = Vec::with_capacity(T::SIZE);
+        value.write_le(&mut buf);
+        self.window.put(rank, off, &buf)?;
+        Ok(())
+    }
+
+    /// Atomic add into one element (`GA_Acc` / `MPI_Accumulate`).
+    pub fn accumulate(&self, index: &[usize], value: T) -> Result<()> {
+        let (rank, off) = self.locate(index)?;
+        let mut buf = Vec::with_capacity(T::SIZE);
+        value.write_le(&mut buf);
+        self.window.rmw_bytes(rank, off, &buf, |old, new| {
+            let a = T::read_le(old);
+            let b = T::read_le(new);
+            let mut out = Vec::with_capacity(T::SIZE);
+            a.acc(b).write_le(&mut out);
+            out
+        })?;
+        Ok(())
+    }
+
+    /// Read a rectilinear region spanning any number of zones (gathers
+    /// remote pieces element-wise; for bulk transfers prefer the collective
+    /// file reads).
+    pub fn get_region(&self, region: &Region, layout: Layout) -> Result<Vec<T>> {
+        let extents = region.extents();
+        let strides = layout.strides(&extents);
+        let mut out = vec![T::default(); region.volume() as usize];
+        for idx in region.iter() {
+            let rel: Vec<usize> = idx.iter().zip(region.lo()).map(|(&a, &l)| a - l).collect();
+            let pos = drx_core::index::offset_with_strides(&rel, &strides) as usize;
+            out[pos] = self.get(&idx)?;
+        }
+        Ok(out)
+    }
+
+    /// Write a rectilinear region spanning any number of zones
+    /// (`GA_Put` over a patch).
+    pub fn put_region(&self, region: &Region, layout: Layout, data: &[T]) -> Result<()> {
+        let n = region.volume() as usize;
+        if data.len() != n {
+            return Err(MpError::Core(drx_core::DrxError::BufferSize {
+                expected: n,
+                got: data.len(),
+            }));
+        }
+        let extents = region.extents();
+        let strides = layout.strides(&extents);
+        for idx in region.iter() {
+            let rel: Vec<usize> = idx.iter().zip(region.lo()).map(|(&a, &l)| a - l).collect();
+            let pos = drx_core::index::offset_with_strides(&rel, &strides) as usize;
+            self.put(&idx, data[pos])?;
+        }
+        Ok(())
+    }
+
+    /// Atomic element-wise add of a patch into the distributed array
+    /// (`GA_Acc` over a patch).
+    pub fn accumulate_region(&self, region: &Region, layout: Layout, data: &[T]) -> Result<()> {
+        let n = region.volume() as usize;
+        if data.len() != n {
+            return Err(MpError::Core(drx_core::DrxError::BufferSize {
+                expected: n,
+                got: data.len(),
+            }));
+        }
+        let extents = region.extents();
+        let strides = layout.strides(&extents);
+        for idx in region.iter() {
+            let rel: Vec<usize> = idx.iter().zip(region.lo()).map(|(&a, &l)| a - l).collect();
+            let pos = drx_core::index::offset_with_strides(&rel, &strides) as usize;
+            self.accumulate(&idx, data[pos])?;
+        }
+        Ok(())
+    }
+
+    /// Epoch separator (`MPI_Win_fence` / `GA_Sync`).
+    pub fn fence(&self) -> Result<()> {
+        self.window.fence()?;
+        Ok(())
+    }
+
+    /// Collective: write every zone back to the array file.
+    pub fn sync_to_file(&self, handle: &mut DrxmpHandle<T>) -> Result<()> {
+        self.fence()?;
+        let all: Vec<T> = self.window.with_local(|bytes| dtype::decode_slice::<T>(bytes))??;
+        let per_chunk = self.meta.chunking().chunk_elems() as usize;
+        let chunks: Vec<(Vec<usize>, Vec<T>)> = self
+            .my_chunks
+            .iter()
+            .enumerate()
+            .map(|(i, (idx, _))| (idx.clone(), all[i * per_chunk..(i + 1) * per_chunk].to_vec()))
+            .collect();
+        handle.write_my_chunks(&chunks)?;
+        self.fence()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::to_msg;
+    use crate::serial::DrxFile;
+    use crate::zones::DistSpec;
+    use drx_msg::run_spmd;
+    use drx_pfs::Pfs;
+
+    fn pfs() -> Pfs {
+        Pfs::memory(4, 256).unwrap()
+    }
+
+    #[test]
+    fn ga_get_put_accumulate_across_zones() {
+        let fs = pfs();
+        {
+            let mut f: DrxFile<f64> = DrxFile::create(&fs, "g", &[2, 2], &[8, 8]).unwrap();
+            f.fill_with(|i| (i[0] * 8 + i[1]) as f64).unwrap();
+        }
+        run_spmd(4, |comm| {
+            let mut h: DrxmpHandle<f64> =
+                DrxmpHandle::open(comm, &fs, "g", DistSpec::block(vec![2, 2])).map_err(to_msg)?;
+            let ga = GaView::load(&mut h).map_err(to_msg)?;
+            ga.fence().map_err(to_msg)?;
+            // Every rank reads elements from every zone.
+            for idx in [[0usize, 0], [0, 7], [7, 0], [7, 7], [3, 4]] {
+                assert_eq!(ga.get(&idx).map_err(to_msg)?, (idx[0] * 8 + idx[1]) as f64);
+            }
+            // Close the read epoch before anyone mutates.
+            ga.fence().map_err(to_msg)?;
+            // Rank 0 puts into rank 3's zone; everyone accumulates into (0,0).
+            if comm.rank() == 0 {
+                ga.put(&[7, 7], -1.0).map_err(to_msg)?;
+            }
+            ga.accumulate(&[0, 0], 1.0).map_err(to_msg)?;
+            ga.fence().map_err(to_msg)?;
+            assert_eq!(ga.get(&[7, 7]).map_err(to_msg)?, -1.0);
+            assert_eq!(ga.get(&[0, 0]).map_err(to_msg)?, 4.0); // 0 + 4×1
+            // Ownership is consistent with the handle's answer.
+            assert_eq!(
+                ga.owner(&[7, 7]).map_err(to_msg)?,
+                h.owner_of_element(&[7, 7]).map_err(to_msg)?
+            );
+            ga.sync_to_file(&mut h).map_err(to_msg)?;
+            h.close().map_err(to_msg)?;
+            Ok(())
+        })
+        .unwrap();
+        // The puts persisted.
+        let f: DrxFile<f64> = DrxFile::open(&fs, "g").unwrap();
+        assert_eq!(f.get(&[7, 7]).unwrap(), -1.0);
+        assert_eq!(f.get(&[0, 0]).unwrap(), 4.0);
+        assert_eq!(f.get(&[3, 4]).unwrap(), 28.0); // untouched
+    }
+
+    #[test]
+    fn ga_region_read_spans_zones() {
+        let fs = pfs();
+        {
+            let mut f: DrxFile<i64> = DrxFile::create(&fs, "r", &[2, 2], &[6, 6]).unwrap();
+            f.fill_with(|i| (i[0] * 6 + i[1]) as i64).unwrap();
+        }
+        run_spmd(4, |comm| {
+            let mut h: DrxmpHandle<i64> =
+                DrxmpHandle::open(comm, &fs, "r", DistSpec::block(vec![2, 2])).map_err(to_msg)?;
+            let ga = GaView::load(&mut h).map_err(to_msg)?;
+            ga.fence().map_err(to_msg)?;
+            // A region crossing all four zones.
+            let region = Region::new(vec![1, 1], vec![5, 5]).unwrap();
+            let data = ga.get_region(&region, Layout::Fortran).map_err(to_msg)?;
+            // Spot check in Fortran order: element (2,3) at rel (1,2) →
+            // offset 1 + 2*4 = 9.
+            assert_eq!(data[9], 2 * 6 + 3);
+            h.close().map_err(to_msg)?;
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn ga_region_put_and_accumulate() {
+        let fs = pfs();
+        {
+            let _f: DrxFile<f64> = DrxFile::create(&fs, "pr", &[2, 2], &[8, 8]).unwrap();
+        }
+        run_spmd(4, |comm| {
+            let mut h: DrxmpHandle<f64> =
+                DrxmpHandle::open(comm, &fs, "pr", DistSpec::block(vec![2, 2])).map_err(to_msg)?;
+            let ga = GaView::load(&mut h).map_err(to_msg)?;
+            ga.fence().map_err(to_msg)?;
+            // Rank 0 puts a patch that crosses all four zones.
+            let region = Region::new(vec![2, 2], vec![6, 6]).unwrap();
+            if comm.rank() == 0 {
+                let data: Vec<f64> =
+                    region.iter().map(|i| (i[0] * 10 + i[1]) as f64).collect();
+                ga.put_region(&region, Layout::C, &data).map_err(to_msg)?;
+            }
+            ga.fence().map_err(to_msg)?;
+            // Everyone accumulates +1 over a sub-patch.
+            let acc_region = Region::new(vec![3, 3], vec![5, 5]).unwrap();
+            ga.accumulate_region(&acc_region, Layout::Fortran, &[1.0; 4]).map_err(to_msg)?;
+            ga.fence().map_err(to_msg)?;
+            assert_eq!(ga.get(&[2, 2]).map_err(to_msg)?, 22.0);
+            assert_eq!(ga.get(&[4, 4]).map_err(to_msg)?, 44.0 + 4.0);
+            assert_eq!(ga.get(&[3, 4]).map_err(to_msg)?, 34.0 + 4.0);
+            ga.sync_to_file(&mut h).map_err(to_msg)?;
+            h.close().map_err(to_msg)?;
+            Ok(())
+        })
+        .unwrap();
+        let f: DrxFile<f64> = DrxFile::open(&fs, "pr").unwrap();
+        assert_eq!(f.get(&[4, 4]).unwrap(), 48.0);
+        assert_eq!(f.get(&[0, 0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn ga_works_with_block_cyclic_distribution() {
+        // The paper's §V future-work item: GA over BLOCK_CYCLIC zones.
+        let fs = pfs();
+        {
+            let mut f: DrxFile<i64> = DrxFile::create(&fs, "c", &[2], &[16]).unwrap();
+            f.fill_with(|i| i[0] as i64).unwrap();
+        }
+        run_spmd(2, |comm| {
+            let mut h: DrxmpHandle<i64> = DrxmpHandle::open(
+                comm,
+                &fs,
+                "c",
+                DistSpec::block_cyclic(vec![2], vec![2]),
+            )
+            .map_err(to_msg)?;
+            let ga = GaView::load(&mut h).map_err(to_msg)?;
+            ga.fence().map_err(to_msg)?;
+            // Cyclic zones expose no rectilinear region…
+            assert!(ga.zones().iter().all(|z| z.is_none()));
+            // …but every element is reachable, local or remote, with the
+            // right ownership: 2-element chunks dealt in blocks of two
+            // chunk indices → elements 0..4 on P0, 4..8 on P1, 8..12 on P0…
+            for i in 0..16usize {
+                assert_eq!(ga.get(&[i]).map_err(to_msg)?, i as i64);
+                let expect_owner = (i / 4) % 2;
+                assert_eq!(ga.owner(&[i]).map_err(to_msg)?, expect_owner, "element {i}");
+            }
+            // Close the read epoch before anyone mutates.
+            ga.fence().map_err(to_msg)?;
+            // Mutate across zones and persist.
+            if comm.rank() == 1 {
+                ga.put(&[0], -1).map_err(to_msg)?; // remote for rank 1
+            }
+            ga.accumulate(&[7], 100).map_err(to_msg)?; // both ranks
+            ga.fence().map_err(to_msg)?;
+            ga.sync_to_file(&mut h).map_err(to_msg)?;
+            h.close().map_err(to_msg)?;
+            Ok(())
+        })
+        .unwrap();
+        let f: DrxFile<i64> = DrxFile::open(&fs, "c").unwrap();
+        assert_eq!(f.get(&[0]).unwrap(), -1);
+        assert_eq!(f.get(&[7]).unwrap(), 7 + 200);
+        assert_eq!(f.get(&[5]).unwrap(), 5);
+    }
+
+    #[test]
+    fn ga_out_of_bounds_is_rejected() {
+        let fs = pfs();
+        {
+            let _f: DrxFile<i64> = DrxFile::create(&fs, "ob", &[2, 2], &[4, 4]).unwrap();
+        }
+        run_spmd(2, |comm| {
+            let mut h: DrxmpHandle<i64> =
+                DrxmpHandle::open(comm, &fs, "ob", DistSpec::block(vec![2, 1])).map_err(to_msg)?;
+            let ga = GaView::load(&mut h).map_err(to_msg)?;
+            assert!(ga.get(&[4, 0]).is_err());
+            assert!(ga.put(&[0, 4], 1).is_err());
+            h.close().map_err(to_msg)?;
+            Ok(())
+        })
+        .unwrap();
+    }
+}

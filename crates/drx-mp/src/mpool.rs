@@ -1,0 +1,430 @@
+//! Chunk buffer pool — the stand-in for the BerkeleyDB **Mpool** subsystem
+//! the serial DRX library uses for I/O caching (paper §I: "memory resident
+//! extendible arrays with I/O caching using the BerkeleyDB Mpool
+//! sub-system").
+//!
+//! [`ChunkPool`] caches fixed-size chunks of a [`PfsFile`] with LRU
+//! replacement, dirty tracking and write-back, and exposes hit/miss/eviction
+//! statistics. [`CachedDrxFile`] layers it under the serial array API so
+//! element accesses with locality stop paying one PFS round trip each.
+
+use crate::error::{MpError, Result};
+use crate::serial::DrxFile;
+use drx_core::{dtype, Element, Layout, Region};
+use drx_pfs::PfsFile;
+use std::collections::HashMap;
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub writebacks: u64,
+}
+
+impl PoolStats {
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses() as f64
+        }
+    }
+}
+
+struct Frame {
+    data: Vec<u8>,
+    dirty: bool,
+    /// LRU clock value of the most recent touch.
+    last_used: u64,
+}
+
+/// An LRU pool of fixed-size chunks over a PFS file.
+///
+/// ```
+/// use drx_mp::ChunkPool;
+/// use drx_pfs::Pfs;
+///
+/// let pfs = Pfs::memory(1, 1024).unwrap();
+/// let f = pfs.create("data").unwrap();
+/// f.set_len(256).unwrap();
+/// let mut pool = ChunkPool::new(f, 64, 2).unwrap();
+/// pool.write(0, 0, &[9; 8]).unwrap();   // dirty, cached
+/// let mut buf = [0u8; 8];
+/// pool.read(0, 0, &mut buf).unwrap();   // hit
+/// assert_eq!(buf, [9; 8]);
+/// assert_eq!(pool.stats().hits, 1);
+/// pool.flush().unwrap();                // write-back
+/// ```
+pub struct ChunkPool {
+    file: PfsFile,
+    chunk_bytes: usize,
+    capacity: usize,
+    frames: HashMap<u64, Frame>,
+    clock: u64,
+    stats: PoolStats,
+}
+
+impl ChunkPool {
+    /// Create a pool holding up to `capacity` chunks of `chunk_bytes` each.
+    pub fn new(file: PfsFile, chunk_bytes: usize, capacity: usize) -> Result<Self> {
+        if chunk_bytes == 0 || capacity == 0 {
+            return Err(MpError::Invalid("chunk size and capacity must be positive".into()));
+        }
+        Ok(ChunkPool {
+            file,
+            chunk_bytes,
+            capacity,
+            frames: HashMap::with_capacity(capacity),
+            clock: 0,
+            stats: PoolStats::default(),
+        })
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    pub fn reset_stats(&mut self) {
+        self.stats = PoolStats::default();
+    }
+
+    fn touch(&mut self, addr: u64) {
+        self.clock += 1;
+        if let Some(f) = self.frames.get_mut(&addr) {
+            f.last_used = self.clock;
+        }
+    }
+
+    /// Ensure chunk `addr` is resident; fault it in (and evict the LRU
+    /// victim, writing back if dirty) as needed.
+    fn fault_in(&mut self, addr: u64) -> Result<()> {
+        if self.frames.contains_key(&addr) {
+            self.stats.hits += 1;
+            self.touch(addr);
+            return Ok(());
+        }
+        self.stats.misses += 1;
+        if self.frames.len() >= self.capacity {
+            // Evict the least recently used frame.
+            let victim = self
+                .frames
+                .iter()
+                .min_by_key(|(_, f)| f.last_used)
+                .map(|(&a, _)| a)
+                .expect("pool is non-empty");
+            self.evict(victim)?;
+        }
+        let off = addr * self.chunk_bytes as u64;
+        let data = self.file.read_vec(off, self.chunk_bytes)?;
+        self.clock += 1;
+        self.frames.insert(addr, Frame { data, dirty: false, last_used: self.clock });
+        Ok(())
+    }
+
+    fn evict(&mut self, addr: u64) -> Result<()> {
+        if let Some(frame) = self.frames.remove(&addr) {
+            self.stats.evictions += 1;
+            if frame.dirty {
+                self.stats.writebacks += 1;
+                self.file.write_at(addr * self.chunk_bytes as u64, &frame.data)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Read bytes `range` of chunk `addr` through the cache.
+    pub fn read(&mut self, addr: u64, offset: usize, buf: &mut [u8]) -> Result<()> {
+        if offset + buf.len() > self.chunk_bytes {
+            return Err(MpError::Invalid(format!(
+                "read [{offset}, +{}) exceeds chunk size {}",
+                buf.len(),
+                self.chunk_bytes
+            )));
+        }
+        self.fault_in(addr)?;
+        let frame = self.frames.get(&addr).expect("just faulted in");
+        buf.copy_from_slice(&frame.data[offset..offset + buf.len()]);
+        Ok(())
+    }
+
+    /// Write bytes into chunk `addr` through the cache (write-back: the
+    /// chunk is marked dirty, flushed on eviction or `flush`).
+    pub fn write(&mut self, addr: u64, offset: usize, data: &[u8]) -> Result<()> {
+        if offset + data.len() > self.chunk_bytes {
+            return Err(MpError::Invalid(format!(
+                "write [{offset}, +{}) exceeds chunk size {}",
+                data.len(),
+                self.chunk_bytes
+            )));
+        }
+        self.fault_in(addr)?;
+        let frame = self.frames.get_mut(&addr).expect("just faulted in");
+        frame.data[offset..offset + data.len()].copy_from_slice(data);
+        frame.dirty = true;
+        Ok(())
+    }
+
+    /// Write all dirty frames back to the file (keeps them resident).
+    pub fn flush(&mut self) -> Result<()> {
+        // Deterministic order for reproducible I/O patterns.
+        let mut dirty: Vec<u64> =
+            self.frames.iter().filter(|(_, f)| f.dirty).map(|(&a, _)| a).collect();
+        dirty.sort_unstable();
+        for addr in dirty {
+            let frame = self.frames.get_mut(&addr).expect("listed");
+            self.file.write_at(addr * self.chunk_bytes as u64, &frame.data)?;
+            frame.dirty = false;
+            self.stats.writebacks += 1;
+        }
+        Ok(())
+    }
+
+    /// Flush and drop every frame.
+    pub fn clear(&mut self) -> Result<()> {
+        self.flush()?;
+        self.frames.clear();
+        Ok(())
+    }
+}
+
+/// A serial DRX array with an Mpool chunk cache between the API and the
+/// file. Same semantics as [`DrxFile`]; element accesses hit the pool.
+///
+/// Dirty chunks are written back on eviction, [`CachedDrxFile::flush`], or
+/// drop (best effort — call `flush` to observe errors).
+pub struct CachedDrxFile<T: Element> {
+    inner: DrxFile<T>,
+    pool: ChunkPool,
+}
+
+impl<T: Element> CachedDrxFile<T> {
+    /// Wrap an open array with a pool of `capacity_chunks` chunks.
+    pub fn new(inner: DrxFile<T>, capacity_chunks: usize) -> Result<Self> {
+        let chunk_bytes = inner.meta().chunk_bytes() as usize;
+        let pool = ChunkPool::new(inner.payload_file().clone(), chunk_bytes, capacity_chunks)?;
+        Ok(CachedDrxFile { inner, pool })
+    }
+
+    pub fn meta(&self) -> &drx_core::ArrayMeta {
+        self.inner.meta()
+    }
+
+    pub fn bounds(&self) -> &[usize] {
+        self.inner.bounds()
+    }
+
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    pub fn reset_pool_stats(&mut self) {
+        self.pool.reset_stats()
+    }
+
+    /// Read one element through the cache.
+    pub fn get(&mut self, index: &[usize]) -> Result<T> {
+        let (addr, within) = self.inner.meta().locate_element(index)?;
+        let mut buf = vec![0u8; T::SIZE];
+        self.pool.read(addr, within as usize * T::SIZE, &mut buf)?;
+        Ok(T::read_le(&buf))
+    }
+
+    /// Write one element through the cache (write-back).
+    pub fn set(&mut self, index: &[usize], value: T) -> Result<()> {
+        let (addr, within) = self.inner.meta().locate_element(index)?;
+        let mut buf = Vec::with_capacity(T::SIZE);
+        value.write_le(&mut buf);
+        self.pool.write(addr, within as usize * T::SIZE, &buf)
+    }
+
+    /// Extend a dimension: flushes the pool first (the payload may be
+    /// resized), then extends the underlying array.
+    pub fn extend(&mut self, dim: usize, by: usize) -> Result<()> {
+        self.pool.flush()?;
+        self.inner.extend(dim, by)
+    }
+
+    /// Read a region through the cache, chunk at a time.
+    pub fn read_region(&mut self, region: &Region, layout: Layout) -> Result<Vec<T>> {
+        let chunking = self.inner.meta().chunking().clone();
+        let chunk_region = chunking.chunks_covering(region)?;
+        let mut pairs = self.inner.meta().grid().region_addresses(&chunk_region)?;
+        pairs.sort_by_key(|&(_, a)| a);
+        let extents = region.extents();
+        let strides = layout.strides(&extents);
+        let mut out = vec![T::default(); region.volume() as usize];
+        let cb = self.inner.meta().chunk_bytes() as usize;
+        for (chunk_idx, addr) in pairs {
+            let mut bytes = vec![0u8; cb];
+            self.pool.read(addr, 0, &mut bytes)?;
+            let chunk_elems = chunking.chunk_elements(&chunk_idx)?;
+            let Some(valid) = chunk_elems.intersect(region) else { continue };
+            let vals: Vec<T> = dtype::decode_slice(&bytes)?;
+            drx_core::index::for_each_offset_pair(
+                &valid,
+                chunk_elems.lo(),
+                chunking.strides(),
+                region.lo(),
+                &strides,
+                |src, dst| out[dst as usize] = vals[src as usize],
+            );
+        }
+        Ok(out)
+    }
+
+    /// Write back all dirty chunks and sync metadata.
+    pub fn flush(&mut self) -> Result<()> {
+        self.pool.flush()?;
+        self.inner.sync_meta()
+    }
+
+    /// Flush and unwrap the underlying file.
+    pub fn into_inner(mut self) -> Result<DrxFile<T>> {
+        self.pool.clear()?;
+        Ok(self.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drx_pfs::Pfs;
+
+    fn pfs() -> Pfs {
+        Pfs::memory(2, 256).unwrap()
+    }
+
+    #[test]
+    fn pool_read_write_and_hit_tracking() {
+        let fs = pfs();
+        let f = fs.create("p").unwrap();
+        f.set_len(1024).unwrap();
+        let mut pool = ChunkPool::new(f, 64, 4).unwrap();
+        let mut buf = [0u8; 8];
+        pool.read(0, 0, &mut buf).unwrap(); // miss
+        pool.read(0, 8, &mut buf).unwrap(); // hit
+        pool.write(0, 0, &[1; 8]).unwrap(); // hit
+        assert_eq!(pool.stats(), PoolStats { hits: 2, misses: 1, evictions: 0, writebacks: 0 });
+        pool.read(0, 0, &mut buf).unwrap();
+        assert_eq!(buf, [1; 8]);
+    }
+
+    #[test]
+    fn lru_eviction_writes_back_dirty_frames() {
+        let fs = pfs();
+        let f = fs.create("p").unwrap();
+        f.set_len(64 * 8).unwrap();
+        let mut pool = ChunkPool::new(f.clone(), 64, 2).unwrap();
+        pool.write(0, 0, &[7; 4]).unwrap(); // dirty chunk 0
+        let mut buf = [0u8; 4];
+        pool.read(1, 0, &mut buf).unwrap();
+        pool.read(2, 0, &mut buf).unwrap(); // evicts chunk 0 (LRU)
+        let st = pool.stats();
+        assert_eq!(st.evictions, 1);
+        assert_eq!(st.writebacks, 1);
+        // The write-back is visible through the raw file.
+        assert_eq!(f.read_vec(0, 4).unwrap(), vec![7; 4]);
+        // Chunk 0 faults back in with its data intact.
+        pool.read(0, 0, &mut buf).unwrap();
+        assert_eq!(buf, [7; 4]);
+    }
+
+    #[test]
+    fn flush_is_deterministic_and_clears_dirty() {
+        let fs = pfs();
+        let f = fs.create("p").unwrap();
+        f.set_len(64 * 4).unwrap();
+        let mut pool = ChunkPool::new(f.clone(), 64, 4).unwrap();
+        pool.write(3, 0, &[3]).unwrap();
+        pool.write(1, 0, &[1]).unwrap();
+        fs.reset_stats();
+        pool.flush().unwrap();
+        assert_eq!(pool.stats().writebacks, 2);
+        // Second flush writes nothing.
+        pool.flush().unwrap();
+        assert_eq!(pool.stats().writebacks, 2);
+        assert_eq!(f.read_vec(64, 1).unwrap(), vec![1]);
+        assert_eq!(f.read_vec(192, 1).unwrap(), vec![3]);
+    }
+
+    #[test]
+    fn out_of_range_chunk_access_is_rejected() {
+        let fs = pfs();
+        let f = fs.create("p").unwrap();
+        f.set_len(128).unwrap();
+        let mut pool = ChunkPool::new(f, 64, 2).unwrap();
+        let mut buf = [0u8; 65];
+        assert!(pool.read(0, 0, &mut buf).is_err());
+        assert!(pool.write(0, 60, &[0; 8]).is_err());
+        assert!(ChunkPool::new(fs.create("q").unwrap(), 0, 2).is_err());
+    }
+
+    #[test]
+    fn cached_file_matches_uncached_semantics() {
+        let fs = pfs();
+        let inner: DrxFile<i64> = DrxFile::create(&fs, "c", &[2, 3], &[8, 9]).unwrap();
+        let mut cached = CachedDrxFile::new(inner, 4).unwrap();
+        for idx in Region::new(vec![0, 0], vec![8, 9]).unwrap().iter() {
+            cached.set(&idx, (idx[0] * 9 + idx[1]) as i64).unwrap();
+        }
+        cached.extend(1, 3).unwrap(); // flushes, then grows
+        for i in 0..8 {
+            for j in 0..9 {
+                assert_eq!(cached.get(&[i, j]).unwrap(), (i * 9 + j) as i64);
+            }
+            assert_eq!(cached.get(&[i, 11]).unwrap(), 0);
+        }
+        let region = Region::new(vec![2, 2], vec![6, 8]).unwrap();
+        let via_cache = cached.read_region(&region, Layout::Fortran).unwrap();
+        // Flush, then compare against the plain path.
+        let plain = cached.into_inner().unwrap();
+        assert_eq!(plain.read_region(&region, Layout::Fortran).unwrap(), via_cache);
+        // Everything persisted to the file.
+        drop(plain);
+        let reread: DrxFile<i64> = DrxFile::open(&fs, "c").unwrap();
+        assert_eq!(reread.get(&[7, 8]).unwrap(), (7 * 9 + 8) as i64);
+    }
+
+    #[test]
+    fn locality_turns_pfs_traffic_into_hits() {
+        let fs = pfs();
+        let mut inner: DrxFile<f64> = DrxFile::create(&fs, "c", &[4, 4], &[16, 16]).unwrap();
+        inner.fill_with(|i| (i[0] + i[1]) as f64).unwrap();
+        let mut cached = CachedDrxFile::new(inner, 8).unwrap();
+        // Walk one chunk's elements repeatedly: 1 miss, many hits.
+        cached.reset_pool_stats();
+        fs.reset_stats();
+        for _ in 0..10 {
+            for i in 0..4 {
+                for j in 0..4 {
+                    cached.get(&[i, j]).unwrap();
+                }
+            }
+        }
+        let st = cached.pool_stats();
+        assert_eq!(st.misses, 1);
+        assert_eq!(st.hits, 159);
+        assert!(st.hit_rate() > 0.99);
+        // Only one chunk-sized PFS read happened for all 160 accesses.
+        assert_eq!(fs.stats().total_requests(), 1);
+        assert_eq!(fs.stats().total_bytes(), 4 * 4 * 8);
+    }
+}

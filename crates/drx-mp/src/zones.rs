@@ -1,0 +1,369 @@
+//! Zones: the partitioning of the principal array's chunk grid onto the
+//! processes of a parallel program (paper §II-A).
+//!
+//! "Partitioning and distributing the array chunks onto processes is always
+//! along chunk boundaries. The entire array file is partitioned into
+//! disjoint rectilinear regions where each region is composed of a set of
+//! adjacent connected chunks referred to as a zone. … Each processor has the
+//! meta-data information of the entire principal array and can compute the
+//! range of the chunk indices that define the zones of every other process."
+//!
+//! Two distribution schemes are provided: HPF-style `BLOCK` (rectilinear
+//! zones over a process grid — the Figure 1 case) and `BLOCK_CYCLIC(k)`
+//! (chunks dealt cyclically in blocks of `k`, the scheme the paper's §V
+//! lists as future work and which Panda supports).
+
+use crate::error::{MpError, Result};
+use drx_core::Region;
+
+/// How the chunk grid is distributed over processes.
+///
+/// ```
+/// use drx_mp::DistSpec;
+///
+/// // The paper's Figure 1: a 5×4 chunk grid over a 2×2 process grid.
+/// let dist = DistSpec::block(vec![2, 2]);
+/// assert_eq!(dist.owner_of_chunk(&[0, 0], &[5, 4]), 0);
+/// assert_eq!(dist.owner_of_chunk(&[4, 3], &[5, 4]), 3);
+/// // Every process can compute every zone from the replicated metadata.
+/// let zone = dist.zone_chunk_region(2, &[5, 4]).unwrap();
+/// assert_eq!((zone.lo(), zone.hi()), (&[3, 0][..], &[5, 2][..]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DistSpec {
+    /// HPF `BLOCK`: the process grid `proc_grid` (one extent per dimension,
+    /// `∏ proc_grid = nprocs`) splits each dimension into contiguous
+    /// near-equal chunk ranges.
+    Block { proc_grid: Vec<usize> },
+    /// HPF `BLOCK_CYCLIC(b)`: blocks of `block[j]` chunk indices are dealt
+    /// round-robin to the process grid coordinates of dimension `j`.
+    BlockCyclic { proc_grid: Vec<usize>, block: Vec<usize> },
+}
+
+impl DistSpec {
+    /// A `BLOCK` distribution over an explicit process grid.
+    pub fn block(proc_grid: Vec<usize>) -> Self {
+        DistSpec::Block { proc_grid }
+    }
+
+    /// A `BLOCK_CYCLIC` distribution.
+    pub fn block_cyclic(proc_grid: Vec<usize>, block: Vec<usize>) -> Self {
+        DistSpec::BlockCyclic { proc_grid, block }
+    }
+
+    /// The paper's "default load balancing algorithm": factor `nprocs` into
+    /// a near-balanced `k`-dimensional process grid (the `MPI_Dims_create`
+    /// algorithm — largest prime factors go to the currently smallest grid
+    /// extents).
+    pub fn auto(nprocs: usize, rank: usize) -> Self {
+        let mut grid = vec![1usize; rank];
+        let mut factors = prime_factors(nprocs);
+        factors.sort_unstable_by(|a, b| b.cmp(a));
+        for f in factors {
+            let (pos, _) = grid
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &g)| g)
+                .expect("rank >= 1");
+            grid[pos] *= f;
+        }
+        DistSpec::Block { proc_grid: grid }
+    }
+
+    pub fn proc_grid(&self) -> &[usize] {
+        match self {
+            DistSpec::Block { proc_grid } | DistSpec::BlockCyclic { proc_grid, .. } => proc_grid,
+        }
+    }
+
+    /// Check consistency against array rank and communicator size.
+    pub fn validate(&self, rank: usize, nprocs: usize) -> Result<()> {
+        let grid = self.proc_grid();
+        if grid.len() != rank {
+            return Err(MpError::BadDistribution(format!(
+                "process grid rank {} != array rank {rank}",
+                grid.len()
+            )));
+        }
+        if grid.contains(&0) {
+            return Err(MpError::BadDistribution("process grid extent of zero".into()));
+        }
+        let p: usize = grid.iter().product();
+        if p != nprocs {
+            return Err(MpError::BadDistribution(format!(
+                "process grid {grid:?} covers {p} processes, communicator has {nprocs}"
+            )));
+        }
+        if let DistSpec::BlockCyclic { block, .. } = self {
+            if block.len() != rank {
+                return Err(MpError::BadDistribution(format!(
+                    "block rank {} != array rank {rank}",
+                    block.len()
+                )));
+            }
+            if block.contains(&0) {
+                return Err(MpError::BadDistribution("cyclic block extent of zero".into()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Process-grid coordinates of a linear rank (row-major).
+    pub fn coords_of(&self, rank: usize) -> Vec<usize> {
+        let grid = self.proc_grid();
+        let mut coords = vec![0usize; grid.len()];
+        let mut r = rank;
+        for j in (0..grid.len()).rev() {
+            coords[j] = r % grid[j];
+            r /= grid[j];
+        }
+        coords
+    }
+
+    /// Linear rank of process-grid coordinates (row-major).
+    pub fn rank_of(&self, coords: &[usize]) -> usize {
+        let grid = self.proc_grid();
+        coords.iter().zip(grid).fold(0, |acc, (&c, &g)| acc * g + c)
+    }
+
+    /// The rank owning a chunk index, given the current chunk-grid bounds.
+    pub fn owner_of_chunk(&self, chunk: &[usize], grid_bounds: &[usize]) -> usize {
+        match self {
+            DistSpec::Block { proc_grid } => {
+                let coords: Vec<usize> = chunk
+                    .iter()
+                    .zip(grid_bounds.iter().zip(proc_grid))
+                    .map(|(&c, (&g, &p))| block_owner(c, g, p))
+                    .collect();
+                self.rank_of(&coords)
+            }
+            DistSpec::BlockCyclic { proc_grid, block } => {
+                let coords: Vec<usize> = chunk
+                    .iter()
+                    .zip(block.iter().zip(proc_grid))
+                    .map(|(&c, (&b, &p))| (c / b) % p)
+                    .collect();
+                self.rank_of(&coords)
+            }
+        }
+    }
+
+    /// For `BLOCK`: the rectilinear chunk-index zone of a rank (`None` for
+    /// block-cyclic, whose zones are not contiguous). The region may be
+    /// empty when there are more processes than chunks along a dimension.
+    pub fn zone_chunk_region(&self, rank: usize, grid_bounds: &[usize]) -> Option<Region> {
+        match self {
+            DistSpec::Block { proc_grid } => {
+                let coords = self.coords_of(rank);
+                let mut lo = Vec::with_capacity(coords.len());
+                let mut hi = Vec::with_capacity(coords.len());
+                for ((&c, &g), &p) in coords.iter().zip(grid_bounds).zip(proc_grid) {
+                    let (l, h) = block_range(c, g, p);
+                    lo.push(l);
+                    hi.push(h);
+                }
+                Region::new(lo, hi).ok()
+            }
+            DistSpec::BlockCyclic { .. } => None,
+        }
+    }
+
+    /// All chunk indices a rank owns, in row-major chunk-index order.
+    pub fn chunks_of(&self, rank: usize, grid_bounds: &[usize]) -> Vec<Vec<usize>> {
+        match self {
+            DistSpec::Block { .. } => self
+                .zone_chunk_region(rank, grid_bounds)
+                .map(|r| r.iter().collect())
+                .unwrap_or_default(),
+            DistSpec::BlockCyclic { proc_grid, block } => {
+                let coords = self.coords_of(rank);
+                // Per-dimension owned index lists.
+                let lists: Vec<Vec<usize>> = (0..grid_bounds.len())
+                    .map(|j| {
+                        (0..grid_bounds[j])
+                            .filter(|&c| (c / block[j]) % proc_grid[j] == coords[j])
+                            .collect()
+                    })
+                    .collect();
+                if lists.iter().any(|l| l.is_empty()) {
+                    return Vec::new();
+                }
+                // Cartesian product in row-major order.
+                let mut out = Vec::new();
+                let mut cursor = vec![0usize; lists.len()];
+                loop {
+                    out.push(cursor.iter().zip(&lists).map(|(&i, l)| l[i]).collect());
+                    let mut j = lists.len();
+                    loop {
+                        if j == 0 {
+                            return out;
+                        }
+                        j -= 1;
+                        cursor[j] += 1;
+                        if cursor[j] < lists[j].len() {
+                            break;
+                        }
+                        cursor[j] = 0;
+                        if j == 0 {
+                            return out;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Contiguous BLOCK range of process coordinate `p` over `g` chunk indices
+/// split across `procs` processes: the first `g % procs` processes get one
+/// extra chunk.
+fn block_range(p: usize, g: usize, procs: usize) -> (usize, usize) {
+    let base = g / procs;
+    let rem = g % procs;
+    let lo = p * base + p.min(rem);
+    let hi = lo + base + usize::from(p < rem);
+    (lo.min(g), hi.min(g))
+}
+
+/// Inverse of [`block_range`]: the process coordinate owning chunk index `c`.
+fn block_owner(c: usize, g: usize, procs: usize) -> usize {
+    let base = g / procs;
+    let rem = g % procs;
+    if c < rem * (base + 1) {
+        c / (base + 1)
+    } else {
+        rem + (c - rem * (base + 1)) / base.max(1)
+    }
+}
+
+fn prime_factors(mut n: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut d = 2;
+    while d * d <= n {
+        while n.is_multiple_of(d) {
+            out.push(d);
+            n /= d;
+        }
+        d += 1;
+    }
+    if n > 1 {
+        out.push(n);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_block_zones() {
+        // Figure 1: 5×4 chunk grid over a 2×2 process grid.
+        let d = DistSpec::block(vec![2, 2]);
+        d.validate(2, 4).unwrap();
+        let grid = [5usize, 4];
+        // Zones: P0 rows 0..3 cols 0..2, P1 rows 0..3 cols 2..4,
+        //        P2 rows 3..5 cols 0..2, P3 rows 3..5 cols 2..4.
+        assert_eq!(
+            d.zone_chunk_region(0, &grid).unwrap(),
+            Region::new(vec![0, 0], vec![3, 2]).unwrap()
+        );
+        assert_eq!(
+            d.zone_chunk_region(1, &grid).unwrap(),
+            Region::new(vec![0, 2], vec![3, 4]).unwrap()
+        );
+        assert_eq!(
+            d.zone_chunk_region(2, &grid).unwrap(),
+            Region::new(vec![3, 0], vec![5, 2]).unwrap()
+        );
+        assert_eq!(
+            d.zone_chunk_region(3, &grid).unwrap(),
+            Region::new(vec![3, 2], vec![5, 4]).unwrap()
+        );
+    }
+
+    #[test]
+    fn block_owner_matches_zone_membership() {
+        let d = DistSpec::block(vec![2, 3]);
+        let grid = [7usize, 8];
+        for rank in 0..6 {
+            let zone = d.zone_chunk_region(rank, &grid).unwrap();
+            for chunk in zone.iter() {
+                assert_eq!(d.owner_of_chunk(&chunk, &grid), rank, "chunk {chunk:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn zones_partition_the_grid_exactly() {
+        for spec in [
+            DistSpec::block(vec![2, 2]),
+            DistSpec::block(vec![4, 1]),
+            DistSpec::block_cyclic(vec![2, 2], vec![1, 2]),
+            DistSpec::block_cyclic(vec![1, 4], vec![3, 1]),
+        ] {
+            let grid = [6usize, 8];
+            let mut owned = std::collections::HashMap::new();
+            for rank in 0..4 {
+                for chunk in spec.chunks_of(rank, &grid) {
+                    assert!(owned.insert(chunk.clone(), rank).is_none(), "chunk {chunk:?} double-owned");
+                    assert_eq!(spec.owner_of_chunk(&chunk, &grid), rank);
+                }
+            }
+            assert_eq!(owned.len(), 48, "{spec:?} did not cover the grid");
+        }
+    }
+
+    #[test]
+    fn more_processes_than_chunks() {
+        let d = DistSpec::block(vec![4]);
+        let grid = [2usize];
+        assert_eq!(d.chunks_of(0, &grid), vec![vec![0]]);
+        assert_eq!(d.chunks_of(1, &grid), vec![vec![1]]);
+        assert!(d.chunks_of(2, &grid).is_empty());
+        assert!(d.chunks_of(3, &grid).is_empty());
+        assert_eq!(d.owner_of_chunk(&[1], &grid), 1);
+    }
+
+    #[test]
+    fn block_cyclic_deals_blocks() {
+        // 1-D, 2 procs, block 2: chunks 0,1→p0; 2,3→p1; 4,5→p0; …
+        let d = DistSpec::block_cyclic(vec![2], vec![2]);
+        let grid = [8usize];
+        assert_eq!(d.chunks_of(0, &grid), vec![vec![0], vec![1], vec![4], vec![5]]);
+        assert_eq!(d.chunks_of(1, &grid), vec![vec![2], vec![3], vec![6], vec![7]]);
+        assert!(d.zone_chunk_region(0, &grid).is_none());
+    }
+
+    #[test]
+    fn auto_grid_is_balanced_and_covers() {
+        let d = DistSpec::auto(12, 2);
+        let grid = d.proc_grid();
+        assert_eq!(grid.iter().product::<usize>(), 12);
+        assert_eq!(grid.len(), 2);
+        // 12 = 4×3 or 3×4 — never 12×1.
+        assert!(grid.iter().all(|&g| g >= 3), "unbalanced grid {grid:?}");
+        let d1 = DistSpec::auto(1, 3);
+        assert_eq!(d1.proc_grid(), &[1, 1, 1]);
+        let d7 = DistSpec::auto(7, 2);
+        assert_eq!(d7.proc_grid().iter().product::<usize>(), 7);
+    }
+
+    #[test]
+    fn coords_round_trip() {
+        let d = DistSpec::block(vec![2, 3, 2]);
+        for rank in 0..12 {
+            assert_eq!(d.rank_of(&d.coords_of(rank)), rank);
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(DistSpec::block(vec![2, 2]).validate(2, 5).is_err());
+        assert!(DistSpec::block(vec![2]).validate(2, 2).is_err());
+        assert!(DistSpec::block(vec![0, 2]).validate(2, 0).is_err());
+        assert!(DistSpec::block_cyclic(vec![2], vec![0]).validate(1, 2).is_err());
+        assert!(DistSpec::block_cyclic(vec![2], vec![1, 1]).validate(1, 2).is_err());
+        DistSpec::block_cyclic(vec![2], vec![3]).validate(1, 2).unwrap();
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests at the drx-mp layer: the Mpool-cached array is
+//! behaviourally identical to the plain serial array under random operation
+//! scripts, and the serial array round-trips arbitrary region writes in
+//! both layouts.
+
+use drx_core::{Layout, Region};
+use drx_mp::{CachedDrxFile, DrxFile};
+use drx_pfs::Pfs;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Set { frac: (f64, f64), value: i64 },
+    Get { frac: (f64, f64) },
+    Extend { dim: usize, by: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        ((0.0f64..1.0, 0.0f64..1.0), any::<i64>())
+            .prop_map(|(frac, value)| Op::Set { frac, value }),
+        (0.0f64..1.0, 0.0f64..1.0).prop_map(|frac| Op::Get { frac }),
+        (0usize..2, 1usize..4).prop_map(|(dim, by)| Op::Extend { dim, by }),
+    ]
+}
+
+fn pick(bounds: &[usize], frac: (f64, f64)) -> Vec<usize> {
+    vec![
+        ((frac.0 * bounds[0] as f64) as usize).min(bounds[0] - 1),
+        ((frac.1 * bounds[1] as f64) as usize).min(bounds[1] - 1),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Cached and uncached arrays agree op-for-op, and the flushed file
+    /// equals the uncached file byte-for-byte.
+    #[test]
+    fn cached_equals_uncached_under_random_scripts(
+        pool_chunks in 1usize..6,
+        ops in prop::collection::vec(op_strategy(), 1..40),
+    ) {
+        let pfs_a = Pfs::memory(2, 256).unwrap();
+        let pfs_b = Pfs::memory(2, 256).unwrap();
+        let plain: DrxFile<i64> = DrxFile::create(&pfs_a, "x", &[2, 3], &[5, 6]).unwrap();
+        let mut plain = plain;
+        let cached = DrxFile::<i64>::create(&pfs_b, "x", &[2, 3], &[5, 6]).unwrap();
+        let mut cached = CachedDrxFile::new(cached, pool_chunks).unwrap();
+        for op in &ops {
+            match op {
+                Op::Set { frac, value } => {
+                    let idx = pick(plain.bounds(), *frac);
+                    plain.set(&idx, *value).unwrap();
+                    cached.set(&idx, *value).unwrap();
+                }
+                Op::Get { frac } => {
+                    let idx = pick(plain.bounds(), *frac);
+                    prop_assert_eq!(plain.get(&idx).unwrap(), cached.get(&idx).unwrap());
+                }
+                Op::Extend { dim, by } => {
+                    plain.extend(*dim, *by).unwrap();
+                    cached.extend(*dim, *by).unwrap();
+                }
+            }
+        }
+        // Flush and compare the complete logical contents.
+        cached.flush().unwrap();
+        let bounds = plain.bounds().to_vec();
+        let full = Region::new(vec![0, 0], bounds).unwrap();
+        let a = plain.read_region(&full, Layout::C).unwrap();
+        let reopened: DrxFile<i64> = DrxFile::open(&pfs_b, "x").unwrap();
+        let b = reopened.read_region(&full, Layout::C).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Serial region writes in a random layout read back identically in
+    /// both layouts (relayout consistency at the file level).
+    #[test]
+    fn serial_region_write_round_trips_layouts(
+        chunk in prop::collection::vec(1usize..4, 2),
+        bounds in prop::collection::vec(2usize..8, 2),
+        lo_frac in (0.0f64..1.0, 0.0f64..1.0),
+        hi_frac in (0.0f64..1.0, 0.0f64..1.0),
+        fortran in any::<bool>(),
+        seed in any::<i64>(),
+    ) {
+        let pfs = Pfs::memory(2, 128).unwrap();
+        let mut f: DrxFile<i64> = DrxFile::create(&pfs, "y", &chunk, &bounds).unwrap();
+        let lo: Vec<usize> = bounds
+            .iter()
+            .zip([lo_frac.0, lo_frac.1])
+            .map(|(&b, fr)| ((fr * b as f64) as usize).min(b - 1))
+            .collect();
+        let hi: Vec<usize> = bounds
+            .iter()
+            .zip([hi_frac.0, hi_frac.1])
+            .zip(&lo)
+            .map(|((&b, fr), &l)| (l + 1 + (fr * (b - l) as f64) as usize).min(b))
+            .collect();
+        let region = Region::new(lo, hi).unwrap();
+        prop_assume!(!region.is_empty());
+        let layout = if fortran { Layout::Fortran } else { Layout::C };
+        let data: Vec<i64> =
+            (0..region.volume()).map(|i| seed.wrapping_add(i as i64)).collect();
+        f.write_region(&region, layout, &data).unwrap();
+        prop_assert_eq!(f.read_region(&region, layout).unwrap(), data.clone());
+        // Reading in the other layout is the in-memory relayout.
+        let other = if fortran { Layout::C } else { Layout::Fortran };
+        let got = f.read_region(&region, other).unwrap();
+        let expect =
+            drx_core::order::relayout(&data, &region.extents(), layout, other).unwrap();
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,543 @@
+//! Parallel file I/O with file views — the MPI-IO counterpart
+//! (`MPI_File_open`, `MPI_File_set_view`, `MPI_File_read`/`_read_all`, …).
+//!
+//! Independent reads/writes translate buffer positions through the rank's
+//! file view (a [`Datatype`] tiled from a displacement) and issue one PFS
+//! request per absolute extent. Collective `read_all`/`write_all` implement
+//! genuine **two-phase I/O**: the aggregate byte range of all ranks is
+//! partitioned into per-aggregator domains, each aggregator services its
+//! domain with large contiguous PFS requests, and data is redistributed with
+//! an all-to-all — the request-coalescing behaviour experiment E4 measures
+//! against independent I/O.
+
+use crate::comm::Comm;
+use crate::datatype::Datatype;
+use crate::error::{MsgError, Result};
+use crate::wire::{decode, encode};
+use drx_pfs::{Pfs, PfsFile};
+
+/// A parallel file handle bound to a communicator.
+pub struct MsgFile {
+    comm: Comm,
+    file: PfsFile,
+    disp: u64,
+    /// `None` = identity view (byte offsets pass through).
+    view: Option<Datatype>,
+}
+
+impl MsgFile {
+    /// Collective open. With `create`, rank 0 creates the file if missing;
+    /// the call errors on every rank if the file is absent and `create` is
+    /// false.
+    pub fn open(comm: &Comm, pfs: &Pfs, name: &str, create: bool) -> Result<MsgFile> {
+        if comm.rank() == 0 && create {
+            let _ = pfs.open_or_create(name)?;
+        }
+        comm.barrier()?;
+        let file = pfs.open(name)?;
+        Ok(MsgFile { comm: comm.clone(), file, disp: 0, view: None })
+    }
+
+    /// Set this rank's file view (`MPI_File_set_view`): logical data bytes
+    /// map into the file through `filetype` tiled from byte displacement
+    /// `disp`. Pass `None` to restore the identity view.
+    pub fn set_view(&mut self, disp: u64, filetype: Option<Datatype>) {
+        self.disp = disp;
+        self.view = filetype;
+    }
+
+    /// The communicator this file was opened on.
+    pub fn comm(&self) -> &Comm {
+        &self.comm
+    }
+
+    /// Logical file size in bytes.
+    pub fn len(&self) -> u64 {
+        self.file.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Collective resize (`MPI_File_set_size`).
+    pub fn set_size(&self, size: u64) -> Result<()> {
+        if self.comm.rank() == 0 {
+            self.file.set_len(size)?;
+        }
+        self.comm.barrier()
+    }
+
+    /// Absolute `(offset, len)` file extents for a logical `[data_offset,
+    /// data_offset + len)` range through this rank's view.
+    fn absolute(&self, data_offset: u64, len: u64) -> Vec<(u64, u64)> {
+        match &self.view {
+            None => {
+                if len == 0 {
+                    Vec::new()
+                } else {
+                    vec![(self.disp + data_offset, len)]
+                }
+            }
+            Some(ft) => ft
+                .absolute_ranges(data_offset, len)
+                .into_iter()
+                .map(|(o, l)| (o + self.disp, l))
+                .collect(),
+        }
+    }
+
+    /// Independent read of `buf.len()` view bytes starting at logical view
+    /// offset `data_offset`.
+    pub fn read_at(&self, data_offset: u64, buf: &mut [u8]) -> Result<()> {
+        let mut pos = 0usize;
+        for (off, len) in self.absolute(data_offset, buf.len() as u64) {
+            self.file.read_at(off, &mut buf[pos..pos + len as usize])?;
+            pos += len as usize;
+        }
+        debug_assert_eq!(pos, buf.len());
+        Ok(())
+    }
+
+    /// Independent write through the view.
+    pub fn write_at(&self, data_offset: u64, data: &[u8]) -> Result<()> {
+        let mut pos = 0usize;
+        for (off, len) in self.absolute(data_offset, data.len() as u64) {
+            self.file.write_at(off, &data[pos..pos + len as usize])?;
+            pos += len as usize;
+        }
+        debug_assert_eq!(pos, data.len());
+        Ok(())
+    }
+
+    /// Collective two-phase read (`MPI_File_read_all`). Every rank must
+    /// participate; ranks may request disjoint (even empty) view ranges.
+    pub fn read_all(&self, data_offset: u64, buf: &mut [u8]) -> Result<()> {
+        let ranges = self.absolute(data_offset, buf.len() as u64);
+        let domains = self.exchange_ranges(&ranges)?;
+        let Some((global_lo, global_hi, per, all_ranges)) = domains else {
+            return Ok(()); // nobody asked for anything
+        };
+        let size = self.comm.size();
+        let me = self.comm.rank();
+        // Phase 1: service my aggregator domain with one large read.
+        let my_dom = domain_of(global_lo, global_hi, per, me);
+        let mut dom_buf = Vec::new();
+        if my_dom.1 > my_dom.0 {
+            // Clip to what was actually requested (the domain is within
+            // [global lo, global hi) by construction).
+            dom_buf = self.file.read_vec(my_dom.0, (my_dom.1 - my_dom.0) as usize)?;
+        }
+        // Phase 2: ship each rank the pieces of its request inside my domain.
+        let mut to_each: Vec<Vec<u8>> = vec![Vec::new(); size];
+        for (rank, ranges) in all_ranges.iter().enumerate() {
+            for &(off, len) in ranges {
+                let lo = off.max(my_dom.0);
+                let hi = (off + len).min(my_dom.1);
+                if lo < hi {
+                    let slice = &dom_buf[(lo - my_dom.0) as usize..(hi - my_dom.0) as usize];
+                    to_each[rank].extend_from_slice(&encode(&[lo, hi - lo]));
+                    to_each[rank].extend_from_slice(slice);
+                }
+            }
+        }
+        let received = self.comm.alltoallv_bytes(to_each)?;
+        // Assemble: map absolute offsets back to buffer positions.
+        let placer = RangePlacer::new(&ranges);
+        for msg in received {
+            let mut cursor = 0usize;
+            while cursor < msg.len() {
+                let header: Vec<u64> = decode(&msg[cursor..cursor + 16]);
+                let (abs, len) = (header[0], header[1] as usize);
+                cursor += 16;
+                let bytes = &msg[cursor..cursor + len];
+                cursor += len;
+                placer.place(abs, bytes, buf)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Collective two-phase write (`MPI_File_write_all`).
+    pub fn write_all(&self, data_offset: u64, data: &[u8]) -> Result<()> {
+        let ranges = self.absolute(data_offset, data.len() as u64);
+        let domains = self.exchange_ranges(&ranges)?;
+        let Some((global_lo, global_hi, per, _all_ranges)) = domains else {
+            return Ok(());
+        };
+        let size = self.comm.size();
+        // Phase 1: route my data pieces to the owning aggregators.
+        let mut to_each: Vec<Vec<u8>> = vec![Vec::new(); size];
+        let mut pos = 0u64;
+        for &(off, len) in &ranges {
+            let mut covered = 0u64;
+            while covered < len {
+                let abs = off + covered;
+                let agg = ((abs - global_lo) / per) as usize;
+                let dom = domain_of(global_lo, global_hi, per, agg);
+                let take = (dom.1 - abs).min(len - covered);
+                to_each[agg].extend_from_slice(&encode(&[abs, take]));
+                to_each[agg].extend_from_slice(
+                    &data[(pos + covered) as usize..(pos + covered + take) as usize],
+                );
+                covered += take;
+            }
+            pos += len;
+        }
+        let received = self.comm.alltoallv_bytes(to_each)?;
+        // Phase 2: coalesce and write my domain with few large requests.
+        let mut pieces: Vec<(u64, Vec<u8>)> = Vec::new();
+        for msg in received {
+            let mut cursor = 0usize;
+            while cursor < msg.len() {
+                let header: Vec<u64> = decode(&msg[cursor..cursor + 16]);
+                let (abs, len) = (header[0], header[1] as usize);
+                cursor += 16;
+                pieces.push((abs, msg[cursor..cursor + len].to_vec()));
+                cursor += len;
+            }
+        }
+        pieces.sort_by_key(|&(abs, _)| abs);
+        let mut run_start: Option<u64> = None;
+        let mut run: Vec<u8> = Vec::new();
+        for (abs, bytes) in pieces {
+            match run_start {
+                Some(start) if start + run.len() as u64 == abs => run.extend_from_slice(&bytes),
+                Some(start) => {
+                    self.file.write_at(start, &run)?;
+                    run_start = Some(abs);
+                    run = bytes;
+                    let _ = start;
+                }
+                None => {
+                    run_start = Some(abs);
+                    run = bytes;
+                }
+            }
+        }
+        if let Some(start) = run_start {
+            self.file.write_at(start, &run)?;
+        }
+        // Writes must be visible before any rank proceeds.
+        self.comm.barrier()
+    }
+
+    /// Allgather everyone's absolute ranges; returns `(global_lo, global_hi,
+    /// bytes_per_domain, ranges_by_rank)`, or `None` when all ranks
+    /// requested nothing.
+    #[allow(clippy::type_complexity)]
+    fn exchange_ranges(
+        &self,
+        mine: &[(u64, u64)],
+    ) -> Result<Option<(u64, u64, u64, Vec<Vec<(u64, u64)>>)>> {
+        let flat: Vec<u64> = mine.iter().flat_map(|&(o, l)| [o, l]).collect();
+        let all = self.comm.allgather_vec::<u64>(&flat)?;
+        let all_ranges: Vec<Vec<(u64, u64)>> = all
+            .into_iter()
+            .map(|v| v.chunks_exact(2).map(|c| (c[0], c[1])).collect())
+            .collect();
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        for ranges in &all_ranges {
+            for &(o, l) in ranges {
+                if l > 0 {
+                    lo = lo.min(o);
+                    hi = hi.max(o + l);
+                }
+            }
+        }
+        if lo >= hi {
+            return Ok(None);
+        }
+        let per = (hi - lo).div_ceil(self.comm.size() as u64).max(1);
+        Ok(Some((lo, hi, per, all_ranges)))
+    }
+}
+
+/// Aggregator domain `agg`: `[lo + agg·per, lo + (agg+1)·per)`, clipped to
+/// the global high end (trailing aggregators can own empty domains).
+fn domain_of(global_lo: u64, global_hi: u64, per: u64, agg: usize) -> (u64, u64) {
+    let start = (global_lo + per * agg as u64).min(global_hi);
+    (start, (start + per).min(global_hi))
+}
+
+/// Maps absolute file offsets back to positions in a request buffer whose
+/// layout is the concatenation of the rank's view extents.
+struct RangePlacer<'a> {
+    ranges: &'a [(u64, u64)],
+    /// Buffer position where each range starts.
+    prefix: Vec<u64>,
+}
+
+impl<'a> RangePlacer<'a> {
+    fn new(ranges: &'a [(u64, u64)]) -> Self {
+        let mut prefix = Vec::with_capacity(ranges.len());
+        let mut acc = 0u64;
+        for &(_, l) in ranges {
+            prefix.push(acc);
+            acc += l;
+        }
+        RangePlacer { ranges, prefix }
+    }
+
+    fn place(&self, abs: u64, bytes: &[u8], buf: &mut [u8]) -> Result<()> {
+        // The piece lies within exactly one of our ranges (pieces are
+        // produced by intersecting one range with one domain).
+        let idx = self.ranges.partition_point(|&(o, _)| o <= abs);
+        if idx == 0 {
+            return Err(MsgError::Invalid(format!("stray piece at {abs}")));
+        }
+        let (off, len) = self.ranges[idx - 1];
+        if abs + bytes.len() as u64 > off + len {
+            return Err(MsgError::Invalid(format!(
+                "piece [{abs}, +{}) overruns range [{off}, +{len})",
+                bytes.len()
+            )));
+        }
+        let start = (self.prefix[idx - 1] + (abs - off)) as usize;
+        buf[start..start + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::run_spmd;
+    use drx_pfs::Pfs;
+
+    fn pfs() -> Pfs {
+        Pfs::memory(4, 64).unwrap()
+    }
+
+    #[test]
+    fn open_requires_existing_unless_create() {
+        let fs = pfs();
+        run_spmd(2, |comm| {
+            assert!(MsgFile::open(comm, &fs, "missing", false).is_err());
+            let f = MsgFile::open(comm, &fs, "made", true)?;
+            assert_eq!(f.len(), 0);
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn independent_io_through_identity_view() {
+        let fs = pfs();
+        run_spmd(2, |comm| {
+            let f = MsgFile::open(comm, &fs, "f", true)?;
+            // Each rank writes its own 100-byte region.
+            let me = comm.rank() as u8;
+            f.write_at(comm.rank() as u64 * 100, &[me; 100])?;
+            comm.barrier()?;
+            let mut buf = vec![0u8; 100];
+            let peer = 1 - comm.rank();
+            f.read_at(peer as u64 * 100, &mut buf)?;
+            assert!(buf.iter().all(|&b| b == peer as u8));
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn view_maps_interleaved_blocks() {
+        let fs = pfs();
+        run_spmd(2, |comm| {
+            let mut f = MsgFile::open(comm, &fs, "f", true)?;
+            // File of 8 blocks of 4 bytes; rank r owns blocks r, r+2, r+4, r+6.
+            let base = Datatype::contiguous(4);
+            let displs: Vec<usize> = (0..4).map(|i| comm.rank() + 2 * i).collect();
+            let ft = Datatype::indexed(&[1; 4], &displs, &base)?;
+            f.set_view(0, Some(ft));
+            let me = comm.rank() as u8;
+            f.write_at(0, &[me; 16])?;
+            comm.barrier()?;
+            // Raw check: blocks alternate 0,1,0,1… .
+            f.set_view(0, None);
+            let mut raw = vec![9u8; 32];
+            f.read_at(0, &mut raw)?;
+            for b in 0..8 {
+                let expect = (b % 2) as u8;
+                assert!(raw[b * 4..(b + 1) * 4].iter().all(|&x| x == expect), "block {b}");
+            }
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn collective_read_matches_independent() {
+        let fs = pfs();
+        // Seed a 1 KiB file with a known pattern.
+        let seed = fs.create("f").unwrap();
+        let pattern: Vec<u8> = (0..1024u32).map(|i| (i % 251) as u8).collect();
+        seed.write_at(0, &pattern).unwrap();
+        run_spmd(4, |comm| {
+            let mut f = MsgFile::open(comm, &fs, "f", false)?;
+            // Rank r owns 4 interleaved 32-byte blocks: r, r+4, r+8, r+12.
+            let base = Datatype::contiguous(32);
+            let displs: Vec<usize> = (0..4).map(|i| comm.rank() + 4 * i).collect();
+            f.set_view(0, Some(Datatype::indexed(&[1; 4], &displs, &base)?));
+            let mut coll = vec![0u8; 128];
+            f.read_all(0, &mut coll)?;
+            let mut ind = vec![0u8; 128];
+            f.read_at(0, &mut ind)?;
+            assert_eq!(coll, ind);
+            // Spot-check content against the pattern.
+            for (i, d) in displs.iter().enumerate() {
+                assert_eq!(&coll[i * 32..(i + 1) * 32], &pattern[d * 32..(d + 1) * 32]);
+            }
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn collective_write_round_trips() {
+        let fs = pfs();
+        run_spmd(4, |comm| {
+            let mut f = MsgFile::open(comm, &fs, "f", true)?;
+            let base = Datatype::contiguous(16);
+            let displs: Vec<usize> = (0..8).map(|i| comm.rank() + 4 * i).collect();
+            f.set_view(0, Some(Datatype::indexed(&[1; 8], &displs, &base)?));
+            let me = comm.rank() as u8;
+            let data: Vec<u8> = (0..128u32).map(|i| me.wrapping_add(i as u8)).collect();
+            f.write_all(0, &data)?;
+            // Read back collectively and compare.
+            let mut back = vec![0u8; 128];
+            f.read_all(0, &mut back)?;
+            assert_eq!(back, data);
+            // And the raw file interleaves ranks 0..4 in 16-byte blocks.
+            f.set_view(0, None);
+            let mut raw = vec![0u8; 512];
+            f.read_at(0, &mut raw)?;
+            for b in 0..32 {
+                assert_eq!(raw[b * 16], (b % 4) as u8 + ((b / 4) * 16) as u8);
+            }
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn collective_with_empty_participants() {
+        let fs = pfs();
+        let seed = fs.create("f").unwrap();
+        seed.write_at(0, &[7u8; 64]).unwrap();
+        run_spmd(3, |comm| {
+            let f = MsgFile::open(comm, &fs, "f", false)?;
+            // Only rank 1 reads; others participate with empty buffers.
+            let mut buf = if comm.rank() == 1 { vec![0u8; 64] } else { Vec::new() };
+            f.read_all(0, &mut buf)?;
+            if comm.rank() == 1 {
+                assert!(buf.iter().all(|&b| b == 7));
+            }
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn all_empty_collective_is_a_noop() {
+        let fs = pfs();
+        run_spmd(2, |comm| {
+            let f = MsgFile::open(comm, &fs, "f", true)?;
+            f.read_all(0, &mut [])?;
+            f.write_all(0, &[])?;
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn collective_uses_fewer_pfs_requests_than_independent() {
+        // The point of two-phase I/O: interleaved small blocks coalesce.
+        let fs = Pfs::memory(2, 1 << 20).unwrap(); // one huge stripe: isolate coalescing
+        let seed = fs.create("f").unwrap();
+        seed.write_at(0, &vec![1u8; 64 * 1024]).unwrap();
+        let blocks = 64usize;
+        let bs = 512usize;
+
+        fs.reset_stats();
+        run_spmd(4, |comm| {
+            let mut f = MsgFile::open(comm, &fs, "f", false)?;
+            let base = Datatype::contiguous(bs as u64);
+            let displs: Vec<usize> =
+                (0..blocks / 4).map(|i| comm.rank() + 4 * i).collect();
+            f.set_view(0, Some(Datatype::indexed(&[1; 16], &displs, &base)?));
+            let mut buf = vec![0u8; bs * blocks / 4];
+            f.read_at(0, &mut buf)?; // independent
+            Ok(())
+        })
+        .unwrap();
+        let independent_reqs = fs.stats().total_requests();
+
+        fs.reset_stats();
+        run_spmd(4, |comm| {
+            let mut f = MsgFile::open(comm, &fs, "f", false)?;
+            let base = Datatype::contiguous(bs as u64);
+            let displs: Vec<usize> =
+                (0..blocks / 4).map(|i| comm.rank() + 4 * i).collect();
+            f.set_view(0, Some(Datatype::indexed(&[1; 16], &displs, &base)?));
+            let mut buf = vec![0u8; bs * blocks / 4];
+            f.read_all(0, &mut buf)?; // collective
+            Ok(())
+        })
+        .unwrap();
+        let collective_reqs = fs.stats().total_requests();
+
+        assert!(
+            collective_reqs < independent_reqs,
+            "two-phase ({collective_reqs} requests) should beat independent ({independent_reqs})"
+        );
+    }
+
+    #[test]
+    fn collective_io_on_a_split_communicator() {
+        // The paper's API takes a "group communicator": only a subset of the
+        // world may drive a file's collective I/O. Even ranks do collective
+        // writes on their sub-communicator while odd ranks are busy
+        // elsewhere.
+        let fs = pfs();
+        run_spmd(4, |comm| {
+            let sub = comm.split((comm.rank() % 2) as u64, comm.rank() as u64)?;
+            if comm.rank() % 2 == 0 {
+                let mut f = MsgFile::open(&sub, &fs, "subio", true)?;
+                let base = Datatype::contiguous(64);
+                let displs: Vec<usize> = (0..4).map(|i| sub.rank() + 2 * i).collect();
+                f.set_view(0, Some(Datatype::indexed(&[1; 4], &displs, &base)?));
+                let data = vec![sub.rank() as u8 + 1; 256];
+                f.write_all(0, &data)?;
+                let mut back = vec![0u8; 256];
+                f.read_all(0, &mut back)?;
+                assert_eq!(back, data);
+            } else {
+                // Odd ranks never touch the file; they synchronize among
+                // themselves only.
+                sub.barrier()?;
+            }
+            comm.barrier()?;
+            // Everyone can now verify the interleaved blocks independently.
+            let f = fs.open("subio").unwrap();
+            for b in 0..8 {
+                let block = f.read_vec(b * 64, 64).unwrap();
+                assert!(block.iter().all(|&x| x == (b % 2) as u8 + 1), "block {b}");
+            }
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn set_size_is_collective() {
+        let fs = pfs();
+        run_spmd(2, |comm| {
+            let f = MsgFile::open(comm, &fs, "f", true)?;
+            f.set_size(4096)?;
+            assert_eq!(f.len(), 4096);
+            Ok(())
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,43 @@
+//! # drx-msg — MPI-like SPMD runtime on thread-ranks
+//!
+//! The message-passing substrate DRX-MP runs on: SPMD ranks (OS threads),
+//! communicators with point-to-point messaging and collectives, derived
+//! datatypes, RMA windows (`get`/`put`/`accumulate`) and MPI-IO-style
+//! parallel file access with file views and two-phase collective I/O over
+//! the [`drx_pfs`] parallel file system.
+//!
+//! The paper's library is built on MPI-2 + MPI-IO over PVFS2 (§IV); no
+//! usable MPI binding exists offline for Rust, so this crate reimplements
+//! the *semantics* the paper depends on — see DESIGN.md §3 for the
+//! substitution argument.
+//!
+//! ```
+//! use drx_msg::{run_spmd, ReduceOp};
+//!
+//! let sums = run_spmd(4, |comm| {
+//!     // Every rank contributes its rank id; all ranks get the total.
+//!     let total = comm.allreduce_u64(&[comm.rank() as u64], ReduceOp::Sum)?;
+//!     Ok(total[0])
+//! })
+//! .unwrap();
+//! assert_eq!(sums, vec![6, 6, 6, 6]);
+//! ```
+
+pub mod collective;
+pub mod comm;
+pub mod datatype;
+pub mod error;
+pub mod io;
+pub mod request;
+pub mod rma;
+pub mod runtime;
+pub mod wire;
+
+pub use comm::Comm;
+pub use datatype::Datatype;
+pub use error::{MsgError, Result};
+pub use io::MsgFile;
+pub use request::{RecvRequest, SendRequest};
+pub use rma::Window;
+pub use runtime::run_spmd;
+pub use wire::{ReduceOp, Scalar};

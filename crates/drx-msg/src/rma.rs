@@ -1,0 +1,257 @@
+//! Remote memory access windows — the `MPI_Win` / `MPI_Get` / `MPI_Put` /
+//! `MPI_Accumulate` counterpart (paper §I: "Memory to memory exchange of
+//! array elements are carried out either with MPI-2 remote memory addressing
+//! (RMA) features or with … ARMCI").
+//!
+//! Each rank contributes a local byte region; any rank may read, write or
+//! accumulate into any rank's region. `fence` separates access epochs.
+
+use crate::comm::Comm;
+use crate::error::{MsgError, Result};
+use crate::wire::Scalar;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// A window over every rank's exposed memory region.
+///
+/// ```
+/// use drx_msg::{run_spmd, Window};
+///
+/// run_spmd(2, |comm| {
+///     let win = Window::create(comm, vec![0u8; 4])?;
+///     win.fence()?;
+///     if comm.rank() == 0 {
+///         win.put(1, 0, &[7, 7])?; // write into rank 1's region
+///     }
+///     win.fence()?;
+///     if comm.rank() == 1 {
+///         win.with_local(|bytes| assert_eq!(&bytes[..2], &[7, 7]))?;
+///     }
+///     Ok(())
+/// })
+/// .unwrap();
+/// ```
+pub struct Window {
+    comm: Comm,
+    parts: Vec<Arc<RwLock<Vec<u8>>>>,
+}
+
+impl Window {
+    /// Collective: expose `local` bytes on every rank and assemble the
+    /// window.
+    pub fn create(comm: &Comm, local: Vec<u8>) -> Result<Window> {
+        let mine = Arc::new(RwLock::new(local));
+        let parts = comm.share_obj(mine)?;
+        Ok(Window { comm: comm.clone(), parts })
+    }
+
+    /// Size of a rank's exposed region in bytes.
+    pub fn size_of(&self, rank: usize) -> Result<u64> {
+        self.part(rank).map(|p| p.read().len() as u64)
+    }
+
+    fn part(&self, rank: usize) -> Result<&Arc<RwLock<Vec<u8>>>> {
+        self.parts
+            .get(rank)
+            .ok_or(MsgError::BadRank { rank, size: self.comm.size() })
+    }
+
+    fn check_range(&self, rank: usize, offset: u64, len: u64, size: u64) -> Result<()> {
+        if offset + len > size {
+            Err(MsgError::WindowRange { rank, offset, len, size })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Read `buf.len()` bytes from `rank`'s region at `offset`
+    /// (`MPI_Get`).
+    pub fn get(&self, rank: usize, offset: u64, buf: &mut [u8]) -> Result<()> {
+        let part = self.part(rank)?.read();
+        self.check_range(rank, offset, buf.len() as u64, part.len() as u64)?;
+        buf.copy_from_slice(&part[offset as usize..offset as usize + buf.len()]);
+        Ok(())
+    }
+
+    /// Write `data` into `rank`'s region at `offset` (`MPI_Put`).
+    pub fn put(&self, rank: usize, offset: u64, data: &[u8]) -> Result<()> {
+        let mut part = self.part(rank)?.write();
+        let size = part.len() as u64;
+        self.check_range(rank, offset, data.len() as u64, size)?;
+        part[offset as usize..offset as usize + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Read-modify-write with a combining function, atomic with respect to
+    /// other window operations (`MPI_Accumulate` with a custom op).
+    pub fn accumulate_with<T: Scalar>(
+        &self,
+        rank: usize,
+        offset: u64,
+        values: &[T],
+        combine: impl Fn(T, T) -> T,
+    ) -> Result<()> {
+        let mut part = self.part(rank)?.write();
+        let len = (values.len() * T::SIZE) as u64;
+        let size = part.len() as u64;
+        self.check_range(rank, offset, len, size)?;
+        let base = offset as usize;
+        for (i, &v) in values.iter().enumerate() {
+            let s = base + i * T::SIZE;
+            let old = T::read_le(&part[s..s + T::SIZE]);
+            let mut tmp = Vec::with_capacity(T::SIZE);
+            combine(old, v).write_le(&mut tmp);
+            part[s..s + T::SIZE].copy_from_slice(&tmp);
+        }
+        Ok(())
+    }
+
+    /// Byte-level read-modify-write, atomic with respect to other window
+    /// operations: `combine(old_bytes, new_bytes)` replaces the region.
+    /// Used by callers whose element types are not [`Scalar`]s (e.g. complex
+    /// numbers).
+    pub fn rmw_bytes(
+        &self,
+        rank: usize,
+        offset: u64,
+        data: &[u8],
+        combine: impl FnOnce(&[u8], &[u8]) -> Vec<u8>,
+    ) -> Result<()> {
+        let mut part = self.part(rank)?.write();
+        let size = part.len() as u64;
+        self.check_range(rank, offset, data.len() as u64, size)?;
+        let s = offset as usize;
+        let merged = combine(&part[s..s + data.len()], data);
+        if merged.len() != data.len() {
+            return Err(MsgError::Invalid(format!(
+                "rmw combine returned {} bytes for a {}-byte region",
+                merged.len(),
+                data.len()
+            )));
+        }
+        part[s..s + data.len()].copy_from_slice(&merged);
+        Ok(())
+    }
+
+    /// Element-wise sum accumulate of `f64`s (the common `MPI_SUM` case).
+    pub fn accumulate_f64(&self, rank: usize, offset: u64, values: &[f64]) -> Result<()> {
+        self.accumulate_with(rank, offset, values, |a, b| a + b)
+    }
+
+    /// Element-wise sum accumulate of `i64`s.
+    pub fn accumulate_i64(&self, rank: usize, offset: u64, values: &[i64]) -> Result<()> {
+        self.accumulate_with(rank, offset, values, |a, b| a + b)
+    }
+
+    /// Epoch separator: all window operations issued before the fence
+    /// complete before any rank proceeds (`MPI_Win_fence`).
+    pub fn fence(&self) -> Result<()> {
+        // Thread-rank operations are synchronous, so the barrier alone
+        // provides the epoch ordering.
+        self.comm.barrier()
+    }
+
+    /// Run a closure with read access to the local region.
+    pub fn with_local<R>(&self, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        Ok(f(&self.part(self.comm.rank())?.read()))
+    }
+
+    /// Run a closure with write access to the local region.
+    pub fn with_local_mut<R>(&self, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
+        Ok(f(&mut self.part(self.comm.rank())?.write()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::run_spmd;
+    use crate::wire::{decode, encode};
+
+    #[test]
+    fn get_and_put_across_ranks() {
+        run_spmd(3, |comm| {
+            let local = vec![comm.rank() as u8; 8];
+            let win = Window::create(comm, local)?;
+            win.fence()?;
+            // Everyone reads rank 2's region.
+            let mut buf = [0u8; 8];
+            win.get(2, 0, &mut buf)?;
+            assert_eq!(buf, [2; 8]);
+            // Rank 0 writes into rank 1's region.
+            if comm.rank() == 0 {
+                win.put(1, 4, &[9, 9])?;
+            }
+            win.fence()?;
+            if comm.rank() == 1 {
+                win.with_local(|l| assert_eq!(l, &[1, 1, 1, 1, 9, 9, 1, 1]))?;
+            }
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn concurrent_accumulates_are_atomic() {
+        run_spmd(4, |comm| {
+            let local = encode(&[0.0f64; 4]);
+            let win = Window::create(comm, local)?;
+            win.fence()?;
+            // Every rank adds 1.0 to every slot of rank 0, 100 times.
+            for _ in 0..100 {
+                win.accumulate_f64(0, 0, &[1.0; 4])?;
+            }
+            win.fence()?;
+            if comm.rank() == 0 {
+                win.with_local(|l| {
+                    let vals = decode::<f64>(l);
+                    assert_eq!(vals, vec![400.0; 4]);
+                })?;
+            }
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn range_checks() {
+        run_spmd(2, |comm| {
+            let win = Window::create(comm, vec![0u8; 4])?;
+            let mut buf = [0u8; 8];
+            assert!(matches!(win.get(1, 0, &mut buf), Err(MsgError::WindowRange { .. })));
+            assert!(matches!(win.put(0, 3, &[1, 1]), Err(MsgError::WindowRange { .. })));
+            assert!(win.get(5, 0, &mut buf).is_err());
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn unequal_window_sizes() {
+        run_spmd(2, |comm| {
+            let win = Window::create(comm, vec![0u8; (comm.rank() + 1) * 10])?;
+            assert_eq!(win.size_of(0)?, 10);
+            assert_eq!(win.size_of(1)?, 20);
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn accumulate_i64_and_custom_op() {
+        run_spmd(2, |comm| {
+            let win = Window::create(comm, encode(&[10i64, 20]))?;
+            win.fence()?;
+            if comm.rank() == 1 {
+                win.accumulate_i64(0, 0, &[5, -5])?;
+                win.accumulate_with(0, 8, &[100i64], |a, b| a.max(b))?;
+            }
+            win.fence()?;
+            if comm.rank() == 0 {
+                win.with_local(|l| assert_eq!(decode::<i64>(l), vec![15, 100]))?;
+            }
+            Ok(())
+        })
+        .unwrap();
+    }
+}

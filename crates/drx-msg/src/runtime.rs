@@ -1,0 +1,119 @@
+//! SPMD launcher: run one closure on `n` rank-threads, the counterpart of
+//! `mpiexec -n <n>` for the thread-rank runtime.
+
+use crate::comm::Comm;
+use crate::error::{MsgError, Result};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Run `f` on `n` ranks and collect the per-rank results in rank order.
+///
+/// * If a rank panics, the world communicator is poisoned so blocked peers
+///   abort with [`MsgError::Poisoned`] instead of deadlocking, and the panic
+///   is reported as an error naming the rank.
+/// * If a rank returns `Err`, the communicator is also poisoned (the
+///   `MPI_Abort` discipline) and the first error in rank order is returned.
+pub fn run_spmd<R, F>(n: usize, f: F) -> Result<Vec<R>>
+where
+    R: Send,
+    F: Fn(&Comm) -> Result<R> + Send + Sync,
+{
+    if n == 0 {
+        return Err(MsgError::Invalid("need at least one rank".into()));
+    }
+    let comms = Comm::new_group(n);
+    let world = comms[0].inner().clone();
+    let f = &f;
+    let results: Vec<std::thread::Result<Result<R>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|comm| {
+                let world = world.clone();
+                scope.spawn(move || {
+                    let out = catch_unwind(AssertUnwindSafe(|| f(&comm)));
+                    match &out {
+                        Err(_) | Ok(Err(_)) => world.poison(),
+                        Ok(Ok(_)) => {}
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("scoped join cannot fail")).collect()
+    });
+
+    let mut out = Vec::with_capacity(n);
+    for (rank, r) in results.into_iter().enumerate() {
+        match r {
+            Ok(Ok(v)) => out.push(v),
+            Ok(Err(e)) => return Err(e),
+            Err(payload) => {
+                let detail = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic>".into());
+                return Err(MsgError::Invalid(format!("rank {rank} panicked: {detail}")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_results_in_rank_order() {
+        let out = run_spmd(4, |comm| Ok(comm.rank() * 2)).unwrap();
+        assert_eq!(out, vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn zero_ranks_is_an_error() {
+        assert!(run_spmd(0, |_| Ok(())).is_err());
+    }
+
+    #[test]
+    fn single_rank_works() {
+        let out = run_spmd(1, |comm| {
+            comm.barrier()?;
+            Ok(comm.size())
+        })
+        .unwrap();
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn panic_in_one_rank_poisons_blocked_peers() {
+        let err = run_spmd(2, |comm| -> Result<()> {
+            if comm.rank() == 0 {
+                panic!("deliberate test panic");
+            }
+            // Rank 1 blocks in a collective that can never complete; the
+            // poison must wake it.
+            match comm.barrier() {
+                Err(MsgError::Poisoned) => Ok(()),
+                other => panic!("expected Poisoned, got {other:?}"),
+            }
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("rank 0 panicked"));
+    }
+
+    #[test]
+    fn error_return_aborts_the_world() {
+        let err = run_spmd(2, |comm| {
+            if comm.rank() == 0 {
+                return Err(MsgError::Invalid("early exit".into()));
+            }
+            // Rank 1 would block forever without the abort discipline.
+            match comm.recv_bytes(Some(0), None) {
+                Err(MsgError::Poisoned) => Ok(()),
+                other => panic!("expected Poisoned, got {other:?}"),
+            }
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("early exit"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Minimal scalar codec for typed messages and reductions.
+//!
+//! The runtime moves raw bytes; this module provides the little-endian
+//! encoding for the handful of scalar types that collectives and typed
+//! point-to-point helpers operate on (mirroring the basic MPI datatypes).
+
+/// A fixed-size scalar with a defined little-endian wire format.
+pub trait Scalar: Copy + Default + PartialEq + Send + Sync + std::fmt::Debug + 'static {
+    const SIZE: usize;
+    fn write_le(&self, out: &mut Vec<u8>);
+    fn read_le(bytes: &[u8]) -> Self;
+}
+
+macro_rules! impl_scalar {
+    ($t:ty, $size:expr) => {
+        impl Scalar for $t {
+            const SIZE: usize = $size;
+            fn write_le(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn read_le(bytes: &[u8]) -> Self {
+                let mut a = [0u8; $size];
+                a.copy_from_slice(&bytes[..$size]);
+                <$t>::from_le_bytes(a)
+            }
+        }
+    };
+}
+
+impl_scalar!(u8, 1);
+impl_scalar!(u16, 2);
+impl_scalar!(u32, 4);
+impl_scalar!(u64, 8);
+impl_scalar!(i32, 4);
+impl_scalar!(i64, 8);
+impl_scalar!(f32, 4);
+impl_scalar!(f64, 8);
+
+/// Encode a slice of scalars to bytes.
+pub fn encode<T: Scalar>(vals: &[T]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vals.len() * T::SIZE);
+    for v in vals {
+        v.write_le(&mut out);
+    }
+    out
+}
+
+/// Decode bytes into scalars; panics on ragged input (callers control both
+/// sides of the wire).
+pub fn decode<T: Scalar>(bytes: &[u8]) -> Vec<T> {
+    assert!(
+        bytes.len().is_multiple_of(T::SIZE),
+        "ragged wire buffer: {} bytes for {}-byte scalars",
+        bytes.len(),
+        T::SIZE
+    );
+    bytes.chunks_exact(T::SIZE).map(T::read_le).collect()
+}
+
+/// Reduction operators for scalar collectives (the MPI_Op counterpart).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    Sum,
+    Min,
+    Max,
+}
+
+impl ReduceOp {
+    /// Apply the operator element-wise: `acc[i] = op(acc[i], v[i])`.
+    pub fn fold_f64(self, acc: &mut [f64], v: &[f64]) {
+        match self {
+            ReduceOp::Sum => acc.iter_mut().zip(v).for_each(|(a, &b)| *a += b),
+            ReduceOp::Min => acc.iter_mut().zip(v).for_each(|(a, &b)| *a = a.min(b)),
+            ReduceOp::Max => acc.iter_mut().zip(v).for_each(|(a, &b)| *a = a.max(b)),
+        }
+    }
+
+    /// Apply the operator element-wise on u64.
+    pub fn fold_u64(self, acc: &mut [u64], v: &[u64]) {
+        match self {
+            ReduceOp::Sum => acc.iter_mut().zip(v).for_each(|(a, &b)| *a += b),
+            ReduceOp::Min => acc.iter_mut().zip(v).for_each(|(a, &b)| *a = (*a).min(b)),
+            ReduceOp::Max => acc.iter_mut().zip(v).for_each(|(a, &b)| *a = (*a).max(b)),
+        }
+    }
+
+    /// Apply the operator element-wise on i64.
+    pub fn fold_i64(self, acc: &mut [i64], v: &[i64]) {
+        match self {
+            ReduceOp::Sum => acc.iter_mut().zip(v).for_each(|(a, &b)| *a += b),
+            ReduceOp::Min => acc.iter_mut().zip(v).for_each(|(a, &b)| *a = (*a).min(b)),
+            ReduceOp::Max => acc.iter_mut().zip(v).for_each(|(a, &b)| *a = (*a).max(b)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        let vals = [1.5f64, -2.25, 0.0, f64::MAX];
+        assert_eq!(decode::<f64>(&encode(&vals)), vals.to_vec());
+        let ints = [u64::MAX, 0, 42];
+        assert_eq!(decode::<u64>(&encode(&ints)), ints.to_vec());
+        let small = [i32::MIN, -1, 7];
+        assert_eq!(decode::<i32>(&encode(&small)), small.to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_decode_panics() {
+        decode::<u32>(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn reduce_ops() {
+        let mut acc = [1.0, 5.0, 3.0];
+        ReduceOp::Sum.fold_f64(&mut acc, &[1.0, 1.0, 1.0]);
+        assert_eq!(acc, [2.0, 6.0, 4.0]);
+        ReduceOp::Min.fold_f64(&mut acc, &[3.0, 0.0, 9.0]);
+        assert_eq!(acc, [2.0, 0.0, 4.0]);
+        ReduceOp::Max.fold_f64(&mut acc, &[5.0, -1.0, 4.5]);
+        assert_eq!(acc, [5.0, 0.0, 4.5]);
+        let mut u = [2u64, 3];
+        ReduceOp::Sum.fold_u64(&mut u, &[8, 1]);
+        assert_eq!(u, [10, 4]);
+        let mut i = [-5i64, 3];
+        ReduceOp::Min.fold_i64(&mut i, &[-7, 9]);
+        assert_eq!(i, [-7, 3]);
+    }
+}

@@ -1,0 +1,173 @@
+//! Storage backends for the simulated I/O servers.
+//!
+//! A backend stores the *local* byte stream of one file on one server (the
+//! concatenation of the stripes that server owns). Reads beyond the locally
+//! written length yield zeros — holes are legal at the local level; logical
+//! end-of-file policing happens in [`crate::file::PfsFile`].
+
+use crate::error::Result;
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::path::Path;
+
+/// Byte-addressed storage for one (file, server) pair.
+///
+/// (`is_empty` is deliberately absent: backends are byte streams addressed
+/// by the striping layer, which never asks about emptiness.)
+#[allow(clippy::len_without_is_empty)]
+pub trait Storage: Send + Sync {
+    /// Read `buf.len()` bytes at `offset`; bytes beyond the written length
+    /// read as zero.
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()>;
+    /// Write `data` at `offset`, extending the local length as needed.
+    fn write_at(&self, offset: u64, data: &[u8]) -> Result<()>;
+    /// Locally written length in bytes.
+    fn len(&self) -> Result<u64>;
+    /// Truncate or zero-extend to `len` bytes.
+    fn set_len(&self, len: u64) -> Result<()>;
+}
+
+/// In-memory backend — the default for tests and benchmarks (deterministic,
+/// no disk noise).
+#[derive(Default)]
+pub struct MemBackend {
+    data: Mutex<Vec<u8>>,
+}
+
+impl MemBackend {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Storage for MemBackend {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        let data = self.data.lock();
+        let off = offset as usize;
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = data.get(off + i).copied().unwrap_or(0);
+        }
+        Ok(())
+    }
+
+    fn write_at(&self, offset: u64, bytes: &[u8]) -> Result<()> {
+        let mut data = self.data.lock();
+        let end = offset as usize + bytes.len();
+        if data.len() < end {
+            data.resize(end, 0);
+        }
+        data[offset as usize..end].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    fn len(&self) -> Result<u64> {
+        Ok(self.data.lock().len() as u64)
+    }
+
+    fn set_len(&self, len: u64) -> Result<()> {
+        self.data.lock().resize(len as usize, 0);
+        Ok(())
+    }
+}
+
+/// Real-file backend: stores the server-local stream in one file on the host
+/// file system (used when the caller wants actual disk I/O).
+pub struct FileBackend {
+    file: File,
+}
+
+impl FileBackend {
+    /// Open (creating if needed) the backing file at `path`.
+    pub fn open(path: &Path) -> Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+        Ok(FileBackend { file })
+    }
+}
+
+impl Storage for FileBackend {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        use std::os::unix::fs::FileExt;
+        // Zero-fill semantics: read what exists, zero the rest.
+        let flen = self.file.metadata()?.len();
+        if offset >= flen {
+            buf.fill(0);
+            return Ok(());
+        }
+        let avail = ((flen - offset) as usize).min(buf.len());
+        self.file.read_exact_at(&mut buf[..avail], offset)?;
+        buf[avail..].fill(0);
+        Ok(())
+    }
+
+    fn write_at(&self, offset: u64, data: &[u8]) -> Result<()> {
+        use std::os::unix::fs::FileExt;
+        self.file.write_all_at(data, offset)?;
+        Ok(())
+    }
+
+    fn len(&self) -> Result<u64> {
+        Ok(self.file.metadata()?.len())
+    }
+
+    fn set_len(&self, len: u64) -> Result<()> {
+        self.file.set_len(len)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(backend: &dyn Storage) {
+        // Fresh backend reads as zeros.
+        let mut buf = [7u8; 4];
+        backend.read_at(100, &mut buf).unwrap();
+        assert_eq!(buf, [0; 4]);
+        // Write then read back.
+        backend.write_at(10, b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        backend.read_at(10, &mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+        assert_eq!(backend.len().unwrap(), 15);
+        // Straddling read: partly written, partly hole.
+        let mut buf = [9u8; 10];
+        backend.read_at(12, &mut buf).unwrap();
+        assert_eq!(&buf[..3], b"llo");
+        assert_eq!(&buf[3..], &[0; 7]);
+        // Truncate.
+        backend.set_len(12).unwrap();
+        assert_eq!(backend.len().unwrap(), 12);
+        let mut buf = [9u8; 3];
+        backend.read_at(12, &mut buf).unwrap();
+        assert_eq!(buf, [0; 3]);
+        // Zero-extend.
+        backend.set_len(20).unwrap();
+        assert_eq!(backend.len().unwrap(), 20);
+    }
+
+    #[test]
+    fn mem_backend_semantics() {
+        exercise(&MemBackend::new());
+    }
+
+    #[test]
+    fn file_backend_semantics() {
+        let dir = std::env::temp_dir().join(format!("drx-pfs-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("backend-test.bin");
+        let _ = std::fs::remove_file(&path);
+        exercise(&FileBackend::open(&path).unwrap());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mem_backend_overwrite() {
+        let b = MemBackend::new();
+        b.write_at(0, b"aaaa").unwrap();
+        b.write_at(2, b"bb").unwrap();
+        let mut buf = [0u8; 4];
+        b.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"aabb");
+    }
+}

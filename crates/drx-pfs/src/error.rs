@@ -1,0 +1,70 @@
+//! Error type for the parallel file system simulator.
+
+use std::fmt;
+
+/// Errors surfaced by the PFS layer.
+#[derive(Debug)]
+pub enum PfsError {
+    /// Real I/O failure from a disk backend.
+    Io(std::io::Error),
+    /// A read touched bytes beyond the logical end of file.
+    OutOfRange { offset: u64, len: u64, file_len: u64 },
+    /// The file name is unknown.
+    NoSuchFile(String),
+    /// The file already exists (on exclusive create).
+    AlreadyExists(String),
+    /// Invalid configuration (zero servers, zero stripe size, …).
+    Config(String),
+    /// A fault injected by a test plan fired.
+    Injected { server: usize, detail: String },
+}
+
+impl fmt::Display for PfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PfsError::Io(e) => write!(f, "I/O error: {e}"),
+            PfsError::OutOfRange { offset, len, file_len } => {
+                write!(f, "read [{offset}, {offset}+{len}) beyond EOF {file_len}")
+            }
+            PfsError::NoSuchFile(name) => write!(f, "no such file: {name}"),
+            PfsError::AlreadyExists(name) => write!(f, "file exists: {name}"),
+            PfsError::Config(why) => write!(f, "bad PFS configuration: {why}"),
+            PfsError::Injected { server, detail } => {
+                write!(f, "injected fault on server {server}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PfsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PfsError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PfsError {
+    fn from(e: std::io::Error) -> Self {
+        PfsError::Io(e)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, PfsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(PfsError::NoSuchFile("x".into()).to_string().contains("x"));
+        assert!(
+            PfsError::OutOfRange { offset: 5, len: 10, file_len: 8 }.to_string().contains("EOF 8")
+        );
+        assert!(PfsError::Injected { server: 3, detail: "boom".into() }
+            .to_string()
+            .contains("server 3"));
+    }
+}

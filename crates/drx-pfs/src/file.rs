@@ -1,0 +1,347 @@
+//! The file-system facade: named logical files striped across the simulated
+//! I/O servers.
+
+use crate::error::{PfsError, Result};
+use crate::server::{Backing, FaultPlan, IoServer};
+use crate::stats::{CostModel, PfsStats};
+use crate::striping::StripeMap;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Configuration of a simulated parallel file system.
+#[derive(Debug, Clone)]
+pub struct PfsConfig {
+    /// Number of I/O servers data is striped over.
+    pub n_servers: usize,
+    /// Stripe size in bytes.
+    pub stripe_size: u64,
+    /// Per-server cost model for the simulated clock.
+    pub cost: CostModel,
+    /// Memory or real-disk backing.
+    pub backing: Backing,
+}
+
+impl Default for PfsConfig {
+    fn default() -> Self {
+        PfsConfig {
+            n_servers: 4,
+            stripe_size: 64 * 1024,
+            cost: CostModel::default(),
+            backing: Backing::Memory,
+        }
+    }
+}
+
+struct PfsInner {
+    servers: Vec<Arc<IoServer>>,
+    map: StripeMap,
+    /// Logical lengths of the named files.
+    meta: Mutex<HashMap<String, u64>>,
+}
+
+/// A simulated striped parallel file system (PVFS2 stand-in).
+///
+/// `Pfs` is cheaply cloneable; clones share servers, files and statistics,
+/// so every rank of a parallel program can hold one.
+#[derive(Clone)]
+pub struct Pfs {
+    inner: Arc<PfsInner>,
+}
+
+impl Pfs {
+    pub fn new(config: PfsConfig) -> Result<Self> {
+        let map = StripeMap::new(config.n_servers, config.stripe_size)?;
+        let servers = (0..config.n_servers)
+            .map(|id| IoServer::new(id, config.backing.clone(), config.cost))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Pfs { inner: Arc::new(PfsInner { servers, map, meta: Mutex::new(HashMap::new()) }) })
+    }
+
+    /// Memory-backed file system with the default cost model.
+    pub fn memory(n_servers: usize, stripe_size: u64) -> Result<Self> {
+        Pfs::new(PfsConfig { n_servers, stripe_size, ..PfsConfig::default() })
+    }
+
+    pub fn stripe_size(&self) -> u64 {
+        self.inner.map.stripe_size()
+    }
+
+    pub fn n_servers(&self) -> usize {
+        self.inner.map.n_servers()
+    }
+
+    /// Create a new empty file; errors if it already exists.
+    pub fn create(&self, name: &str) -> Result<PfsFile> {
+        {
+            let mut meta = self.inner.meta.lock();
+            if meta.contains_key(name) {
+                return Err(PfsError::AlreadyExists(name.to_string()));
+            }
+            meta.insert(name.to_string(), 0);
+        }
+        for s in &self.inner.servers {
+            s.ensure_file(name)?;
+        }
+        Ok(PfsFile { inner: Arc::clone(&self.inner), name: name.to_string() })
+    }
+
+    /// Open an existing file.
+    pub fn open(&self, name: &str) -> Result<PfsFile> {
+        if !self.inner.meta.lock().contains_key(name) {
+            return Err(PfsError::NoSuchFile(name.to_string()));
+        }
+        Ok(PfsFile { inner: Arc::clone(&self.inner), name: name.to_string() })
+    }
+
+    /// Open, creating if absent.
+    pub fn open_or_create(&self, name: &str) -> Result<PfsFile> {
+        match self.create(name) {
+            Ok(f) => Ok(f),
+            Err(PfsError::AlreadyExists(_)) => self.open(name),
+            Err(e) => Err(e),
+        }
+    }
+
+    pub fn exists(&self, name: &str) -> bool {
+        self.inner.meta.lock().contains_key(name)
+    }
+
+    /// Delete a file and its server-local streams.
+    pub fn delete(&self, name: &str) -> Result<()> {
+        if self.inner.meta.lock().remove(name).is_none() {
+            return Err(PfsError::NoSuchFile(name.to_string()));
+        }
+        for s in &self.inner.servers {
+            s.remove_file(name)?;
+        }
+        Ok(())
+    }
+
+    /// Snapshot of all server counters.
+    pub fn stats(&self) -> PfsStats {
+        PfsStats { per_server: self.inner.servers.iter().map(|s| s.stats()).collect() }
+    }
+
+    /// Reset all counters.
+    pub fn reset_stats(&self) {
+        for s in &self.inner.servers {
+            s.reset_stats();
+        }
+    }
+
+    /// Arm a one-shot fault on one server (test hook).
+    pub fn inject_fault(&self, server: usize, after_requests: u64) -> Result<()> {
+        self.inner
+            .servers
+            .get(server)
+            .ok_or_else(|| PfsError::Config(format!("no server {server}")))?
+            .inject_fault(FaultPlan { after_requests });
+        Ok(())
+    }
+}
+
+/// Handle to one logical striped file. Cloneable and shareable across
+/// threads (ranks).
+#[derive(Clone)]
+pub struct PfsFile {
+    inner: Arc<PfsInner>,
+    name: String,
+}
+
+impl PfsFile {
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Logical file length in bytes.
+    pub fn len(&self) -> u64 {
+        *self.inner.meta.lock().get(&self.name).unwrap_or(&0)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Read exactly `buf.len()` bytes at `offset`; the whole range must lie
+    /// within the logical length.
+    pub fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        let flen = self.len();
+        let len = buf.len() as u64;
+        if offset + len > flen {
+            return Err(PfsError::OutOfRange { offset, len, file_len: flen });
+        }
+        for frag in self.inner.map.split(offset, len) {
+            let start = (frag.global_offset - offset) as usize;
+            let end = start + frag.len as usize;
+            self.inner.servers[frag.server].read(&self.name, frag.local_offset, &mut buf[start..end])?;
+        }
+        Ok(())
+    }
+
+    /// Convenience: allocate and read `len` bytes at `offset`.
+    pub fn read_vec(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let mut buf = vec![0u8; len];
+        self.read_at(offset, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Write `data` at `offset`, extending the logical length if the range
+    /// ends beyond it.
+    pub fn write_at(&self, offset: u64, data: &[u8]) -> Result<()> {
+        for frag in self.inner.map.split(offset, data.len() as u64) {
+            let start = (frag.global_offset - offset) as usize;
+            let end = start + frag.len as usize;
+            self.inner.servers[frag.server].write(&self.name, frag.local_offset, &data[start..end])?;
+        }
+        let mut meta = self.inner.meta.lock();
+        let entry = meta
+            .get_mut(&self.name)
+            .ok_or_else(|| PfsError::NoSuchFile(self.name.clone()))?;
+        *entry = (*entry).max(offset + data.len() as u64);
+        Ok(())
+    }
+
+    /// Set the logical length, zero-extending or truncating.
+    pub fn set_len(&self, len: u64) -> Result<()> {
+        {
+            let mut meta = self.inner.meta.lock();
+            let entry = meta
+                .get_mut(&self.name)
+                .ok_or_else(|| PfsError::NoSuchFile(self.name.clone()))?;
+            *entry = len;
+        }
+        // Best effort: trim the server-local stream at the boundary of the
+        // new logical end (only the first fragment marks a meaningful
+        // truncation point; later stripes read as zeros regardless).
+        let span = self.inner.map.stripe_size() * self.inner.servers.len() as u64;
+        if let Some(frag) = self.inner.map.split(len, span).first() {
+            let _ = self.inner.servers[frag.server].set_len(&self.name, frag.local_offset);
+        }
+        Ok(())
+    }
+
+    /// Number of server requests a read/write of this byte range generates.
+    pub fn request_count(&self, offset: u64, len: u64) -> usize {
+        self.inner.map.request_count(offset, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs() -> Pfs {
+        Pfs::memory(4, 16).unwrap()
+    }
+
+    #[test]
+    fn create_open_delete() {
+        let fs = fs();
+        let f = fs.create("a.xta").unwrap();
+        assert!(fs.exists("a.xta"));
+        assert!(fs.create("a.xta").is_err());
+        assert_eq!(f.len(), 0);
+        drop(f);
+        let _ = fs.open("a.xta").unwrap();
+        fs.delete("a.xta").unwrap();
+        assert!(!fs.exists("a.xta"));
+        assert!(fs.open("a.xta").is_err());
+        assert!(fs.delete("a.xta").is_err());
+    }
+
+    #[test]
+    fn striped_write_read_round_trip() {
+        let fs = fs();
+        let f = fs.create("f").unwrap();
+        let data: Vec<u8> = (0..200).map(|i| (i % 251) as u8).collect();
+        f.write_at(5, &data).unwrap();
+        assert_eq!(f.len(), 205);
+        let back = f.read_vec(5, 200).unwrap();
+        assert_eq!(back, data);
+        // Unwritten prefix reads as zeros.
+        let head = f.read_vec(0, 5).unwrap();
+        assert_eq!(head, vec![0; 5]);
+    }
+
+    #[test]
+    fn read_beyond_eof_errors() {
+        let fs = fs();
+        let f = fs.create("f").unwrap();
+        f.write_at(0, &[1, 2, 3]).unwrap();
+        assert!(matches!(
+            f.read_at(2, &mut [0; 10]),
+            Err(PfsError::OutOfRange { file_len: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn stats_reflect_fragmentation() {
+        let fs = fs(); // stripe 16, 4 servers
+        let f = fs.create("f").unwrap();
+        fs.reset_stats();
+        f.write_at(0, &[0u8; 64]).unwrap(); // exactly one stripe per server
+        let st = fs.stats();
+        assert_eq!(st.total_requests(), 4);
+        assert!(st.per_server.iter().all(|s| s.write_requests == 1 && s.bytes_written == 16));
+        // Misaligned read of 16 bytes crosses one boundary → 2 requests.
+        fs.reset_stats();
+        f.read_at(8, &mut [0u8; 16]).unwrap();
+        assert_eq!(fs.stats().total_requests(), 2);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let fs = fs();
+        let f = fs.create("f").unwrap();
+        let fs2 = fs.clone();
+        let f2 = fs2.open("f").unwrap();
+        f.write_at(0, b"shared").unwrap();
+        assert_eq!(f2.read_vec(0, 6).unwrap(), b"shared");
+        assert_eq!(f2.len(), 6);
+    }
+
+    #[test]
+    fn set_len_truncates_logically() {
+        let fs = fs();
+        let f = fs.create("f").unwrap();
+        f.write_at(0, &[1u8; 40]).unwrap();
+        f.set_len(10).unwrap();
+        assert_eq!(f.len(), 10);
+        assert!(f.read_at(0, &mut [0; 11]).is_err());
+        f.set_len(20).unwrap();
+        assert_eq!(f.len(), 20);
+    }
+
+    #[test]
+    fn injected_fault_surfaces() {
+        let fs = fs();
+        let f = fs.create("f").unwrap();
+        fs.inject_fault(0, 0).unwrap();
+        // A 64-byte write at 0 touches server 0 first.
+        let err = f.write_at(0, &[0u8; 64]).unwrap_err();
+        assert!(matches!(err, PfsError::Injected { server: 0, .. }));
+        // After the one-shot fault, the same write succeeds.
+        f.write_at(0, &[0u8; 64]).unwrap();
+    }
+
+    #[test]
+    fn parallel_writes_from_threads() {
+        let fs = Pfs::memory(4, 32).unwrap();
+        let f = fs.create("f").unwrap();
+        f.set_len(4 * 1024).unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..4usize {
+                let f = f.clone();
+                scope.spawn(move || {
+                    let data = vec![t as u8 + 1; 1024];
+                    f.write_at(t as u64 * 1024, &data).unwrap();
+                });
+            }
+        });
+        for t in 0..4usize {
+            let back = f.read_vec(t as u64 * 1024, 1024).unwrap();
+            assert!(back.iter().all(|&b| b == t as u8 + 1));
+        }
+    }
+}

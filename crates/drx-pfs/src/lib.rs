@@ -1,0 +1,38 @@
+//! # drx-pfs — simulated striped parallel file system
+//!
+//! A deterministic stand-in for the PVFS2 cluster file system the paper's
+//! DRX-MP testbed ran on. Logical files are striped round-robin over `N`
+//! simulated I/O servers; every server request is charged against a
+//! [`CostModel`] (seek + per-request overhead + transfer time), and full
+//! request statistics are kept per server.
+//!
+//! The simulator exists because the evaluation experiments (E4 parallel
+//! collective I/O, E5 chunk-vs-stripe alignment) depend on the *striping
+//! geometry* — which server a byte range hits and how requests fragment at
+//! stripe boundaries — not on kernel-level details. Memory backing makes
+//! benches deterministic; disk backing exercises real I/O through the same
+//! code path.
+//!
+//! ```
+//! use drx_pfs::Pfs;
+//!
+//! let pfs = Pfs::memory(4, 1024).unwrap(); // 4 servers, 1 KiB stripes
+//! let f = pfs.create("demo.xta").unwrap();
+//! f.write_at(0, &[42u8; 4096]).unwrap();   // one stripe per server
+//! assert_eq!(pfs.stats().total_requests(), 4);
+//! assert_eq!(f.read_vec(1000, 100).unwrap(), vec![42u8; 100]);
+//! ```
+
+pub mod backend;
+pub mod error;
+pub mod file;
+pub mod server;
+pub mod stats;
+pub mod striping;
+
+pub use backend::{FileBackend, MemBackend, Storage};
+pub use error::{PfsError, Result};
+pub use file::{Pfs, PfsConfig, PfsFile};
+pub use server::{Backing, FaultPlan, IoServer};
+pub use stats::{CostModel, PfsStats, ServerStats, SIZE_BUCKETS, SIZE_BUCKET_LABELS};
+pub use striping::{Fragment, StripeMap};

@@ -1,0 +1,230 @@
+//! A simulated I/O server: a namespace of per-file storage streams plus
+//! request accounting and optional fault injection.
+
+use crate::backend::{FileBackend, MemBackend, Storage};
+use crate::error::{PfsError, Result};
+use crate::stats::{CostModel, ServerStats};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// How a server materializes its local streams.
+#[derive(Debug, Clone)]
+pub enum Backing {
+    /// Volatile in-memory buffers (default; deterministic).
+    Memory,
+    /// Real files under the given directory (one subdirectory per server).
+    Disk(PathBuf),
+}
+
+/// One-shot fault plan: the request after `after_requests` more requests
+/// fails with [`PfsError::Injected`].
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    pub after_requests: u64,
+}
+
+struct FileEntry {
+    storage: Box<dyn Storage>,
+    /// Where the previous request on this file ended, for seek detection.
+    last_end: Option<u64>,
+}
+
+/// A simulated I/O server.
+pub struct IoServer {
+    id: usize,
+    backing: Backing,
+    cost: CostModel,
+    files: Mutex<HashMap<String, FileEntry>>,
+    stats: Mutex<ServerStats>,
+    fault: Mutex<Option<FaultPlan>>,
+}
+
+impl IoServer {
+    pub fn new(id: usize, backing: Backing, cost: CostModel) -> Result<Arc<Self>> {
+        if let Backing::Disk(dir) = &backing {
+            std::fs::create_dir_all(dir.join(format!("server{id}")))?;
+        }
+        Ok(Arc::new(IoServer {
+            id,
+            backing,
+            cost,
+            files: Mutex::new(HashMap::new()),
+            stats: Mutex::new(ServerStats::default()),
+            fault: Mutex::new(None),
+        }))
+    }
+
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    fn make_storage(&self, name: &str) -> Result<Box<dyn Storage>> {
+        Ok(match &self.backing {
+            Backing::Memory => Box::new(MemBackend::new()),
+            Backing::Disk(dir) => {
+                let safe: String = name
+                    .chars()
+                    .map(|c| if c.is_ascii_alphanumeric() || c == '.' || c == '-' || c == '_' { c } else { '_' })
+                    .collect();
+                Box::new(FileBackend::open(&dir.join(format!("server{}", self.id)).join(safe))?)
+            }
+        })
+    }
+
+    fn check_fault(&self, detail: &str) -> Result<()> {
+        let mut guard = self.fault.lock();
+        if let Some(plan) = guard.as_mut() {
+            if plan.after_requests == 0 {
+                *guard = None;
+                return Err(PfsError::Injected { server: self.id, detail: detail.to_string() });
+            }
+            plan.after_requests -= 1;
+        }
+        Ok(())
+    }
+
+    /// Arm a one-shot fault: fail the request issued after `after_requests`
+    /// more successful requests.
+    pub fn inject_fault(&self, plan: FaultPlan) {
+        *self.fault.lock() = Some(plan);
+    }
+
+    /// Ensure the server has a stream for `name` (idempotent).
+    pub fn ensure_file(&self, name: &str) -> Result<()> {
+        let mut files = self.files.lock();
+        if !files.contains_key(name) {
+            let storage = self.make_storage(name)?;
+            files.insert(name.to_string(), FileEntry { storage, last_end: None });
+        }
+        Ok(())
+    }
+
+    /// Drop the stream for `name`.
+    pub fn remove_file(&self, name: &str) -> Result<()> {
+        self.files.lock().remove(name);
+        if let Backing::Disk(dir) = &self.backing {
+            let path = dir.join(format!("server{}", self.id)).join(name);
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(())
+    }
+
+    fn with_entry<R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&mut FileEntry) -> Result<R>,
+    ) -> Result<R> {
+        let mut files = self.files.lock();
+        let entry = files
+            .get_mut(name)
+            .ok_or_else(|| PfsError::NoSuchFile(format!("{name} (server {})", self.id)))?;
+        f(entry)
+    }
+
+    /// Service one read request against a file's local stream.
+    pub fn read(&self, name: &str, local_offset: u64, buf: &mut [u8]) -> Result<()> {
+        self.check_fault("read")?;
+        self.with_entry(name, |entry| {
+            let seek = entry.last_end != Some(local_offset);
+            entry.last_end = Some(local_offset + buf.len() as u64);
+            self.stats.lock().record(&self.cost, false, buf.len() as u64, seek);
+            entry.storage.read_at(local_offset, buf)
+        })
+    }
+
+    /// Service one write request against a file's local stream.
+    pub fn write(&self, name: &str, local_offset: u64, data: &[u8]) -> Result<()> {
+        self.check_fault("write")?;
+        self.with_entry(name, |entry| {
+            let seek = entry.last_end != Some(local_offset);
+            entry.last_end = Some(local_offset + data.len() as u64);
+            self.stats.lock().record(&self.cost, true, data.len() as u64, seek);
+            entry.storage.write_at(local_offset, data)
+        })
+    }
+
+    /// Truncate/extend a file's local stream (not charged to the cost model).
+    pub fn set_len(&self, name: &str, len: u64) -> Result<()> {
+        self.with_entry(name, |entry| entry.storage.set_len(len))
+    }
+
+    /// Snapshot of this server's counters.
+    pub fn stats(&self) -> ServerStats {
+        *self.stats.lock()
+    }
+
+    /// Reset counters (not the stored data, nor the seek tracker).
+    pub fn reset_stats(&self) {
+        *self.stats.lock() = ServerStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server() -> Arc<IoServer> {
+        IoServer::new(0, Backing::Memory, CostModel::flat(10, 1.0)).unwrap()
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let s = server();
+        s.ensure_file("f").unwrap();
+        s.write("f", 5, b"abc").unwrap();
+        let mut buf = [0u8; 3];
+        s.read("f", 5, &mut buf).unwrap();
+        assert_eq!(&buf, b"abc");
+        assert!(s.read("missing", 0, &mut buf).is_err());
+    }
+
+    #[test]
+    fn seek_detection_is_sequential_aware() {
+        let s = server();
+        s.ensure_file("f").unwrap();
+        s.write("f", 0, &[0; 10]).unwrap(); // first request: seek
+        s.write("f", 10, &[0; 10]).unwrap(); // contiguous: no seek
+        s.write("f", 5, &[0; 2]).unwrap(); // backwards: seek
+        let st = s.stats();
+        assert_eq!(st.write_requests, 3);
+        assert_eq!(st.seeks, 2);
+        assert_eq!(st.bytes_written, 22);
+    }
+
+    #[test]
+    fn fault_injection_fires_once() {
+        let s = server();
+        s.ensure_file("f").unwrap();
+        s.inject_fault(FaultPlan { after_requests: 1 });
+        s.write("f", 0, b"x").unwrap(); // 1 more allowed
+        let err = s.write("f", 1, b"y").unwrap_err();
+        assert!(matches!(err, PfsError::Injected { server: 0, .. }));
+        // One-shot: next request succeeds again.
+        s.write("f", 1, b"y").unwrap();
+    }
+
+    #[test]
+    fn ensure_is_idempotent_and_remove_works() {
+        let s = server();
+        s.ensure_file("f").unwrap();
+        s.write("f", 0, b"z").unwrap();
+        s.ensure_file("f").unwrap(); // must not wipe data
+        let mut buf = [0u8; 1];
+        s.read("f", 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"z");
+        s.remove_file("f").unwrap();
+        assert!(s.read("f", 0, &mut buf).is_err());
+    }
+
+    #[test]
+    fn reset_stats_clears_counters() {
+        let s = server();
+        s.ensure_file("f").unwrap();
+        s.write("f", 0, b"abc").unwrap();
+        assert_eq!(s.stats().requests(), 1);
+        s.reset_stats();
+        assert_eq!(s.stats().requests(), 0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Round-robin striping — the data distribution PVFS2 applies to file
+//! contents across its I/O servers.
+//!
+//! A logical byte offset is decomposed into a stripe index; stripes are dealt
+//! round-robin to the servers. A logical request that spans stripe
+//! boundaries splits into per-server fragments — the fragmentation measured
+//! by experiment E5 (chunk size vs stripe size reconciliation, the paper's
+//! §V future-work item).
+
+use crate::error::{PfsError, Result};
+
+/// One fragment of a logical request, addressed to a single server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fragment {
+    /// Which server holds the bytes.
+    pub server: usize,
+    /// Offset in the server's local file.
+    pub local_offset: u64,
+    /// Offset in the logical file.
+    pub global_offset: u64,
+    /// Fragment length in bytes.
+    pub len: u64,
+}
+
+/// The striping geometry of a file system: `n_servers` servers, fixed
+/// `stripe_size` in bytes, round-robin layout starting at server 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripeMap {
+    stripe_size: u64,
+    n_servers: usize,
+}
+
+impl StripeMap {
+    pub fn new(n_servers: usize, stripe_size: u64) -> Result<Self> {
+        if n_servers == 0 {
+            return Err(PfsError::Config("need at least one I/O server".into()));
+        }
+        if stripe_size == 0 {
+            return Err(PfsError::Config("stripe size must be positive".into()));
+        }
+        Ok(StripeMap { stripe_size, n_servers })
+    }
+
+    pub fn stripe_size(&self) -> u64 {
+        self.stripe_size
+    }
+
+    pub fn n_servers(&self) -> usize {
+        self.n_servers
+    }
+
+    /// Locate a single byte: `(server, local offset)`.
+    pub fn locate(&self, offset: u64) -> (usize, u64) {
+        let stripe = offset / self.stripe_size;
+        let within = offset % self.stripe_size;
+        let server = (stripe % self.n_servers as u64) as usize;
+        let local_stripe = stripe / self.n_servers as u64;
+        (server, local_stripe * self.stripe_size + within)
+    }
+
+    /// Split the logical byte range `[offset, offset+len)` into per-server
+    /// fragments, in increasing `global_offset` order. Adjacent stripes on
+    /// the *same* server (possible when `n_servers == 1`) are coalesced.
+    pub fn split(&self, offset: u64, len: u64) -> Vec<Fragment> {
+        let mut frags: Vec<Fragment> = Vec::new();
+        let mut pos = offset;
+        let end = offset + len;
+        while pos < end {
+            let (server, local_offset) = self.locate(pos);
+            let stripe_end = (pos / self.stripe_size + 1) * self.stripe_size;
+            let frag_len = stripe_end.min(end) - pos;
+            match frags.last_mut() {
+                Some(last)
+                    if last.server == server
+                        && last.local_offset + last.len == local_offset
+                        && last.global_offset + last.len == pos =>
+                {
+                    last.len += frag_len;
+                }
+                _ => frags.push(Fragment { server, local_offset, global_offset: pos, len: frag_len }),
+            }
+            pos += frag_len;
+        }
+        frags
+    }
+
+    /// Number of server requests the range will generate (fragments after
+    /// coalescing) — the E5 metric.
+    pub fn request_count(&self, offset: u64, len: u64) -> usize {
+        self.split(offset, len).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locate_round_robin() {
+        let m = StripeMap::new(4, 100).unwrap();
+        assert_eq!(m.locate(0), (0, 0));
+        assert_eq!(m.locate(99), (0, 99));
+        assert_eq!(m.locate(100), (1, 0));
+        assert_eq!(m.locate(399), (3, 99));
+        // Second round: stripe 4 lands on server 0 at local offset 100.
+        assert_eq!(m.locate(400), (0, 100));
+        assert_eq!(m.locate(450), (0, 150));
+    }
+
+    #[test]
+    fn split_within_one_stripe() {
+        let m = StripeMap::new(4, 100).unwrap();
+        let f = m.split(120, 50);
+        assert_eq!(f, vec![Fragment { server: 1, local_offset: 20, global_offset: 120, len: 50 }]);
+    }
+
+    #[test]
+    fn split_across_stripes() {
+        let m = StripeMap::new(2, 100).unwrap();
+        let f = m.split(50, 200);
+        assert_eq!(
+            f,
+            vec![
+                Fragment { server: 0, local_offset: 50, global_offset: 50, len: 50 },
+                Fragment { server: 1, local_offset: 0, global_offset: 100, len: 100 },
+                Fragment { server: 0, local_offset: 100, global_offset: 200, len: 50 },
+            ]
+        );
+    }
+
+    #[test]
+    fn split_single_server_coalesces() {
+        let m = StripeMap::new(1, 64).unwrap();
+        let f = m.split(0, 1000);
+        assert_eq!(f.len(), 1, "single server: all stripes are contiguous locally");
+        assert_eq!(f[0].len, 1000);
+    }
+
+    #[test]
+    fn split_covers_range_exactly() {
+        let m = StripeMap::new(3, 37).unwrap();
+        let f = m.split(11, 1000);
+        let total: u64 = f.iter().map(|x| x.len).sum();
+        assert_eq!(total, 1000);
+        // Fragments are ordered and contiguous in global offsets.
+        let mut pos = 11;
+        for frag in &f {
+            assert_eq!(frag.global_offset, pos);
+            pos += frag.len;
+        }
+    }
+
+    #[test]
+    fn aligned_requests_touch_one_server() {
+        // A chunk exactly equal to the stripe size, aligned, is one request;
+        // misaligned chunks double the request count (the E5 effect).
+        let m = StripeMap::new(4, 4096).unwrap();
+        assert_eq!(m.request_count(4096 * 3, 4096), 1);
+        assert_eq!(m.request_count(4096 * 3 + 100, 4096), 2);
+    }
+
+    #[test]
+    fn empty_range_and_config_errors() {
+        let m = StripeMap::new(2, 10).unwrap();
+        assert!(m.split(5, 0).is_empty());
+        assert!(StripeMap::new(0, 10).is_err());
+        assert!(StripeMap::new(2, 0).is_err());
+    }
+}

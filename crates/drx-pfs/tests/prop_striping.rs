@@ -1,0 +1,102 @@
+//! Property tests for the striping layer and the striped file semantics.
+
+use drx_pfs::{Pfs, StripeMap};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fragments of any range are ordered, contiguous in global offsets,
+    /// cover exactly the range, and agree with per-byte locate().
+    #[test]
+    fn split_is_an_exact_ordered_cover(
+        n_servers in 1usize..8,
+        stripe in 1u64..128,
+        offset in 0u64..1000,
+        len in 0u64..2000,
+    ) {
+        let m = StripeMap::new(n_servers, stripe).unwrap();
+        let frags = m.split(offset, len);
+        let mut pos = offset;
+        for f in &frags {
+            prop_assert_eq!(f.global_offset, pos);
+            prop_assert!(f.len > 0);
+            // The fragment's first byte maps to its (server, local_offset).
+            let (srv, local) = m.locate(f.global_offset);
+            prop_assert_eq!(srv, f.server);
+            prop_assert_eq!(local, f.local_offset);
+            // Every byte of the fragment stays on that server, locally
+            // contiguous.
+            let (srv_end, local_end) = m.locate(f.global_offset + f.len - 1);
+            prop_assert_eq!(srv_end, f.server);
+            prop_assert_eq!(local_end, f.local_offset + f.len - 1);
+            pos += f.len;
+        }
+        prop_assert_eq!(pos, offset + len);
+    }
+
+    /// Whatever is written at any offset reads back identically, across
+    /// arbitrary striping geometries.
+    #[test]
+    fn write_read_round_trip_any_geometry(
+        n_servers in 1usize..6,
+        stripe in 1u64..64,
+        offset in 0u64..500,
+        data in prop::collection::vec(any::<u8>(), 1..700),
+    ) {
+        let pfs = Pfs::memory(n_servers, stripe).unwrap();
+        let f = pfs.create("f").unwrap();
+        f.write_at(offset, &data).unwrap();
+        prop_assert_eq!(f.len(), offset + data.len() as u64);
+        let back = f.read_vec(offset, data.len()).unwrap();
+        prop_assert_eq!(back, data);
+        // The unwritten prefix reads as zeros.
+        if offset > 0 {
+            let head = f.read_vec(0, offset as usize).unwrap();
+            prop_assert!(head.iter().all(|&b| b == 0));
+        }
+    }
+
+    /// Overlapping writes: the later write wins on the overlap, earlier
+    /// bytes survive elsewhere.
+    #[test]
+    fn overlapping_writes_last_wins(
+        stripe in 1u64..32,
+        a_off in 0u64..100,
+        a in prop::collection::vec(1u8..=1, 1..200),
+        b_off in 0u64..150,
+        b in prop::collection::vec(2u8..=2, 1..200),
+    ) {
+        let pfs = Pfs::memory(3, stripe).unwrap();
+        let f = pfs.create("f").unwrap();
+        f.write_at(a_off, &a).unwrap();
+        f.write_at(b_off, &b).unwrap();
+        let total = f.len();
+        let all = f.read_vec(0, total as usize).unwrap();
+        for (i, &v) in all.iter().enumerate() {
+            let i = i as u64;
+            let in_a = i >= a_off && i < a_off + a.len() as u64;
+            let in_b = i >= b_off && i < b_off + b.len() as u64;
+            let expect = if in_b { 2 } else if in_a { 1 } else { 0 };
+            prop_assert_eq!(v, expect, "byte {}", i);
+        }
+    }
+
+    /// Request accounting: a full-range read touches each server's stats
+    /// with exactly the fragment count of the range.
+    #[test]
+    fn stats_match_fragment_counts(
+        n_servers in 1usize..5,
+        stripe in 1u64..64,
+        len in 1u64..1000,
+    ) {
+        let pfs = Pfs::memory(n_servers, stripe).unwrap();
+        let f = pfs.create("f").unwrap();
+        f.write_at(0, &vec![7u8; len as usize]).unwrap();
+        pfs.reset_stats();
+        let _ = f.read_vec(0, len as usize).unwrap();
+        let expected = StripeMap::new(n_servers, stripe).unwrap().request_count(0, len) as u64;
+        prop_assert_eq!(pfs.stats().total_requests(), expected);
+        prop_assert_eq!(pfs.stats().total_bytes(), len);
+    }
+}

@@ -1,0 +1,300 @@
+//! `drxtool` — inspect and manipulate DRX extendible array files on disk.
+//!
+//! Arrays live as `<name>.xmd` + `<name>.xta` pairs inside a directory that
+//! backs a disk-based PFS (stripes under `server*/`). Commands:
+//!
+//! ```text
+//! drxtool create <dir> <name> --dtype f64 --chunk 2x3 --bounds 10x12 \
+//!         [--servers N] [--stripe BYTES] [--layout rowmajor|shell]
+//! drxtool info   <dir> <name>        # bounds, chunking, payload size
+//! drxtool axial  <dir> <name>        # dump the axial vectors (Figure-3b style)
+//! drxtool extend <dir> <name> --dim D --by N
+//! drxtool get    <dir> <name> --index 9x7
+//! drxtool set    <dir> <name> --index 9x7 --value 3.5
+//! drxtool dump   <dir> <name> [--lo 0x0 --hi 4x4]   # print a region (2-D: as a grid)
+//! ```
+//!
+//! The tool stores the PFS geometry in `<dir>/pfs.conf` so later invocations
+//! reopen the same striping.
+
+use drx::serial::DrxFile;
+use drx::{Backing, CostModel, DType, Pfs, PfsConfig};
+use std::path::{Path, PathBuf};
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: drxtool <create|info|axial|extend|get|set|dump> <dir> <name> [options]\n\
+         options: --dtype f64|i64  --chunk AxB[xC…]  --bounds AxB[xC…]\n\
+                  --servers N  --stripe BYTES  --dim D  --by N\n\
+                  --index AxB[xC…]  --value V  --lo AxB[xC…]  --hi AxB[xC…]"
+    );
+    exit(2);
+}
+
+struct Opts {
+    dtype: String,
+    layout: String,
+    chunk: Vec<usize>,
+    bounds: Vec<usize>,
+    servers: usize,
+    stripe: u64,
+    dim: usize,
+    by: usize,
+    index: Vec<usize>,
+    value: f64,
+    lo: Vec<usize>,
+    hi: Vec<usize>,
+}
+
+fn parse_dims(s: &str) -> Vec<usize> {
+    s.split(['x', ',']).map(|p| p.parse().unwrap_or_else(|_| usage())).collect()
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut o = Opts {
+        dtype: "f64".into(),
+        layout: "rowmajor".into(),
+        chunk: vec![],
+        bounds: vec![],
+        servers: 4,
+        stripe: 64 * 1024,
+        dim: 0,
+        by: 0,
+        index: vec![],
+        value: 0.0,
+        lo: vec![],
+        hi: vec![],
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let key = &args[i];
+        let val = args.get(i + 1).unwrap_or_else(|| usage()).clone();
+        match key.as_str() {
+            "--dtype" => o.dtype = val,
+            "--layout" => o.layout = val,
+            "--chunk" => o.chunk = parse_dims(&val),
+            "--bounds" => o.bounds = parse_dims(&val),
+            "--servers" => o.servers = val.parse().unwrap_or_else(|_| usage()),
+            "--stripe" => o.stripe = val.parse().unwrap_or_else(|_| usage()),
+            "--dim" => o.dim = val.parse().unwrap_or_else(|_| usage()),
+            "--by" => o.by = val.parse().unwrap_or_else(|_| usage()),
+            "--index" => o.index = parse_dims(&val),
+            "--value" => o.value = val.parse().unwrap_or_else(|_| usage()),
+            "--lo" => o.lo = parse_dims(&val),
+            "--hi" => o.hi = parse_dims(&val),
+            _ => usage(),
+        }
+        i += 2;
+    }
+    o
+}
+
+/// Persist/recover the PFS geometry of a directory.
+fn pfs_for(dir: &Path, opts: &Opts, create: bool) -> Result<Pfs, Box<dyn std::error::Error>> {
+    let conf = dir.join("pfs.conf");
+    let (servers, stripe) = if conf.exists() {
+        let text = std::fs::read_to_string(&conf)?;
+        let mut parts = text.split_whitespace();
+        let s: usize = parts.next().ok_or("bad pfs.conf")?.parse()?;
+        let st: u64 = parts.next().ok_or("bad pfs.conf")?.parse()?;
+        (s, st)
+    } else if create {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(&conf, format!("{} {}\n", opts.servers, opts.stripe))?;
+        (opts.servers, opts.stripe)
+    } else {
+        return Err(format!("{} is not a drxtool directory (missing pfs.conf)", dir.display()).into());
+    };
+    let pfs = Pfs::new(PfsConfig {
+        n_servers: servers,
+        stripe_size: stripe,
+        cost: CostModel::default(),
+        backing: Backing::Disk(dir.to_path_buf()),
+    })?;
+    Ok(pfs)
+}
+
+/// Register the file pair with the (fresh) PFS namespace: the in-memory
+/// file table does not survive process restarts, so reopening means
+/// re-adopting the on-disk stripes under the same names.
+///
+/// Logical lengths are recovered as follows: the `.xmd` file is always
+/// written densely, so summing its server-local stripe files gives its
+/// exact length; the `.xta` payload may be sparse (unwritten chunks), but
+/// its true length is recorded in the decoded metadata.
+fn adopt(pfs: &Pfs, dir: &Path, name: &str) -> Result<drx::ArrayMeta, Box<dyn std::error::Error>> {
+    let sum_server_files = |full: &str| -> Result<u64, Box<dyn std::error::Error>> {
+        let mut len = 0u64;
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            if path.is_dir()
+                && path.file_name().is_some_and(|n| n.to_string_lossy().starts_with("server"))
+            {
+                let stripe_file = path.join(full);
+                if stripe_file.exists() {
+                    len += std::fs::metadata(&stripe_file)?.len();
+                }
+            }
+        }
+        Ok(len)
+    };
+    let xmd_name = format!("{name}.xmd");
+    let xmd = pfs.open_or_create(&xmd_name)?;
+    let xmd_len = sum_server_files(&xmd_name)?;
+    if xmd_len == 0 {
+        return Err(format!("array '{name}' not found in this directory").into());
+    }
+    if xmd.len() < xmd_len {
+        xmd.set_len(xmd_len)?;
+    }
+    let meta = drx::ArrayMeta::decode(&xmd.read_vec(0, xmd_len as usize)?)?;
+    let xta = pfs.open_or_create(&format!("{name}.xta"))?;
+    if xta.len() < meta.payload_bytes() {
+        xta.set_len(meta.payload_bytes())?;
+    }
+    Ok(meta)
+}
+
+fn dims(v: &[usize]) -> String {
+    v.iter().map(|x| x.to_string()).collect::<Vec<_>>().join("×")
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 3 {
+        usage();
+    }
+    let cmd = args[0].as_str();
+    let dir = PathBuf::from(&args[1]);
+    let name = args[2].clone();
+    let opts = parse_opts(&args[3..]);
+
+    match cmd {
+        "create" => {
+            if opts.chunk.is_empty() || opts.bounds.is_empty() {
+                usage();
+            }
+            let pfs = pfs_for(&dir, &opts, true)?;
+            let layout = match opts.layout.as_str() {
+                "rowmajor" => drx::InitialLayout::RowMajor,
+                "shell" => drx::InitialLayout::ShellOrder,
+                other => return Err(format!("unsupported layout {other}").into()),
+            };
+            match opts.dtype.as_str() {
+                "f64" => {
+                    DrxFile::<f64>::create_with_layout(&pfs, &name, &opts.chunk, &opts.bounds, layout)?;
+                }
+                "i64" => {
+                    DrxFile::<i64>::create_with_layout(&pfs, &name, &opts.chunk, &opts.bounds, layout)?;
+                }
+                other => return Err(format!("unsupported dtype {other}").into()),
+            }
+            println!(
+                "created {name}: bounds {}, chunks {}, dtype {}",
+                dims(&opts.bounds),
+                dims(&opts.chunk),
+                opts.dtype
+            );
+        }
+        "info" | "axial" | "extend" | "get" | "set" | "dump" => {
+            let pfs = pfs_for(&dir, &opts, false)?;
+            let meta = adopt(&pfs, &dir, &name)?;
+            match meta.dtype() {
+                DType::Float64 => dispatch::<f64>(cmd, &pfs, &name, &opts)?,
+                DType::Int64 => dispatch::<i64>(cmd, &pfs, &name, &opts)?,
+                other => return Err(format!("drxtool supports f64/i64 files, found {}", other.name()).into()),
+            }
+        }
+        _ => usage(),
+    }
+    Ok(())
+}
+
+fn dispatch<T>(
+    cmd: &str,
+    pfs: &Pfs,
+    name: &str,
+    opts: &Opts,
+) -> Result<(), Box<dyn std::error::Error>>
+where
+    T: drx::Element + std::fmt::Display + std::str::FromStr,
+    <T as std::str::FromStr>::Err: std::fmt::Display,
+{
+    let mut f: DrxFile<T> = DrxFile::open(pfs, name)?;
+    match cmd {
+        "info" => {
+            let m = f.meta();
+            println!("array      : {name}");
+            println!("dtype      : {}", m.dtype().name());
+            println!("rank       : {}", m.rank());
+            println!("bounds     : {}", dims(m.element_bounds()));
+            println!("chunk shape: {}", dims(m.chunking().shape()));
+            println!("chunk grid : {}", dims(m.grid().bounds()));
+            println!("chunks     : {}", m.total_chunks());
+            println!("payload    : {} bytes", m.payload_bytes());
+            println!("axial recs : {}", m.grid().record_count());
+        }
+        "axial" => {
+            let m = f.meta();
+            println!("axial vectors of {name} (N* start index; M* start address; C coefficients):");
+            for dim in 0..m.rank() {
+                for (start, addr, coeffs) in m.grid().axial(dim).display_records(m.rank()) {
+                    println!("  D{dim}: N*={start:<4} M*={addr:<6} C={coeffs:?}");
+                }
+            }
+        }
+        "extend" => {
+            if opts.by == 0 {
+                usage();
+            }
+            f.extend(opts.dim, opts.by)?;
+            println!("extended dim {} by {}; bounds now {}", opts.dim, opts.by, dims(f.bounds()));
+        }
+        "get" => {
+            if opts.index.is_empty() {
+                usage();
+            }
+            println!("{}", f.get(&opts.index)?);
+        }
+        "set" => {
+            if opts.index.is_empty() {
+                usage();
+            }
+            let v: T = format!("{}", opts.value)
+                .parse()
+                .map_err(|e| format!("bad value: {e}"))?;
+            f.set(&opts.index, v)?;
+            println!("ok");
+        }
+        "dump" => {
+            let m = f.meta();
+            let lo = if opts.lo.is_empty() { vec![0; m.rank()] } else { opts.lo.clone() };
+            let hi = if opts.hi.is_empty() { m.element_bounds().to_vec() } else { opts.hi.clone() };
+            let region = drx::Region::new(lo, hi)?;
+            let data = f.read_region(&region, drx::Layout::C)?;
+            let extents = region.extents();
+            if m.rank() == 2 {
+                // Grid rendering for matrices.
+                let cols = extents[1];
+                for (r, row) in data.chunks(cols).enumerate() {
+                    let cells: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+                    println!("[{:>4}] {}", region.lo()[0] + r, cells.join(" "));
+                }
+            } else {
+                for (pos, idx) in region.iter().enumerate() {
+                    println!("{idx:?} = {}", data[pos]);
+                }
+            }
+        }
+        _ => usage(),
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("drxtool: {e}");
+        exit(1);
+    }
+}

@@ -1,0 +1,151 @@
+//! The baseline formats and DRX must store identical logical content, and
+//! the structural cost claims of the paper must hold between them.
+
+use drx::baselines::{Hdf5LikeFile, NetcdfLikeFile, RowMajorFile};
+use drx::serial::DrxFile;
+use drx::{Layout, Pfs, Region};
+
+fn tag(idx: &[usize]) -> f64 {
+    idx.iter().fold(1.0f64, |a, &i| a * 1.7 + i as f64)
+}
+
+#[test]
+fn all_formats_agree_on_stored_content() {
+    let n = 12usize;
+    let region = Region::new(vec![0, 0], vec![n, n]).unwrap();
+    let data: Vec<f64> = region.iter().map(|i| tag(&i)).collect();
+
+    let pfs = Pfs::memory(2, 256).unwrap();
+    let mut drx: DrxFile<f64> = DrxFile::create(&pfs, "d", &[3, 4], &[n, n]).unwrap();
+    let mut rm: RowMajorFile<f64> = RowMajorFile::create(&pfs, "r", &[n, n]).unwrap();
+    let mut h5: Hdf5LikeFile<f64> = Hdf5LikeFile::create(&pfs, "h", &[3, 4], &[n, n], 512).unwrap();
+    let mut nc: NetcdfLikeFile<f64> = NetcdfLikeFile::create(&pfs, "n", &[n, n]).unwrap();
+
+    drx.write_region(&region, Layout::C, &data).unwrap();
+    rm.write_region(&region, Layout::C, &data).unwrap();
+    h5.write_region(&region, Layout::C, &data).unwrap();
+    nc.write_region(&region, Layout::C, &data).unwrap();
+
+    for (lo, hi) in [(vec![0, 0], vec![n, n]), (vec![2, 3], vec![9, 11]), (vec![5, 0], vec![6, n])] {
+        let r = Region::new(lo, hi).unwrap();
+        for layout in [Layout::C, Layout::Fortran] {
+            let want = drx.read_region(&r, layout).unwrap();
+            assert_eq!(rm.read_region(&r, layout).unwrap(), want, "row-major {r:?}");
+            assert_eq!(h5.read_region(&r, layout).unwrap(), want, "hdf5like {r:?}");
+            assert_eq!(nc.read_region(&r, layout).unwrap(), want, "netcdflike {r:?}");
+        }
+    }
+}
+
+#[test]
+fn extension_preserves_content_in_every_extendible_format() {
+    let n = 8usize;
+    let region = Region::new(vec![0, 0], vec![n, n]).unwrap();
+    let data: Vec<f64> = region.iter().map(|i| tag(&i)).collect();
+    let pfs = Pfs::memory(2, 256).unwrap();
+
+    let mut drx: DrxFile<f64> = DrxFile::create(&pfs, "d", &[2, 2], &[n, n]).unwrap();
+    let mut rm: RowMajorFile<f64> = RowMajorFile::create(&pfs, "r", &[n, n]).unwrap();
+    let mut h5: Hdf5LikeFile<f64> = Hdf5LikeFile::create(&pfs, "h", &[2, 2], &[n, n], 512).unwrap();
+    let mut nc: NetcdfLikeFile<f64> = NetcdfLikeFile::create(&pfs, "n", &[n, n]).unwrap();
+    drx.write_region(&region, Layout::C, &data).unwrap();
+    rm.write_region(&region, Layout::C, &data).unwrap();
+    h5.write_region(&region, Layout::C, &data).unwrap();
+    nc.write_region(&region, Layout::C, &data).unwrap();
+
+    // Extend dimension 1 by 4 everywhere (reorganizing where necessary).
+    drx.extend(1, 4).unwrap();
+    rm.extend(1, 4).unwrap();
+    h5.extend(1, 4).unwrap();
+    nc.extend_fixed(1, 4).unwrap();
+
+    for i in 0..n {
+        for j in 0..n {
+            let want = tag(&[i, j]);
+            assert_eq!(drx.get(&[i, j]).unwrap(), want);
+            assert_eq!(rm.get(&[i, j]).unwrap(), want);
+            assert_eq!(h5.get(&[i, j]).unwrap(), want);
+            assert_eq!(nc.get(&[i, j]).unwrap(), want);
+        }
+        for j in n..n + 4 {
+            assert_eq!(drx.get(&[i, j]).unwrap(), 0.0);
+            assert_eq!(rm.get(&[i, j]).unwrap(), 0.0);
+            assert_eq!(h5.get(&[i, j]).unwrap(), 0.0);
+            assert_eq!(nc.get(&[i, j]).unwrap(), 0.0);
+        }
+    }
+}
+
+#[test]
+fn extension_io_cost_ordering_matches_the_paper() {
+    // DRX and HDF5-like: no data movement. Row-major and netCDF-like: the
+    // whole payload moves. Measured through PFS counters, not trust.
+    let n = 32usize;
+    let region = Region::new(vec![0, 0], vec![n, n]).unwrap();
+    let data: Vec<f64> = region.iter().map(|i| tag(&i)).collect();
+    let payload = (n * n * 8) as u64;
+
+    let cost_of = |which: &str| -> u64 {
+        let pfs = Pfs::memory(2, 4096).unwrap();
+        match which {
+            "drx" => {
+                let mut f: DrxFile<f64> = DrxFile::create(&pfs, "x", &[8, 8], &[n, n]).unwrap();
+                f.write_region(&region, Layout::C, &data).unwrap();
+                pfs.reset_stats();
+                f.extend(1, 8).unwrap();
+            }
+            "h5" => {
+                let mut f: Hdf5LikeFile<f64> =
+                    Hdf5LikeFile::create(&pfs, "x", &[8, 8], &[n, n], 512).unwrap();
+                f.write_region(&region, Layout::C, &data).unwrap();
+                pfs.reset_stats();
+                f.extend(1, 8).unwrap();
+            }
+            "rm" => {
+                let mut f: RowMajorFile<f64> = RowMajorFile::create(&pfs, "x", &[n, n]).unwrap();
+                f.write_region(&region, Layout::C, &data).unwrap();
+                pfs.reset_stats();
+                f.extend(1, 8).unwrap();
+            }
+            "nc" => {
+                let mut f: NetcdfLikeFile<f64> = NetcdfLikeFile::create(&pfs, "x", &[n, n]).unwrap();
+                f.write_region(&region, Layout::C, &data).unwrap();
+                pfs.reset_stats();
+                f.extend_fixed(1, 8).unwrap();
+            }
+            _ => unreachable!(),
+        }
+        pfs.stats().total_bytes()
+    };
+
+    let drx = cost_of("drx");
+    let h5 = cost_of("h5");
+    let rm = cost_of("rm");
+    let nc = cost_of("nc");
+    assert!(drx < payload / 4, "DRX extension I/O ({drx}) must be metadata-scale");
+    assert!(h5 < 256, "HDF5-like extension rewrites only its superblock, got {h5}");
+    assert!(rm >= payload, "row-major must rewrite at least the payload, got {rm}");
+    assert!(nc >= payload, "netCDF-like must rewrite at least the payload, got {nc}");
+}
+
+#[test]
+fn btree_overhead_exists_only_for_the_indexed_format() {
+    // DRX needs no index storage at all; the HDF5-like store pays pages.
+    let pfs = Pfs::memory(2, 4096).unwrap();
+    let n = 16usize;
+    let region = Region::new(vec![0, 0], vec![n, n]).unwrap();
+    let data: Vec<f64> = region.iter().map(|i| tag(&i)).collect();
+    let mut h5: Hdf5LikeFile<f64> = Hdf5LikeFile::create(&pfs, "h", &[2, 2], &[n, n], 256).unwrap();
+    h5.write_region(&region, Layout::C, &data).unwrap();
+    assert!(h5.index_bytes() > 0);
+    h5.reset_index_stats();
+    h5.get(&[15, 15]).unwrap();
+    assert!(h5.index_stats().page_reads >= 1, "every access pays the index");
+
+    // DRX metadata is a few hundred bytes regardless of chunk count.
+    let mut drx: DrxFile<f64> = DrxFile::create(&pfs, "d", &[2, 2], &[n, n]).unwrap();
+    drx.write_region(&region, Layout::C, &data).unwrap();
+    let xmd = pfs.open("d.xmd").unwrap();
+    assert!(xmd.len() < 512, "DRX metadata stays tiny, got {}", xmd.len());
+    assert!(xmd.len() < h5.index_bytes());
+}

@@ -1,0 +1,151 @@
+//! Failure injection and corruption handling across the full stack: PFS
+//! server faults must surface as typed errors (not panics or silent
+//! corruption), and damaged metadata must be rejected at open.
+
+use drx::parallel::{to_msg, DistSpec, DrxmpHandle};
+use drx::serial::DrxFile;
+use drx::{run_spmd, Layout, Pfs, Region};
+
+fn seeded(pfs: &Pfs) {
+    let mut f: DrxFile<i64> = DrxFile::create(pfs, "arr", &[2, 2], &[8, 8]).unwrap();
+    f.fill_with(|i| (i[0] * 8 + i[1]) as i64).unwrap();
+}
+
+#[test]
+fn injected_server_fault_surfaces_through_serial_reads() {
+    let pfs = Pfs::memory(2, 64).unwrap();
+    seeded(&pfs);
+    let f: DrxFile<i64> = DrxFile::open(&pfs, "arr").unwrap();
+    // Arm a fault on server 0: the next request fails once.
+    pfs.inject_fault(0, 0).unwrap();
+    let region = Region::new(vec![0, 0], vec![8, 8]).unwrap();
+    let err = f.read_region(&region, Layout::C).unwrap_err();
+    assert!(err.to_string().contains("injected fault"), "got: {err}");
+    // After the one-shot fault, the same read succeeds and is correct.
+    let data = f.read_region(&region, Layout::C).unwrap();
+    assert_eq!(data[63], 63);
+}
+
+#[test]
+fn injected_fault_poisons_a_parallel_collective_cleanly() {
+    let pfs = Pfs::memory(2, 64).unwrap();
+    seeded(&pfs);
+    pfs.inject_fault(1, 2).unwrap();
+    let fs = pfs.clone();
+    let result = run_spmd(2, move |comm| {
+        let mut h: DrxmpHandle<i64> =
+            DrxmpHandle::open(comm, &fs, "arr", DistSpec::block(vec![2, 1])).map_err(to_msg)?;
+        // Some rank's aggregated read will hit the fault; both ranks must
+        // come back with an error (either the fault or the poison), never a
+        // deadlock or a panic.
+        match h.read_my_zone(Layout::C) {
+            Ok(_) => Ok(true),
+            Err(e) => {
+                let s = e.to_string();
+                assert!(
+                    s.contains("injected fault") || s.contains("poisoned"),
+                    "unexpected error: {s}"
+                );
+                Err(to_msg(e))
+            }
+        }
+    });
+    // The run as a whole reports the failure.
+    assert!(result.is_err(), "fault must propagate out of run_spmd");
+}
+
+#[test]
+fn corrupt_metadata_is_rejected_on_open() {
+    let pfs = Pfs::memory(2, 64).unwrap();
+    seeded(&pfs);
+    // Flip a byte in the middle of the .xmd body: CRC must catch it.
+    let xmd = pfs.open("arr.xmd").unwrap();
+    let mut bytes = xmd.read_vec(0, xmd.len() as usize).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x5A;
+    xmd.write_at(0, &bytes).unwrap();
+    let err = match DrxFile::<i64>::open(&pfs, "arr") {
+        Err(e) => e,
+        Ok(_) => panic!("open must fail on corrupt metadata"),
+    };
+    assert!(err.to_string().contains("corrupt metadata"), "got: {err}");
+    // Parallel open fails on every rank too (replica decode).
+    let fs = pfs.clone();
+    let res = run_spmd(2, move |comm| {
+        match DrxmpHandle::<i64>::open(comm, &fs, "arr", DistSpec::block(vec![2, 1])) {
+            Err(e) => {
+                assert!(e.to_string().contains("corrupt"), "got: {e}");
+                Ok(())
+            }
+            Ok(_) => panic!("open must fail on corrupt metadata"),
+        }
+    });
+    assert!(res.is_ok());
+}
+
+#[test]
+fn truncated_metadata_is_rejected() {
+    let pfs = Pfs::memory(2, 64).unwrap();
+    seeded(&pfs);
+    let xmd = pfs.open("arr.xmd").unwrap();
+    xmd.set_len(xmd.len() / 2).unwrap();
+    assert!(DrxFile::<i64>::open(&pfs, "arr").is_err());
+}
+
+#[test]
+fn wrong_dtype_is_rejected_everywhere() {
+    let pfs = Pfs::memory(2, 64).unwrap();
+    seeded(&pfs); // i64 array
+    assert!(DrxFile::<f32>::open(&pfs, "arr").is_err());
+    let fs = pfs.clone();
+    run_spmd(2, move |comm| {
+        assert!(
+            DrxmpHandle::<f64>::open(comm, &fs, "arr", DistSpec::block(vec![2, 1])).is_err()
+        );
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn rank_panic_inside_parallel_io_does_not_deadlock() {
+    let pfs = Pfs::memory(2, 64).unwrap();
+    seeded(&pfs);
+    let fs = pfs.clone();
+    let err = run_spmd(2, move |comm| -> drx_msg::Result<()> {
+        let mut h: DrxmpHandle<i64> =
+            DrxmpHandle::open(comm, &fs, "arr", DistSpec::block(vec![2, 1])).map_err(to_msg)?;
+        if comm.rank() == 1 {
+            panic!("simulated application bug");
+        }
+        // Rank 0 blocks in a collective; the poison must wake it with an
+        // error instead of hanging the test forever.
+        match h.read_my_zone(Layout::C) {
+            Err(e) => {
+                assert!(e.to_string().contains("poisoned"));
+                Err(to_msg(e))
+            }
+            Ok(_) => Ok(()),
+        }
+    })
+    .unwrap_err();
+    assert!(err.to_string().contains("panicked"));
+}
+
+#[test]
+fn missing_files_error_cleanly() {
+    let pfs = Pfs::memory(2, 64).unwrap();
+    assert!(DrxFile::<i64>::open(&pfs, "nope").is_err());
+    // In the parallel open, rank 0 fails before the metadata broadcast; the
+    // abort discipline (returning Err poisons the world) must release the
+    // other rank from the pending collective instead of deadlocking —
+    // exactly what an MPI program would need MPI_Abort for.
+    let fs = pfs.clone();
+    let res = run_spmd(2, move |comm| -> drx_msg::Result<()> {
+        match DrxmpHandle::<i64>::open(comm, &fs, "nope", DistSpec::block(vec![2, 1])) {
+            Err(e) => Err(to_msg(e)), // propagate so the runtime aborts the world
+            Ok(_) => panic!("open of a missing file must fail"),
+        }
+    });
+    assert!(res.is_err());
+}

@@ -1,0 +1,94 @@
+//! Integration assertions for the paper's figures, exercised through the
+//! public facade API (the bench crate has its own copies; these prove the
+//! published `drx` surface reproduces the paper's numbers).
+
+use drx::{ExtendibleShape, Region};
+
+/// Figure 1: the 5×4 chunk grid layout and its growth history.
+#[test]
+fn figure1_chunk_grid() {
+    let mut s = ExtendibleShape::new(&[1, 1]).unwrap();
+    for (dim, by) in [(1, 1), (0, 1), (0, 1), (1, 1), (0, 1), (1, 1), (0, 1)] {
+        s.extend(dim, by).unwrap();
+    }
+    let expected = [
+        [0u64, 1, 6, 12],
+        [2, 3, 7, 13],
+        [4, 5, 8, 14],
+        [9, 10, 11, 15],
+        [16, 17, 18, 19],
+    ];
+    for (i, row) in expected.iter().enumerate() {
+        for (j, &addr) in row.iter().enumerate() {
+            assert_eq!(s.address(&[i, j]).unwrap(), addr, "chunk ({i},{j})");
+            assert_eq!(s.index_of(addr).unwrap(), vec![i, j], "inverse of {addr}");
+        }
+    }
+}
+
+/// Figure 1 as element-level metadata: A[10][12] in 2×3 chunks puts
+/// element ⟨9,7⟩ in chunk [4,2] at address 18 (paper §II-A).
+#[test]
+fn figure1_element_addressing() {
+    let meta = drx::ArrayMeta::new(drx::DType::Float64, &[2, 3], &[10, 12]).unwrap();
+    let (addr, within) = meta.locate_element(&[9, 7]).unwrap();
+    assert_eq!(addr, 18);
+    assert_eq!(within, 4);
+    assert_eq!(meta.grid().bounds(), &[5, 4]);
+    assert_eq!(meta.total_chunks(), 20);
+}
+
+/// Figure 2: the four allocation schemes on the 8×8 square.
+#[test]
+fn figure2_schemes() {
+    use drx::alloc::{
+        is_bijective_on_square, AllocScheme2, AxialScheme, Morton2, RowMajor, SymmetricShell2,
+    };
+    let rm = RowMajor::new(vec![8, 8]).unwrap();
+    assert_eq!(rm.address2(3, 5).unwrap(), 29);
+    let z = Morton2::new();
+    assert_eq!(z.address2(7, 7).unwrap(), 63);
+    assert_eq!(z.address2(2, 0).unwrap(), 8);
+    let sh = SymmetricShell2::new();
+    assert_eq!(sh.address2(7, 0).unwrap(), 56);
+    assert_eq!(sh.address2(0, 7).unwrap(), 49);
+    let ax = AxialScheme::figure2d().unwrap();
+    assert_eq!(ax.address2(0, 0).unwrap(), 0);
+    for s in [&rm as &dyn AllocScheme2, &z, &sh, &ax] {
+        assert!(is_bijective_on_square(s, 8).unwrap(), "{} not bijective", s.name());
+    }
+}
+
+/// Figure 3: the complete 3-D example with all axial-vector records and the
+/// worked addresses 7, 34, 56.
+#[test]
+fn figure3_axial_vectors_and_addresses() {
+    let mut s = ExtendibleShape::new(&[4, 3, 1]).unwrap();
+    for (dim, by) in [(2, 1), (2, 1), (1, 1), (0, 2), (2, 1)] {
+        s.extend(dim, by).unwrap();
+    }
+    assert_eq!(s.bounds(), &[6, 4, 4]);
+    assert_eq!(s.total_chunks(), 96);
+    // Γ0 = {(4, 48, [12,3,1])}, Γ1 = {(3, 36, [3,12,1])},
+    // Γ2 = {(0,0,[3,1,1]), (1,12,[3,1,12]), (3,72,[4,1,24])}.
+    let g0 = s.axial(0).records();
+    assert_eq!((g0[0].start_index, g0[0].start_addr, g0[0].coeffs.clone()), (4, 48, vec![12, 3, 1]));
+    let g1 = s.axial(1).records();
+    assert_eq!((g1[0].start_index, g1[0].start_addr, g1[0].coeffs.clone()), (3, 36, vec![3, 12, 1]));
+    let g2 = s.axial(2).records();
+    assert_eq!((g2[0].start_index, g2[0].start_addr, g2[0].coeffs.clone()), (0, 0, vec![3, 1, 1]));
+    assert_eq!((g2[1].start_index, g2[1].start_addr, g2[1].coeffs.clone()), (1, 12, vec![3, 1, 12]));
+    assert_eq!((g2[2].start_index, g2[2].start_addr, g2[2].coeffs.clone()), (3, 72, vec![4, 1, 24]));
+    // Worked addresses.
+    assert_eq!(s.address(&[2, 1, 0]).unwrap(), 7);
+    assert_eq!(s.address(&[3, 1, 2]).unwrap(), 34);
+    assert_eq!(s.address(&[4, 2, 2]).unwrap(), 56);
+    // Bijectivity over all 96 chunks.
+    let mut seen = vec![false; 96];
+    for idx in Region::of_shape(s.bounds()).unwrap().iter() {
+        let a = s.address(&idx).unwrap() as usize;
+        assert!(!seen[a]);
+        seen[a] = true;
+    }
+    assert!(seen.into_iter().all(|b| b));
+}

@@ -1,0 +1,78 @@
+//! Model-based test of the Global-Array layer: a random script of
+//! get/put/accumulate operations executed through `GaView` must match a
+//! sequential in-memory model exactly, regardless of which rank performs
+//! each operation.
+
+use drx::parallel::{to_msg, DistSpec, DrxmpHandle, GaView};
+use drx::serial::DrxFile;
+use drx::{run_spmd, Layout, Pfs};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put { idx: [usize; 2], value: i64 },
+    Acc { idx: [usize; 2], value: i64 },
+}
+
+fn op_strategy(side: usize) -> impl Strategy<Value = Op> {
+    (0..side, 0..side, -100i64..100, prop::bool::ANY).prop_map(|(i, j, v, put)| {
+        if put {
+            Op::Put { idx: [i, j], value: v }
+        } else {
+            Op::Acc { idx: [i, j], value: v }
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn ga_script_matches_sequential_model(
+        ops in prop::collection::vec(op_strategy(12), 1..40),
+    ) {
+        const SIDE: usize = 12;
+        // Sequential model.
+        let mut model = vec![0i64; SIDE * SIDE];
+        for op in &ops {
+            match *op {
+                Op::Put { idx, value } => model[idx[0] * SIDE + idx[1]] = value,
+                Op::Acc { idx, value } => model[idx[0] * SIDE + idx[1]] += value,
+            }
+        }
+        // Parallel execution: operations are partitioned round-robin over
+        // ranks, with a fence between every step so the global order is
+        // preserved (each step runs exactly one operation on one rank).
+        let pfs = Pfs::memory(2, 256).unwrap();
+        {
+            let _f: DrxFile<i64> = DrxFile::create(&pfs, "m", &[3, 3], &[SIDE, SIDE]).unwrap();
+        }
+        let fs = pfs.clone();
+        let ops_clone = ops.clone();
+        run_spmd(4, move |comm| {
+            let mut h: DrxmpHandle<i64> =
+                DrxmpHandle::open(comm, &fs, "m", DistSpec::block(vec![2, 2])).map_err(to_msg)?;
+            let ga = GaView::load(&mut h).map_err(to_msg)?;
+            ga.fence().map_err(to_msg)?;
+            for (step, op) in ops_clone.iter().enumerate() {
+                if step % comm.size() == comm.rank() {
+                    match *op {
+                        Op::Put { idx, value } => ga.put(&[idx[0], idx[1]], value).map_err(to_msg)?,
+                        Op::Acc { idx, value } => {
+                            ga.accumulate(&[idx[0], idx[1]], value).map_err(to_msg)?
+                        }
+                    }
+                }
+                ga.fence().map_err(to_msg)?;
+            }
+            ga.sync_to_file(&mut h).map_err(to_msg)?;
+            h.close().map_err(to_msg)?;
+            Ok(())
+        })
+        .unwrap();
+        // Compare the persisted array against the model.
+        let f: DrxFile<i64> = DrxFile::open(&pfs, "m").unwrap();
+        let got = f.read_full(Layout::C).unwrap();
+        prop_assert_eq!(got, model);
+    }
+}

@@ -1,0 +1,168 @@
+//! Cross-crate equivalence: the in-memory reference array, the serial DRX
+//! file, and the parallel DRX-MP paths must all agree — under arbitrary
+//! growth histories and for every distribution and rank count.
+
+use drx::parallel::{to_msg, DistSpec, DrxmpHandle};
+use drx::serial::DrxFile;
+use drx::{run_spmd, ExtendibleArray, Layout, Pfs, Region};
+use proptest::prelude::*;
+
+fn tag(idx: &[usize]) -> i64 {
+    idx.iter().fold(5i64, |a, &i| a.wrapping_mul(131).wrapping_add(i as i64))
+}
+
+// Serial file vs in-memory reference under a random growth + write script.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn serial_file_matches_memory_reference(
+        chunk in prop::collection::vec(1usize..4, 2),
+        initial in prop::collection::vec(1usize..6, 2),
+        exts in prop::collection::vec((0usize..2, 1usize..5), 0..5),
+    ) {
+        let pfs = Pfs::memory(2, 128).unwrap();
+        let mut file: DrxFile<i64> = DrxFile::create(&pfs, "p", &chunk, &initial).unwrap();
+        let mut mem: ExtendibleArray<i64> = ExtendibleArray::new(&chunk, &initial).unwrap();
+        // Seed, then interleave extensions with writes.
+        file.fill_with(tag).unwrap();
+        mem.fill_with(tag).unwrap();
+        for &(dim, by) in &exts {
+            file.extend(dim, by).unwrap();
+            mem.extend(dim, by).unwrap();
+            // Write the newly exposed band.
+            let mut lo = vec![0; 2];
+            lo[dim] = mem.bounds()[dim] - by;
+            let region = Region::new(lo, mem.bounds().to_vec()).unwrap();
+            let data: Vec<i64> = region.iter().map(|i| tag(&i) + 1).collect();
+            file.write_region(&region, Layout::C, &data).unwrap();
+            mem.write_region(&region, Layout::C, &data).unwrap();
+        }
+        prop_assume!(mem.len() <= 4096);
+        let full = mem.meta().element_region();
+        for layout in [Layout::C, Layout::Fortran] {
+            prop_assert_eq!(
+                file.read_region(&full, layout).unwrap(),
+                mem.read_region(&full, layout).unwrap()
+            );
+        }
+        // Reopen and re-check a corner element.
+        drop(file);
+        let file: DrxFile<i64> = DrxFile::open(&pfs, "p").unwrap();
+        let corner: Vec<usize> = file.bounds().iter().map(|&b| b - 1).collect();
+        prop_assert_eq!(file.get(&corner).unwrap(), mem.get(&corner).unwrap());
+    }
+}
+
+/// Parallel zone reads equal the serial full read, for BLOCK and
+/// BLOCK_CYCLIC and several rank counts.
+#[test]
+fn parallel_zone_reads_match_serial() {
+    let pfs = Pfs::memory(4, 1024).unwrap();
+    {
+        let mut f: DrxFile<i64> = DrxFile::create(&pfs, "arr", &[3, 2], &[13, 10]).unwrap();
+        f.fill_with(tag).unwrap();
+        f.extend(1, 5).unwrap();
+        f.extend(0, 2).unwrap();
+        let region = f.meta().element_region();
+        let data: Vec<i64> = region.iter().map(|i| tag(&i) * 2).collect();
+        f.write_region(&region, Layout::C, &data).unwrap();
+    }
+    let serial: DrxFile<i64> = DrxFile::open(&pfs, "arr").unwrap();
+    let reference = serial.read_full(Layout::C).unwrap();
+    let bounds = serial.bounds().to_vec();
+
+    for nprocs in [1usize, 2, 4, 6] {
+        for dist in [
+            DistSpec::auto(nprocs, 2),
+            DistSpec::block_cyclic(DistSpec::auto(nprocs, 2).proc_grid().to_vec(), vec![1, 2]),
+        ] {
+            let fs = pfs.clone();
+            let reference = reference.clone();
+            let bounds = bounds.clone();
+            run_spmd(nprocs, move |comm| {
+                let mut h: DrxmpHandle<i64> =
+                    DrxmpHandle::open(comm, &fs, "arr", dist.clone()).map_err(to_msg)?;
+                // Every rank independently reads the full array; must match
+                // the serial reference.
+                let full = Region::new(vec![0, 0], bounds.clone()).unwrap();
+                let mine = h.read_region(&full, Layout::C).map_err(to_msg)?;
+                assert_eq!(mine, reference, "rank {} full read", comm.rank());
+                // Collective per-zone reads (BLOCK only exposes regions).
+                if let Some(zone) = h.my_zone() {
+                    let data = h.read_region_all(Some(&zone), Layout::C).map_err(to_msg)?;
+                    for (pos, idx) in zone.iter().enumerate() {
+                        let off = idx[0] * bounds[1] + idx[1];
+                        assert_eq!(data[pos], reference[off], "zone read at {idx:?}");
+                    }
+                } else {
+                    h.read_region_all(None, Layout::C).map_err(to_msg)?;
+                }
+                h.close().map_err(to_msg)?;
+                Ok(())
+            })
+            .unwrap();
+        }
+    }
+}
+
+/// Parallel zone writes compose to the same file a serial writer produces.
+#[test]
+fn parallel_writes_match_serial_writer() {
+    let write_parallel = |nprocs: usize| -> Vec<i64> {
+        let pfs = Pfs::memory(4, 512).unwrap();
+        let fs = pfs.clone();
+        run_spmd(nprocs, move |comm| {
+            let mut h: DrxmpHandle<i64> = DrxmpHandle::create(
+                comm,
+                &fs,
+                "w",
+                &[2, 3],
+                &[9, 11],
+                DistSpec::auto(comm.size(), 2),
+            )
+            .map_err(to_msg)?;
+            let data = h.my_zone().map(|z| z.iter().map(|i| tag(&i)).collect::<Vec<i64>>());
+            h.write_my_zone(Layout::C, data.as_deref()).map_err(to_msg)?;
+            h.close().map_err(to_msg)?;
+            Ok(())
+        })
+        .unwrap();
+        let f: DrxFile<i64> = DrxFile::open(&pfs, "w").unwrap();
+        f.read_full(Layout::C).unwrap()
+    };
+
+    let serial = {
+        let pfs = Pfs::memory(4, 512).unwrap();
+        let mut f: DrxFile<i64> = DrxFile::create(&pfs, "w", &[2, 3], &[9, 11]).unwrap();
+        f.fill_with(tag).unwrap();
+        f.read_full(Layout::C).unwrap()
+    };
+    for nprocs in [1, 2, 4] {
+        assert_eq!(write_parallel(nprocs), serial, "nprocs = {nprocs}");
+    }
+}
+
+/// Independent and collective reads agree on arbitrary overlapping regions.
+#[test]
+fn independent_equals_collective_on_overlapping_regions() {
+    let pfs = Pfs::memory(4, 256).unwrap();
+    {
+        let mut f: DrxFile<f64> = DrxFile::create(&pfs, "o", &[4, 4], &[16, 16]).unwrap();
+        f.fill_with(|i| (i[0] * 16 + i[1]) as f64).unwrap();
+    }
+    let fs = pfs.clone();
+    run_spmd(3, move |comm| {
+        let mut h: DrxmpHandle<f64> =
+            DrxmpHandle::open(comm, &fs, "o", DistSpec::block(vec![3, 1])).map_err(to_msg)?;
+        // All ranks request overlapping diagonal-ish regions.
+        let r = comm.rank();
+        let region = Region::new(vec![r * 2, r * 3], vec![r * 2 + 9, r * 3 + 7]).unwrap();
+        let ind = h.read_region(&region, Layout::Fortran).map_err(to_msg)?;
+        let coll = h.read_region_all(Some(&region), Layout::Fortran).map_err(to_msg)?;
+        assert_eq!(ind, coll, "rank {r}");
+        h.close().map_err(to_msg)?;
+        Ok(())
+    })
+    .unwrap();
+}

@@ -1,0 +1,85 @@
+//! Larger-scale soak tests — a 3-D parallel workflow with repeated
+//! extensions along every dimension, many ranks and both distributions.
+//! Sizes are chosen to stay debug-build friendly; run with
+//! `cargo test --release --test soak -- --ignored` for the big variant.
+
+use drx::parallel::{to_msg, DistSpec, DrxmpHandle};
+use drx::serial::DrxFile;
+use drx::{run_spmd, Layout, Pfs, Region};
+
+fn tag(idx: &[usize]) -> i64 {
+    idx.iter().fold(13i64, |a, &i| a.wrapping_mul(1009).wrapping_add(i as i64))
+}
+
+/// The common workflow: serial init, parallel extension+write rounds from
+/// varying rank counts, serial full verification at the end.
+fn workflow(side0: usize, rounds: usize, ranks: usize) {
+    let pfs = Pfs::memory(4, 32 * 1024).unwrap();
+    {
+        let mut f: DrxFile<i64> =
+            DrxFile::create(&pfs, "soak", &[4, 4, 2], &[side0, side0, 4]).unwrap();
+        f.fill_with(|i| tag(i)).unwrap();
+    }
+    let mut bounds = vec![side0, side0, 4];
+    for round in 0..rounds {
+        let dim = round % 3;
+        let by = [4, 8, 2][dim];
+        let fs = pfs.clone();
+        let bounds_in = bounds.clone();
+        run_spmd(ranks, move |comm| {
+            let dist = DistSpec::auto(comm.size(), 3);
+            let mut h: DrxmpHandle<i64> =
+                DrxmpHandle::open(comm, &fs, "soak", dist).map_err(to_msg)?;
+            assert_eq!(h.bounds(), &bounds_in[..], "replica bounds before extension");
+            h.extend(dim, by).map_err(to_msg)?;
+            // Rank 0 fills the newly exposed band collectively; everyone
+            // else participates.
+            let mut lo = vec![0usize; 3];
+            lo[dim] = bounds_in[dim];
+            let region = Region::new(lo, h.bounds().to_vec()).unwrap();
+            if comm.rank() == 0 {
+                let data: Vec<i64> = region.iter().map(|i| tag(&i)).collect();
+                h.write_region_all(Some((&region, &data)), Layout::C).map_err(to_msg)?;
+            } else {
+                h.write_region_all(None, Layout::C).map_err(to_msg)?;
+            }
+            h.close().map_err(to_msg)?;
+            Ok(())
+        })
+        .unwrap();
+        bounds[dim] += by;
+    }
+    // Serial verification of every element.
+    let f: DrxFile<i64> = DrxFile::open(&pfs, "soak").unwrap();
+    assert_eq!(f.bounds(), &bounds[..]);
+    let all = f.read_full(Layout::C).unwrap();
+    for (pos, idx) in f.meta().element_region().iter().enumerate() {
+        assert_eq!(all[pos], tag(&idx), "at {idx:?}");
+    }
+    // The growth history must have accumulated several axial records.
+    assert!(f.meta().grid().record_count() >= rounds.min(4));
+}
+
+#[test]
+fn three_d_growth_workflow_small() {
+    workflow(8, 4, 4);
+}
+
+#[test]
+fn three_d_growth_workflow_odd_ranks() {
+    workflow(8, 3, 3);
+}
+
+#[test]
+#[ignore = "heavy: run with --release --ignored"]
+fn three_d_growth_workflow_large() {
+    workflow(32, 9, 8);
+}
+
+#[test]
+#[ignore = "heavy: run with --release --ignored"]
+fn wide_rank_sweep() {
+    for ranks in [1, 2, 3, 5, 8, 12, 16] {
+        workflow(16, 3, ranks);
+    }
+}
