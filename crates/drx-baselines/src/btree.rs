@@ -312,7 +312,10 @@ impl Btree {
                 let right_children = children.split_off(mid + 1);
                 let right = self.alloc_page();
                 self.write_node(page, &Node::Internal { keys, children })?;
-                self.write_node(right, &Node::Internal { keys: right_keys, children: right_children })?;
+                self.write_node(
+                    right,
+                    &Node::Internal { keys: right_keys, children: right_children },
+                )?;
                 Ok(Some(Split { key: promote, right }))
             }
         }

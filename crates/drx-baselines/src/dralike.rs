@@ -69,8 +69,7 @@ impl<T: Element> DraLikeFile<T> {
     }
 
     fn locate(&self, index: &[usize]) -> Result<u64> {
-        if index.len() != self.bounds.len()
-            || index.iter().zip(&self.bounds).any(|(&i, &n)| i >= n)
+        if index.len() != self.bounds.len() || index.iter().zip(&self.bounds).any(|(&i, &n)| i >= n)
         {
             return Err(BaselineError::Invalid(format!(
                 "index {index:?} out of bounds {:?}",
@@ -137,8 +136,7 @@ impl<T: Element> DraLikeFile<T> {
         self.file.set_len(new_total * cb)?;
         // Move chunks back to front so no unread chunk is overwritten
         // (row-major addresses only increase when a trailing dim grows).
-        let old_chunks: Vec<Vec<usize>> =
-            Region::of_shape(&old_grid)?.iter().collect();
+        let old_chunks: Vec<Vec<usize>> = Region::of_shape(&old_grid)?.iter().collect();
         let mut moved = 0u64;
         for chunk in old_chunks.iter().rev() {
             let old_addr = offset_with_strides(chunk, &old_strides);
@@ -176,7 +174,8 @@ impl<T: Element> DraLikeFile<T> {
             let chunk_elems = self.chunking.chunk_elements(&chunk)?;
             let Some(valid) = chunk_elems.intersect(region) else { continue };
             let addr = self.chunk_address(&chunk)?;
-            let bytes = self.file.read_vec(addr * self.chunk_bytes(), self.chunk_bytes() as usize)?;
+            let bytes =
+                self.file.read_vec(addr * self.chunk_bytes(), self.chunk_bytes() as usize)?;
             let vals: Vec<T> = dtype::decode_slice(&bytes)?;
             drx_core::index::for_each_offset_pair(
                 &valid,
@@ -316,7 +315,7 @@ mod tests {
         let fs = pfs();
         let mut f = filled(&fs, &[2, 2], &[8, 8]); // 4×4 grid
         let cost = f.extend(1, 2).unwrap(); // grid 4×4 → 4×5
-        // Chunks in row 0 keep addresses 0..4; all 12 later chunks move.
+                                            // Chunks in row 0 keep addresses 0..4; all 12 later chunks move.
         assert_eq!(cost.bytes_moved, 12 * f.chunk_bytes() * 2);
     }
 

@@ -160,8 +160,7 @@ impl<T: Element> Hdf5LikeFile<T> {
     }
 
     fn check_index(&self, index: &[usize]) -> Result<()> {
-        if index.len() != self.bounds.len()
-            || index.iter().zip(&self.bounds).any(|(&i, &n)| i >= n)
+        if index.len() != self.bounds.len() || index.iter().zip(&self.bounds).any(|(&i, &n)| i >= n)
         {
             return Err(BaselineError::Invalid(format!(
                 "index {index:?} out of bounds {:?}",
@@ -214,8 +213,7 @@ impl<T: Element> Hdf5LikeFile<T> {
         self.check_index(index)?;
         let (chunk, within) = self.chunking.split(index)?;
         let slot = self.chunk_slot_mut(&chunk)?;
-        let off =
-            slot * self.chunk_bytes() + self.chunking.within_offset(&within) * T::SIZE as u64;
+        let off = slot * self.chunk_bytes() + self.chunking.within_offset(&within) * T::SIZE as u64;
         let mut buf = Vec::with_capacity(T::SIZE);
         value.write_le(&mut buf);
         self.data.write_at(off, &buf)?;
@@ -300,10 +298,7 @@ impl<T: Element> Hdf5LikeFile<T> {
         if region.rank() != self.bounds.len()
             || region.hi().iter().zip(&self.bounds).any(|(&h, &n)| h > n)
         {
-            return Err(BaselineError::Invalid(format!(
-                "region out of bounds {:?}",
-                self.bounds
-            )));
+            return Err(BaselineError::Invalid(format!("region out of bounds {:?}", self.bounds)));
         }
         Ok(())
     }
@@ -325,7 +320,8 @@ mod tests {
     #[test]
     fn lazy_allocation_and_fill_values() {
         let fs = pfs();
-        let mut f: Hdf5LikeFile<f64> = Hdf5LikeFile::create(&fs, "h", &[2, 2], &[8, 8], 256).unwrap();
+        let mut f: Hdf5LikeFile<f64> =
+            Hdf5LikeFile::create(&fs, "h", &[2, 2], &[8, 8], 256).unwrap();
         assert_eq!(f.allocated_chunks(), 0);
         assert_eq!(f.get(&[5, 5]).unwrap(), 0.0);
         f.set(&[5, 5], 2.5).unwrap();
@@ -338,7 +334,8 @@ mod tests {
     #[test]
     fn extension_is_metadata_only() {
         let fs = pfs();
-        let mut f: Hdf5LikeFile<i64> = Hdf5LikeFile::create(&fs, "h", &[2, 2], &[4, 4], 256).unwrap();
+        let mut f: Hdf5LikeFile<i64> =
+            Hdf5LikeFile::create(&fs, "h", &[2, 2], &[4, 4], 256).unwrap();
         f.set(&[3, 3], 7).unwrap();
         let chunks_before = f.allocated_chunks();
         f.extend(1, 10).unwrap();
@@ -354,7 +351,8 @@ mod tests {
     #[test]
     fn region_io_matches_reference() {
         let fs = pfs();
-        let mut f: Hdf5LikeFile<i64> = Hdf5LikeFile::create(&fs, "h", &[2, 3], &[7, 8], 256).unwrap();
+        let mut f: Hdf5LikeFile<i64> =
+            Hdf5LikeFile::create(&fs, "h", &[2, 3], &[7, 8], 256).unwrap();
         let mut reference: drx_core::ExtendibleArray<i64> =
             drx_core::ExtendibleArray::new(&[2, 3], &[7, 8]).unwrap();
         let region = Region::new(vec![0, 0], vec![7, 8]).unwrap();
@@ -418,7 +416,8 @@ mod tests {
     #[test]
     fn bounds_are_enforced() {
         let fs = pfs();
-        let mut f: Hdf5LikeFile<i32> = Hdf5LikeFile::create(&fs, "h", &[2, 2], &[4, 4], 256).unwrap();
+        let mut f: Hdf5LikeFile<i32> =
+            Hdf5LikeFile::create(&fs, "h", &[2, 2], &[4, 4], 256).unwrap();
         assert!(f.get(&[4, 0]).is_err());
         assert!(f.set(&[0, 4], 1).is_err());
         assert!(f.extend(2, 1).is_err());

@@ -10,8 +10,8 @@
 
 use crate::error::{BaselineError, Result};
 use crate::rowmajor::ExtendCost;
-use drx_core::{dtype, Element, Layout, Region};
 use drx_core::index::{offset_with_strides, row_major_strides, volume};
+use drx_core::{dtype, Element, Layout, Region};
 use drx_pfs::{Pfs, PfsFile};
 
 const MAGIC: u32 = 0x4E43_4446; // "NCDF"
@@ -30,7 +30,8 @@ impl<T: Element> NetcdfLikeFile<T> {
             return Err(BaselineError::Invalid("bad shape".into()));
         }
         let file = pfs.create(name)?;
-        let mut f = NetcdfLikeFile { shape: shape.to_vec(), file, _marker: std::marker::PhantomData };
+        let mut f =
+            NetcdfLikeFile { shape: shape.to_vec(), file, _marker: std::marker::PhantomData };
         f.write_header()?;
         f.file.set_len(HEADER_BYTES + volume(shape) * T::SIZE as u64)?;
         Ok(f)

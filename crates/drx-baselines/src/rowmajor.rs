@@ -10,8 +10,8 @@
 //! Extending dimension 0 appends; extending any other dimension triggers a
 //! full reorganization whose cost ([`ExtendCost`]) experiment E2 measures.
 
-use drx_core::{dtype, Element, Layout, Region};
 use drx_core::index::{offset_with_strides, row_major_strides, volume};
+use drx_core::{dtype, Element, Layout, Region};
 use drx_pfs::{Pfs, PfsFile};
 
 use crate::error::{BaselineError, Result};
@@ -51,8 +51,7 @@ impl<T: Element> RowMajorFile<T> {
     }
 
     fn offset_of(&self, index: &[usize]) -> Result<u64> {
-        Ok(drx_core::index::row_major_offset(index, &self.shape)?
-            * T::SIZE as u64)
+        Ok(drx_core::index::row_major_offset(index, &self.shape)? * T::SIZE as u64)
     }
 
     pub fn get(&self, index: &[usize]) -> Result<T> {
@@ -202,10 +201,7 @@ impl<T: Element> RowMajorFile<T> {
         // Iterate rows back to front so in-place rewriting never clobbers
         // unread data (new offsets are always >= old offsets when extending).
         let rows: Vec<Vec<usize>> = {
-            let row_region = Region::new(
-                vec![0; k - 1],
-                old_shape[..k - 1].to_vec(),
-            )?;
+            let row_region = Region::new(vec![0; k - 1], old_shape[..k - 1].to_vec())?;
             row_region.iter().collect()
         };
         let mut moved = 0u64;

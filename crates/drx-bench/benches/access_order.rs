@@ -36,7 +36,8 @@ fn bench_access_order(c: &mut Criterion) {
     rm.write_region(&region, Layout::C, &data).unwrap();
 
     let pfs_dx = Pfs::memory(4, 64 * 1024).unwrap();
-    let mut dx: DrxFile<f64> = DrxFile::create(&pfs_dx, "dx", &[CHUNK, CHUNK], &[SIDE, SIDE]).unwrap();
+    let mut dx: DrxFile<f64> =
+        DrxFile::create(&pfs_dx, "dx", &[CHUNK, CHUNK], &[SIDE, SIDE]).unwrap();
     dx.write_region(&region, Layout::C, &data).unwrap();
 
     for (by_rows, label) in [(true, "row_panels"), (false, "col_panels")] {

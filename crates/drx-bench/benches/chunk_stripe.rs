@@ -15,7 +15,8 @@ fn bench_chunk_stripe(c: &mut Criterion) {
     group.sample_size(10);
     for &chunk in &[16usize, 24, 32, 48, 64] {
         let pfs = Pfs::memory(4, STRIPE).unwrap();
-        let mut f: DrxFile<f64> = DrxFile::create(&pfs, "arr", &[chunk, chunk], &[SIDE, SIDE]).unwrap();
+        let mut f: DrxFile<f64> =
+            DrxFile::create(&pfs, "arr", &[chunk, chunk], &[SIDE, SIDE]).unwrap();
         let region = Region::new(vec![0, 0], vec![SIDE, SIDE]).unwrap();
         let data: Vec<f64> = (0..(SIDE * SIDE) as u64).map(|x| x as f64).collect();
         f.write_region(&region, Layout::C, &data).unwrap();

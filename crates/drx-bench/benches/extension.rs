@@ -51,7 +51,8 @@ fn bench_extension(c: &mut Criterion) {
             b.iter_batched(
                 || {
                     let pfs = Pfs::memory(4, 64 * 1024).unwrap();
-                    let mut f: RowMajorFile<f64> = RowMajorFile::create(&pfs, "a", &[n, n]).unwrap();
+                    let mut f: RowMajorFile<f64> =
+                        RowMajorFile::create(&pfs, "a", &[n, n]).unwrap();
                     f.write_region(&region, Layout::C, &data).unwrap();
                     f
                 },

@@ -17,7 +17,8 @@ fn bench_ga(c: &mut Criterion) {
     group.sample_size(10);
     let pfs = Pfs::memory(4, 64 * 1024).unwrap();
     {
-        let mut f: DrxFile<f64> = DrxFile::create(&pfs, "ga", &[CHUNK, CHUNK], &[SIDE, SIDE]).unwrap();
+        let mut f: DrxFile<f64> =
+            DrxFile::create(&pfs, "ga", &[CHUNK, CHUNK], &[SIDE, SIDE]).unwrap();
         let region = Region::new(vec![0, 0], vec![SIDE, SIDE]).unwrap();
         let data: Vec<f64> = (0..(SIDE * SIDE) as u64).map(|x| x as f64).collect();
         f.write_region(&region, Layout::C, &data).unwrap();

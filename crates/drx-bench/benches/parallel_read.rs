@@ -25,28 +25,24 @@ fn bench_parallel_read(c: &mut Criterion) {
     for &p in &[1usize, 2, 4, 8] {
         for (collective, label) in [(false, "independent"), (true, "collective")] {
             let pfs = seeded_pfs();
-            group.bench_with_input(
-                BenchmarkId::new(label, p),
-                &p,
-                |b, &p| {
-                    b.iter(|| {
-                        let fs = pfs.clone();
-                        run_spmd(p, move |comm| {
-                            let dist = DistSpec::auto(comm.size(), 2);
-                            let mut h: DrxmpHandle<f64> =
-                                DrxmpHandle::open(comm, &fs, "arr", dist).map_err(to_msg)?;
-                            if collective {
-                                let _ = h.read_my_zone(Layout::C).map_err(to_msg)?;
-                            } else if let Some(zone) = h.my_zone() {
-                                let _ = h.read_region(&zone, Layout::C).map_err(to_msg)?;
-                            }
-                            h.close().map_err(to_msg)?;
-                            Ok(())
-                        })
-                        .unwrap()
+            group.bench_with_input(BenchmarkId::new(label, p), &p, |b, &p| {
+                b.iter(|| {
+                    let fs = pfs.clone();
+                    run_spmd(p, move |comm| {
+                        let dist = DistSpec::auto(comm.size(), 2);
+                        let mut h: DrxmpHandle<f64> =
+                            DrxmpHandle::open(comm, &fs, "arr", dist).map_err(to_msg)?;
+                        if collective {
+                            let _ = h.read_my_zone(Layout::C).map_err(to_msg)?;
+                        } else if let Some(zone) = h.my_zone() {
+                            let _ = h.read_region(&zone, Layout::C).map_err(to_msg)?;
+                        }
+                        h.close().map_err(to_msg)?;
+                        Ok(())
                     })
-                },
-            );
+                    .unwrap()
+                })
+            });
         }
     }
     group.finish();

@@ -45,7 +45,13 @@ fn main() {
     }
     if want("e4") {
         let p = if quick {
-            e4_parallel::Params { side: 64, chunk: 8, ranks: vec![1, 4], servers: 4, stripe: 16 * 1024 }
+            e4_parallel::Params {
+                side: 64,
+                chunk: 8,
+                ranks: vec![1, 4],
+                servers: 4,
+                stripe: 16 * 1024,
+            }
         } else {
             e4_parallel::Params::default()
         };
@@ -53,7 +59,12 @@ fn main() {
     }
     if want("e5") {
         let p = if quick {
-            e5_chunk_stripe::Params { side: 96, chunk_sides: vec![16, 24, 32], servers: 2, stripe: 2048 }
+            e5_chunk_stripe::Params {
+                side: 96,
+                chunk_sides: vec![16, 24, 32],
+                servers: 2,
+                stripe: 2048,
+            }
         } else {
             e5_chunk_stripe::Params::default()
         };

@@ -46,9 +46,7 @@ pub fn grown_shape(k: usize, e: usize) -> ExtendibleShape {
 /// Sample valid chunk indices of a shape.
 fn sample_indices(s: &ExtendibleShape, n: usize, seed: u64) -> Vec<Vec<usize>> {
     let mut rng = Lcg::new(seed);
-    (0..n)
-        .map(|_| s.bounds().iter().map(|&b| rng.below(b)).collect())
-        .collect()
+    (0..n).map(|_| s.bounds().iter().map(|&b| rng.below(b)).collect()).collect()
 }
 
 pub fn run(params: Params) -> Table {
@@ -115,10 +113,8 @@ pub fn run(params: Params) -> Table {
                 let key: Vec<u64> = idx.iter().map(|&i| i as u64).collect();
                 tree.insert(&key, a).expect("insert");
             }
-            let keys: Vec<Vec<u64>> = indices
-                .iter()
-                .map(|idx| idx.iter().map(|&i| i as u64).collect())
-                .collect();
+            let keys: Vec<Vec<u64>> =
+                indices.iter().map(|idx| idx.iter().map(|&i| i as u64).collect()).collect();
             tree.reset_stats();
             let mut cursor = 0usize;
             let bt = time_per_op(params.iters.min(5_000), || {

@@ -12,8 +12,8 @@
 //! time. Metrics: PFS requests, seeks and simulated time.
 
 use crate::table::{fmt_ns, Table};
-use drx_core::{Layout, Region};
 use drx_baselines::RowMajorFile;
+use drx_core::{Layout, Region};
 use drx_mp::DrxFile;
 use drx_pfs::{Pfs, PfsStats};
 
@@ -145,10 +145,22 @@ mod tests {
     #[test]
     fn column_panels_punish_row_major_but_not_drx() {
         let rows = measure(&Params { side: 64, chunk: 8, panels: 4 });
-        let rm_row = rows.iter().find(|r| r.format == "row-major file" && r.orientation == "row panels").unwrap();
-        let rm_col = rows.iter().find(|r| r.format == "row-major file" && r.orientation == "column panels").unwrap();
-        let dx_row = rows.iter().find(|r| r.format == "DRX chunked file" && r.orientation == "row panels").unwrap();
-        let dx_col = rows.iter().find(|r| r.format == "DRX chunked file" && r.orientation == "column panels").unwrap();
+        let rm_row = rows
+            .iter()
+            .find(|r| r.format == "row-major file" && r.orientation == "row panels")
+            .unwrap();
+        let rm_col = rows
+            .iter()
+            .find(|r| r.format == "row-major file" && r.orientation == "column panels")
+            .unwrap();
+        let dx_row = rows
+            .iter()
+            .find(|r| r.format == "DRX chunked file" && r.orientation == "row panels")
+            .unwrap();
+        let dx_col = rows
+            .iter()
+            .find(|r| r.format == "DRX chunked file" && r.orientation == "column panels")
+            .unwrap();
         // Row-major: column panels generate `panels`× more (and much
         // smaller) requests, and far more simulated time.
         assert!(

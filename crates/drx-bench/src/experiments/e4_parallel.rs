@@ -111,13 +111,8 @@ mod tests {
 
     #[test]
     fn collective_beats_independent_on_requests() {
-        let rows = measure(&Params {
-            side: 64,
-            chunk: 8,
-            ranks: vec![4],
-            servers: 4,
-            stripe: 16 * 1024,
-        });
+        let rows =
+            measure(&Params { side: 64, chunk: 8, ranks: vec![4], servers: 4, stripe: 16 * 1024 });
         let ind = rows.iter().find(|r| r.mode == "independent").unwrap();
         let coll = rows.iter().find(|r| r.mode.starts_with("collective")).unwrap();
         assert!(

@@ -27,7 +27,12 @@ pub struct Params {
 impl Default for Params {
     fn default() -> Self {
         // stripe 16 KiB; chunk sides 16..64 give chunk bytes 2 KiB..32 KiB.
-        Params { side: 256, chunk_sides: vec![16, 24, 32, 45, 48, 64], servers: 4, stripe: 16 * 1024 }
+        Params {
+            side: 256,
+            chunk_sides: vec![16, 24, 32, 45, 48, 64],
+            servers: 4,
+            stripe: 16 * 1024,
+        }
     }
 }
 
@@ -61,7 +66,8 @@ pub fn measure(params: &Params) -> Vec<Row> {
         rows.push(Row {
             chunk_side: c,
             chunk_bytes,
-            aligned: chunk_bytes.is_multiple_of(params.stripe) || params.stripe.is_multiple_of(chunk_bytes),
+            aligned: chunk_bytes.is_multiple_of(params.stripe)
+                || params.stripe.is_multiple_of(chunk_bytes),
             requests: st.total_requests(),
             requests_per_chunk: st.total_requests() as f64 / total_chunks as f64,
             sim_ns: st.sim_time_parallel_ns(),
@@ -102,9 +108,9 @@ mod tests {
     fn aligned_chunks_need_fewer_requests_per_chunk() {
         let params = Params {
             side: 96,
-            chunk_sides: vec![16, 24],          // 2 KiB vs 4.5 KiB chunks
+            chunk_sides: vec![16, 24], // 2 KiB vs 4.5 KiB chunks
             servers: 2,
-            stripe: 2 * 1024,                   // 2 KiB stripes
+            stripe: 2 * 1024, // 2 KiB stripes
         };
         let rows = measure(&params);
         let aligned = rows.iter().find(|r| r.chunk_side == 16).unwrap(); // 2 KiB = stripe

@@ -42,8 +42,8 @@ pub fn measure(params: &Params) -> Measurement {
     let n = params.side;
     let pfs = Pfs::memory(4, 64 * 1024).expect("valid");
     {
-        let mut f: DrxFile<f64> = DrxFile::create(&pfs, "ga", &[params.chunk, params.chunk], &[n, n])
-            .expect("valid");
+        let mut f: DrxFile<f64> =
+            DrxFile::create(&pfs, "ga", &[params.chunk, params.chunk], &[n, n]).expect("valid");
         let region = Region::new(vec![0, 0], vec![n, n]).expect("valid");
         let data: Vec<f64> = (0..(n * n) as u64).map(|x| x as f64).collect();
         f.write_region(&region, Layout::C, &data).expect("seed");

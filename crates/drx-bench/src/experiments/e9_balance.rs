@@ -25,11 +25,11 @@ impl Default for Params {
         Params {
             nprocs: 4,
             grids: vec![
-                vec![8, 8],   // divides evenly
-                vec![5, 4],   // the Figure-1 grid
-                vec![9, 7],   // awkward primes
-                vec![3, 17],  // long and thin
-                vec![2, 2],   // fewer chunks than... exactly nprocs
+                vec![8, 8],  // divides evenly
+                vec![5, 4],  // the Figure-1 grid
+                vec![9, 7],  // awkward primes
+                vec![3, 17], // long and thin
+                vec![2, 2],  // fewer chunks than... exactly nprocs
             ],
         }
     }
@@ -146,7 +146,8 @@ pub fn run(params: Params) -> Table {
         ),
         &["chunk grid", "distribution", "chunks per rank", "imbalance", "churn under growth"],
     );
-    let churn = measure_churn(params.nprocs, &[4, 4], &[(0, 1), (1, 1), (0, 1), (1, 1), (0, 1), (1, 1)]);
+    let churn =
+        measure_churn(params.nprocs, &[4, 4], &[(0, 1), (1, 1), (0, 1), (1, 1), (0, 1), (1, 1)]);
     for r in measure(&params) {
         let churn_cell = churn
             .iter()

@@ -5,7 +5,9 @@
 //! numbers visible in the paper.
 
 use crate::table::Table;
-use drx_core::alloc::{address_table, AllocScheme2, AxialScheme, Morton2, RowMajor, SymmetricShell2};
+use drx_core::alloc::{
+    address_table, AllocScheme2, AxialScheme, Morton2, RowMajor, SymmetricShell2,
+};
 use drx_core::{ExtendibleShape, Region};
 
 /// Figure 1 state: the 2-D extendible array of the paper grown to a 5×4
@@ -101,10 +103,7 @@ pub fn figure1_memory_maps() -> Vec<Vec<u64>> {
                 .collect();
             pairs.sort_by_key(|&(_, a)| a);
             // Each chunk's C-order position within the zone's chunk grid.
-            pairs
-                .into_iter()
-                .map(|(c, _)| zone.local_offset(&c).expect("chunk in zone"))
-                .collect()
+            pairs.into_iter().map(|(c, _)| zone.local_offset(&c).expect("chunk in zone")).collect()
         })
         .collect()
 }
@@ -124,9 +123,8 @@ pub fn figure2_tables() -> Vec<Table> {
         .into_iter()
         .map(|(scheme, title)| {
             let t = address_table(scheme.as_ref(), 8).expect("8x8 in range");
-            let headers: Vec<String> = std::iter::once("i\\j".to_string())
-                .chain((0..8).map(|j| format!("{j}")))
-                .collect();
+            let headers: Vec<String> =
+                std::iter::once("i\\j".to_string()).chain((0..8).map(|j| format!("{j}"))).collect();
             let mut table = Table::new(
                 format!("Figure 2{title}", title = title),
                 &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
@@ -185,10 +183,8 @@ pub fn figure3_tables() -> Vec<Table> {
             paper.to_string(),
         ]);
     }
-    let mut inverse = Table::new(
-        "Figure 3 — inverse mapping F*⁻¹ samples",
-        &["address", "F*⁻¹(address)"],
-    );
+    let mut inverse =
+        Table::new("Figure 3 — inverse mapping F*⁻¹ samples", &["address", "F*⁻¹(address)"]);
     for addr in [0u64, 7, 34, 56, 71, 95] {
         inverse.row(vec![
             addr.to_string(),

@@ -87,7 +87,8 @@ mod tests {
     fn arbitrary_history_stays_dense() {
         // Unlike the shell orders, ANY history keeps addresses dense in
         // 0..total.
-        let s = AxialScheme::with_history(&[2, 1], &[(0, 3), (0, 1), (1, 4), (0, 2), (1, 1)]).unwrap();
+        let s =
+            AxialScheme::with_history(&[2, 1], &[(0, 3), (0, 1), (1, 4), (0, 2), (1, 1)]).unwrap();
         let total = s.shape().total_chunks();
         let mut seen = vec![false; total as usize];
         for idx in s.shape().full_region().iter() {

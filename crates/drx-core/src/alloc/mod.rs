@@ -39,9 +39,7 @@ pub trait AllocScheme2 {
 /// Render the `n×n` address table of a scheme — the format of the Figure 2
 /// panels.
 pub fn address_table(scheme: &dyn AllocScheme2, n: usize) -> Result<Vec<Vec<u64>>> {
-    (0..n)
-        .map(|i| (0..n).map(|j| scheme.address2(i, j)).collect())
-        .collect()
+    (0..n).map(|i| (0..n).map(|j| scheme.address2(i, j)).collect()).collect()
 }
 
 /// Check that a scheme assigns each of the `n×n` cells a distinct address in

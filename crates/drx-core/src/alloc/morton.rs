@@ -175,7 +175,10 @@ mod tests {
         let m = MortonK::new(2, 6).unwrap();
         for i in 0..16usize {
             for j in 0..16usize {
-                assert_eq!(m.encode(&[i, j]).unwrap(), Morton2::encode(i as u64, j as u64).unwrap());
+                assert_eq!(
+                    m.encode(&[i, j]).unwrap(),
+                    Morton2::encode(i as u64, j as u64).unwrap()
+                );
             }
         }
     }

@@ -100,11 +100,13 @@ mod tests {
     #[test]
     fn dim0_extension_preserves_addresses() {
         let mut s = RowMajor::new(vec![4, 5]).unwrap();
-        let before: Vec<u64> = (0..4).flat_map(|i| (0..5).map(move |j| (i, j)))
+        let before: Vec<u64> = (0..4)
+            .flat_map(|i| (0..5).map(move |j| (i, j)))
             .map(|(i, j)| s.address(&[i, j]).unwrap())
             .collect();
         s.extend_dim0(3);
-        let after: Vec<u64> = (0..4).flat_map(|i| (0..5).map(move |j| (i, j)))
+        let after: Vec<u64> = (0..4)
+            .flat_map(|i| (0..5).map(move |j| (i, j)))
             .map(|(i, j)| s.address(&[i, j]).unwrap())
             .collect();
         assert_eq!(before, after);

@@ -7,7 +7,9 @@
 //! out in conventional row-major order (§II-A).
 
 use crate::error::{DrxError, Result};
-use crate::index::{check_rank, check_rank_of, offset_with_strides, row_major_strides, volume, Region};
+use crate::index::{
+    check_rank, check_rank_of, offset_with_strides, row_major_strides, volume, Region,
+};
 
 /// The fixed chunk shape of an array and the element↔chunk index arithmetic.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -84,11 +86,7 @@ impl Chunking {
     /// dimension (`I_i = ⌈N_i / c_i⌉`; the paper's `Σ_{I_i−1} c < N_i ≤ Σ_{I_i} c`).
     pub fn grid_for(&self, element_bounds: &[usize]) -> Result<Vec<usize>> {
         check_rank_of(element_bounds, self.rank())?;
-        Ok(element_bounds
-            .iter()
-            .zip(&self.shape)
-            .map(|(&n, &c)| n.div_ceil(c))
-            .collect())
+        Ok(element_bounds.iter().zip(&self.shape).map(|(&n, &c)| n.div_ceil(c)).collect())
     }
 
     /// The element region covered by a chunk index (unclipped; edge chunks
@@ -104,7 +102,11 @@ impl Chunking {
 
     /// The element region covered by a chunk, clipped to the array's
     /// instantaneous element bounds (the *valid* part of an edge chunk).
-    pub fn chunk_valid_elements(&self, chunk: &[usize], element_bounds: &[usize]) -> Result<Option<Region>> {
+    pub fn chunk_valid_elements(
+        &self,
+        chunk: &[usize],
+        element_bounds: &[usize],
+    ) -> Result<Option<Region>> {
         let full = self.chunk_elements(chunk)?;
         let bounds = Region::of_shape(element_bounds)?;
         Ok(full.intersect(&bounds))

@@ -179,7 +179,10 @@ pub fn encode_slice<T: Element>(elems: &[T]) -> Vec<u8> {
 /// Returns an error when the byte count is not a multiple of the element size.
 pub fn decode_slice<T: Element>(bytes: &[u8]) -> Result<Vec<T>> {
     if !bytes.len().is_multiple_of(T::SIZE) {
-        return Err(DrxError::BufferSize { expected: bytes.len() / T::SIZE * T::SIZE, got: bytes.len() });
+        return Err(DrxError::BufferSize {
+            expected: bytes.len() / T::SIZE * T::SIZE,
+            got: bytes.len(),
+        });
     }
     Ok(bytes.chunks_exact(T::SIZE).map(T::read_le).collect())
 }

@@ -63,7 +63,10 @@ pub fn row_major_offset(index: &[usize], shape: &[usize]) -> Result<u64> {
     check_rank_of(index, shape.len())?;
     for (&i, &n) in index.iter().zip(shape) {
         if i >= n {
-            return Err(DrxError::IndexOutOfBounds { index: index.to_vec(), bounds: shape.to_vec() });
+            return Err(DrxError::IndexOutOfBounds {
+                index: index.to_vec(),
+                bounds: shape.to_vec(),
+            });
         }
     }
     Ok(offset_with_strides(index, &row_major_strides(shape)))
@@ -143,10 +146,7 @@ impl Region {
 
     pub fn contains(&self, index: &[usize]) -> bool {
         index.len() == self.rank()
-            && index
-                .iter()
-                .zip(self.lo.iter().zip(&self.hi))
-                .all(|(&i, (&l, &h))| i >= l && i < h)
+            && index.iter().zip(self.lo.iter().zip(&self.hi)).all(|(&i, (&l, &h))| i >= l && i < h)
     }
 
     /// Intersection with another region of the same rank; `None` when empty.
@@ -154,10 +154,8 @@ impl Region {
         if self.rank() != other.rank() {
             return None;
         }
-        let lo: Vec<usize> =
-            self.lo.iter().zip(&other.lo).map(|(&a, &b)| a.max(b)).collect();
-        let hi: Vec<usize> =
-            self.hi.iter().zip(&other.hi).map(|(&a, &b)| a.min(b)).collect();
+        let lo: Vec<usize> = self.lo.iter().zip(&other.lo).map(|(&a, &b)| a.max(b)).collect();
+        let hi: Vec<usize> = self.hi.iter().zip(&other.hi).map(|(&a, &b)| a.min(b)).collect();
         if lo.iter().zip(&hi).any(|(&l, &h)| l >= h) {
             None
         } else {
@@ -176,7 +174,10 @@ impl Region {
     /// panel-traversal building block used by the access-order experiments.
     pub fn tiles(&self, axis: usize, count: usize) -> Result<Vec<Region>> {
         if axis >= self.rank() {
-            return Err(DrxError::Invalid(format!("axis {axis} out of range for rank {}", self.rank())));
+            return Err(DrxError::Invalid(format!(
+                "axis {axis} out of range for rank {}",
+                self.rank()
+            )));
         }
         if count == 0 {
             return Err(DrxError::ZeroExtent("tile count"));
@@ -206,7 +207,10 @@ impl Region {
     /// memory").
     pub fn local_offset(&self, index: &[usize]) -> Result<u64> {
         if !self.contains(index) {
-            return Err(DrxError::IndexOutOfBounds { index: index.to_vec(), bounds: self.hi.clone() });
+            return Err(DrxError::IndexOutOfBounds {
+                index: index.to_vec(),
+                bounds: self.hi.clone(),
+            });
         }
         let rel: Vec<usize> = index.iter().zip(&self.lo).map(|(&i, &l)| i - l).collect();
         Ok(offset_with_strides(&rel, &row_major_strides(&self.extents())))
@@ -242,8 +246,10 @@ pub fn for_each_offset_pair(
     debug_assert!(region.lo().iter().zip(origin_a).all(|(&l, &o)| l >= o));
     debug_assert!(region.lo().iter().zip(origin_b).all(|(&l, &o)| l >= o));
     let mut idx = region.lo().to_vec();
-    let mut off_a: u64 = idx.iter().zip(origin_a).zip(strides_a).map(|((&i, &o), &s)| (i - o) as u64 * s).sum();
-    let mut off_b: u64 = idx.iter().zip(origin_b).zip(strides_b).map(|((&i, &o), &s)| (i - o) as u64 * s).sum();
+    let mut off_a: u64 =
+        idx.iter().zip(origin_a).zip(strides_a).map(|((&i, &o), &s)| (i - o) as u64 * s).sum();
+    let mut off_b: u64 =
+        idx.iter().zip(origin_b).zip(strides_b).map(|((&i, &o), &s)| (i - o) as u64 * s).sum();
     loop {
         f(off_a, off_b);
         // Odometer increment, last dimension fastest.
@@ -412,10 +418,7 @@ mod tests {
             .map(|idx| {
                 let rel_a: Vec<usize> = idx.iter().zip(&origin_a).map(|(&i, &o)| i - o).collect();
                 let rel_b: Vec<usize> = idx.iter().zip(&origin_b).map(|(&i, &o)| i - o).collect();
-                (
-                    offset_with_strides(&rel_a, &strides_a),
-                    offset_with_strides(&rel_b, &strides_b),
-                )
+                (offset_with_strides(&rel_a, &strides_a), offset_with_strides(&rel_b, &strides_b))
             })
             .collect();
         assert_eq!(got, expected);

@@ -349,10 +349,13 @@ impl ExtendibleShape {
                 });
             }
         }
-        Ok(region.iter().map(|idx| {
-            let a = self.address_unchecked(&idx);
-            (idx, a)
-        }).collect())
+        Ok(region
+            .iter()
+            .map(|idx| {
+                let a = self.address_unchecked(&idx);
+                (idx, a)
+            })
+            .collect())
     }
 }
 
@@ -363,7 +366,13 @@ impl ExtendibleShape {
 /// order (last dimension fastest). For an extension record, the extended
 /// dimension is least-varying inside the segment (largest coefficient) and
 /// divides first, then the remaining dimensions in their relative order.
-fn decode_remainder(rec: &AxialRecord, dim: usize, initial: bool, mut r: u64, k: usize) -> Vec<usize> {
+fn decode_remainder(
+    rec: &AxialRecord,
+    dim: usize,
+    initial: bool,
+    mut r: u64,
+    k: usize,
+) -> Vec<usize> {
     let mut index = vec![0usize; k];
     if initial {
         for (slot, &c) in index.iter_mut().zip(&rec.coeffs) {
@@ -469,9 +478,8 @@ mod tests {
         s.extend(1, 1).unwrap(); // chunks 12..=15
         s.extend(0, 1).unwrap(); // chunks 16..=19
         assert_eq!(s.bounds(), &[5, 4]);
-        let grid: Vec<Vec<u64>> = (0..5)
-            .map(|i| (0..4).map(|j| s.address(&[i, j]).unwrap()).collect())
-            .collect();
+        let grid: Vec<Vec<u64>> =
+            (0..5).map(|i| (0..4).map(|j| s.address(&[i, j]).unwrap()).collect()).collect();
         assert_eq!(
             grid,
             vec![

@@ -82,7 +82,10 @@ impl ArrayMeta {
     ) -> Result<Self> {
         let chunking = Chunking::new(chunk_shape)?;
         if initial_bounds.len() != chunking.rank() {
-            return Err(DrxError::RankMismatch { expected: chunking.rank(), got: initial_bounds.len() });
+            return Err(DrxError::RankMismatch {
+                expected: chunking.rank(),
+                got: initial_bounds.len(),
+            });
         }
         if initial_bounds.contains(&0) {
             return Err(DrxError::ZeroExtent("initial element bound"));
@@ -164,7 +167,10 @@ impl ArrayMeta {
     /// chunk-grid segments as needed; already-written chunks never move.
     pub fn extend(&mut self, dim: usize, by: usize) -> Result<ExtendOutcome> {
         if dim >= self.rank() {
-            return Err(DrxError::Invalid(format!("dimension {dim} out of range for rank {}", self.rank())));
+            return Err(DrxError::Invalid(format!(
+                "dimension {dim} out of range for rank {}",
+                self.rank()
+            )));
         }
         if by == 0 {
             return Err(DrxError::ZeroExtent("extension amount"));
@@ -302,14 +308,14 @@ impl ArrayMeta {
             return Err(DrxError::CorruptMeta("checksum mismatch".into()));
         }
 
-        let chunking = Chunking::new(&chunk_shape).map_err(|e| DrxError::CorruptMeta(e.to_string()))?;
+        let chunking =
+            Chunking::new(&chunk_shape).map_err(|e| DrxError::CorruptMeta(e.to_string()))?;
         let grid = ExtendibleShape::from_parts(grid_bounds, axial, last_extended)
             .map_err(|e| DrxError::CorruptMeta(e.to_string()))?;
         // Cross-validate: the grid must be exactly the chunk cover of the
         // element bounds.
-        let expected_grid = chunking
-            .grid_for(&element_bounds)
-            .map_err(|e| DrxError::CorruptMeta(e.to_string()))?;
+        let expected_grid =
+            chunking.grid_for(&element_bounds).map_err(|e| DrxError::CorruptMeta(e.to_string()))?;
         if expected_grid != grid.bounds() {
             return Err(DrxError::CorruptMeta(format!(
                 "grid bounds {:?} do not cover element bounds {:?} with chunks {:?}",
@@ -402,7 +408,8 @@ impl<'a> Reader<'a> {
         (0..n)
             .map(|_| {
                 let v = self.u64()?;
-                usize::try_from(v).map_err(|_| DrxError::CorruptMeta(format!("value {v} exceeds usize")))
+                usize::try_from(v)
+                    .map_err(|_| DrxError::CorruptMeta(format!("value {v} exceeds usize")))
             })
             .collect()
     }
@@ -507,8 +514,9 @@ mod tests {
         // cyclic single extensions. The (i,j) chunk addresses must match the
         // symmetric shell family: cell (0,0)=0 and every shell m occupies
         // addresses m²..(m+1)².
-        let m = ArrayMeta::new_with_layout(DType::Int32, &[2, 2], &[8, 8], InitialLayout::ShellOrder)
-            .unwrap();
+        let m =
+            ArrayMeta::new_with_layout(DType::Int32, &[2, 2], &[8, 8], InitialLayout::ShellOrder)
+                .unwrap();
         assert_eq!(m.grid().bounds(), &[4, 4]);
         for i in 0..4usize {
             for j in 0..4usize {

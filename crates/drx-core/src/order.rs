@@ -64,7 +64,12 @@ impl Layout {
 ///
 /// `src` holds `shape` in `from` order; the result holds the same logical
 /// array in `to` order. When `from == to` this is a plain copy.
-pub fn relayout<T: Copy + Default>(src: &[T], shape: &[usize], from: Layout, to: Layout) -> Result<Vec<T>> {
+pub fn relayout<T: Copy + Default>(
+    src: &[T],
+    shape: &[usize],
+    from: Layout,
+    to: Layout,
+) -> Result<Vec<T>> {
     let n = volume(shape) as usize;
     if src.len() != n {
         return Err(DrxError::BufferSize { expected: n, got: src.len() });
@@ -115,7 +120,10 @@ pub fn scatter_into<T: Copy>(
 ) -> Result<()> {
     let extents = region.extents();
     if !region.contains(index) {
-        return Err(DrxError::IndexOutOfBounds { index: index.to_vec(), bounds: region.hi().to_vec() });
+        return Err(DrxError::IndexOutOfBounds {
+            index: index.to_vec(),
+            bounds: region.hi().to_vec(),
+        });
     }
     let rel: Vec<usize> = index.iter().zip(region.lo()).map(|(&i, &l)| i - l).collect();
     let off = layout.offset(&rel, &extents) as usize;
@@ -132,7 +140,10 @@ pub fn gather_from<T: Copy>(
 ) -> Result<T> {
     let extents = region.extents();
     if !region.contains(index) {
-        return Err(DrxError::IndexOutOfBounds { index: index.to_vec(), bounds: region.hi().to_vec() });
+        return Err(DrxError::IndexOutOfBounds {
+            index: index.to_vec(),
+            bounds: region.hi().to_vec(),
+        });
     }
     let rel: Vec<usize> = index.iter().zip(region.lo()).map(|(&i, &l)| i - l).collect();
     let off = layout.offset(&rel, &extents) as usize;

@@ -264,7 +264,7 @@ mod tests {
             ga.fence().map_err(to_msg)?;
             assert_eq!(ga.get(&[7, 7]).map_err(to_msg)?, -1.0);
             assert_eq!(ga.get(&[0, 0]).map_err(to_msg)?, 4.0); // 0 + 4×1
-            // Ownership is consistent with the handle's answer.
+                                                               // Ownership is consistent with the handle's answer.
             assert_eq!(
                 ga.owner(&[7, 7]).map_err(to_msg)?,
                 h.owner_of_element(&[7, 7]).map_err(to_msg)?
@@ -319,8 +319,7 @@ mod tests {
             // Rank 0 puts a patch that crosses all four zones.
             let region = Region::new(vec![2, 2], vec![6, 6]).unwrap();
             if comm.rank() == 0 {
-                let data: Vec<f64> =
-                    region.iter().map(|i| (i[0] * 10 + i[1]) as f64).collect();
+                let data: Vec<f64> = region.iter().map(|i| (i[0] * 10 + i[1]) as f64).collect();
                 ga.put_region(&region, Layout::C, &data).map_err(to_msg)?;
             }
             ga.fence().map_err(to_msg)?;
@@ -350,13 +349,9 @@ mod tests {
             f.fill_with(|i| i[0] as i64).unwrap();
         }
         run_spmd(2, |comm| {
-            let mut h: DrxmpHandle<i64> = DrxmpHandle::open(
-                comm,
-                &fs,
-                "c",
-                DistSpec::block_cyclic(vec![2], vec![2]),
-            )
-            .map_err(to_msg)?;
+            let mut h: DrxmpHandle<i64> =
+                DrxmpHandle::open(comm, &fs, "c", DistSpec::block_cyclic(vec![2], vec![2]))
+                    .map_err(to_msg)?;
             let ga = GaView::load(&mut h).map_err(to_msg)?;
             ga.fence().map_err(to_msg)?;
             // Cyclic zones expose no rectilinear region…

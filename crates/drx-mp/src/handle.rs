@@ -287,16 +287,12 @@ mod tests {
             }
             assert_eq!(h.bounds(), &[10, 12]);
             assert_eq!(h.meta().grid().bounds(), &[5, 4]);
-            let expected: [&[u64]; 4] = [
-                &[0, 1, 2, 3, 4, 5],
-                &[6, 7, 8, 12, 13, 14],
-                &[9, 10, 16, 17],
-                &[11, 15, 18, 19],
-            ];
-            for rank in 0..4 {
+            let expected: [&[u64]; 4] =
+                [&[0, 1, 2, 3, 4, 5], &[6, 7, 8, 12, 13, 14], &[9, 10, 16, 17], &[11, 15, 18, 19]];
+            for (rank, want) in expected.iter().enumerate() {
                 let addrs: Vec<u64> =
                     h.zone_chunks(rank).map_err(to_msg)?.into_iter().map(|(_, a)| a).collect();
-                assert_eq!(addrs, expected[rank], "zone of P{rank}");
+                assert_eq!(&addrs, want, "zone of P{rank}");
             }
             h.close().map_err(to_msg)?;
             Ok(())
@@ -308,9 +304,15 @@ mod tests {
     fn ownership_is_consistent_across_ranks() {
         let fs = pfs();
         run_spmd(4, |comm| {
-            let h: DrxmpHandle<i32> =
-                DrxmpHandle::create(comm, &fs, "own", &[2, 2], &[8, 8], DistSpec::block(vec![2, 2]))
-                    .map_err(to_msg)?;
+            let h: DrxmpHandle<i32> = DrxmpHandle::create(
+                comm,
+                &fs,
+                "own",
+                &[2, 2],
+                &[8, 8],
+                DistSpec::block(vec![2, 2]),
+            )
+            .map_err(to_msg)?;
             // Every element's owner, computed locally, must agree globally.
             let mut owners = Vec::new();
             for i in (0..8).step_by(3) {

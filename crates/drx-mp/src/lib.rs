@@ -33,10 +33,13 @@ pub mod serial;
 pub mod write;
 pub mod zones;
 
-pub use api::{drxmp_close, drxmp_init, drxmp_open, drxmp_read, drxmp_read_all, drxmp_write, drxmp_write_all, DrxmpContext, DrxmpStatus, MemHandle};
+pub use api::{
+    drxmp_close, drxmp_init, drxmp_open, drxmp_read, drxmp_read_all, drxmp_write, drxmp_write_all,
+    DrxmpContext, DrxmpStatus, MemHandle,
+};
 pub use error::{MpError, Result};
 pub use ga::GaView;
-pub use mpool::{CachedDrxFile, ChunkPool, PoolStats};
 pub use handle::DrxmpHandle;
+pub use mpool::{CachedDrxFile, ChunkPool, PoolStats, PrefetchOutcome};
 pub use serial::{DrxFile, XMD_SUFFIX, XTA_SUFFIX};
 pub use zones::DistSpec;

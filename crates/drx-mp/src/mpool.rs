@@ -35,6 +35,37 @@ impl PoolStats {
             self.hits as f64 / self.accesses() as f64
         }
     }
+
+    /// Component-wise difference `self - earlier`; used to attribute the
+    /// work of one pool operation (or one session) out of cumulative totals.
+    pub fn delta_since(&self, earlier: &PoolStats) -> PoolStats {
+        PoolStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            evictions: self.evictions - earlier.evictions,
+            writebacks: self.writebacks - earlier.writebacks,
+        }
+    }
+
+    /// Component-wise accumulation.
+    pub fn merge(&mut self, other: &PoolStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.writebacks += other.writebacks;
+    }
+}
+
+/// Result of a [`ChunkPool::prefetch`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefetchOutcome {
+    /// Chunks that were already resident (no I/O).
+    pub resident: usize,
+    /// Chunks fetched from the file by this call.
+    pub fetched: usize,
+    /// Number of coalesced `read_vec` calls issued for the fetched chunks
+    /// (each covers a run of consecutive chunk addresses).
+    pub runs: usize,
 }
 
 struct Frame {
@@ -88,6 +119,15 @@ impl ChunkPool {
 
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    pub fn chunk_bytes(&self) -> usize {
+        self.chunk_bytes
+    }
+
+    /// Whether chunk `addr` is resident (does not touch LRU state or stats).
+    pub fn contains(&self, addr: u64) -> bool {
+        self.frames.contains_key(&addr)
     }
 
     pub fn len(&self) -> usize {
@@ -180,6 +220,93 @@ impl ChunkPool {
         frame.data[offset..offset + data.len()].copy_from_slice(data);
         frame.dirty = true;
         Ok(())
+    }
+
+    /// Overwrite chunk `addr` with a full chunk of data without faulting it
+    /// in first — the read-modify-write a plain [`ChunkPool::write`] would
+    /// pay is skipped because every byte is being replaced.
+    ///
+    /// Counts as a hit when the chunk is resident and a miss otherwise (the
+    /// miss costs no I/O: the frame is installed directly, dirty).
+    pub fn put(&mut self, addr: u64, data: &[u8]) -> Result<()> {
+        if data.len() != self.chunk_bytes {
+            return Err(MpError::Invalid(format!(
+                "put of {} bytes into chunks of {}",
+                data.len(),
+                self.chunk_bytes
+            )));
+        }
+        if let Some(frame) = self.frames.get_mut(&addr) {
+            frame.data.copy_from_slice(data);
+            frame.dirty = true;
+            self.stats.hits += 1;
+            self.touch(addr);
+            return Ok(());
+        }
+        self.stats.misses += 1;
+        if self.frames.len() >= self.capacity {
+            let victim = self
+                .frames
+                .iter()
+                .min_by_key(|(_, f)| f.last_used)
+                .map(|(&a, _)| a)
+                .expect("pool is non-empty");
+            self.evict(victim)?;
+        }
+        self.clock += 1;
+        self.frames.insert(addr, Frame { data: data.to_vec(), dirty: true, last_used: self.clock });
+        Ok(())
+    }
+
+    /// Fault in a batch of chunks, coalescing runs of *consecutive* missing
+    /// chunk addresses into single file reads. This is what turns N
+    /// per-chunk PFS round trips into one large request per run.
+    ///
+    /// Accounting: each truly-fetched chunk counts one miss; chunks already
+    /// resident are left untouched (no hit is recorded — the later
+    /// [`ChunkPool::read`] of each chunk records its own hit). Runs longer
+    /// than the pool capacity are split so a prefetch can never evict its
+    /// own batch.
+    pub fn prefetch(&mut self, addrs: &[u64]) -> Result<PrefetchOutcome> {
+        let mut missing: Vec<u64> =
+            addrs.iter().copied().filter(|a| !self.frames.contains_key(a)).collect();
+        missing.sort_unstable();
+        missing.dedup();
+        let mut out = PrefetchOutcome {
+            resident: addrs.len() - missing.len(),
+            fetched: missing.len(),
+            runs: 0,
+        };
+        let mut i = 0;
+        while i < missing.len() {
+            // Extend the run while addresses stay consecutive, capped at
+            // the pool capacity.
+            let mut j = i + 1;
+            while j < missing.len() && missing[j] == missing[j - 1] + 1 && j - i < self.capacity {
+                j += 1;
+            }
+            let run = &missing[i..j];
+            let off = run[0] * self.chunk_bytes as u64;
+            let bytes = self.file.read_vec(off, run.len() * self.chunk_bytes)?;
+            out.runs += 1;
+            self.stats.misses += run.len() as u64;
+            for (k, &addr) in run.iter().enumerate() {
+                if self.frames.len() >= self.capacity {
+                    let victim = self
+                        .frames
+                        .iter()
+                        .min_by_key(|(_, f)| f.last_used)
+                        .map(|(&a, _)| a)
+                        .expect("pool is non-empty");
+                    self.evict(victim)?;
+                }
+                self.clock += 1;
+                let data = bytes[k * self.chunk_bytes..(k + 1) * self.chunk_bytes].to_vec();
+                self.frames.insert(addr, Frame { data, dirty: false, last_used: self.clock });
+            }
+            i = j;
+        }
+        Ok(out)
     }
 
     /// Write all dirty frames back to the file (keeps them resident).

@@ -66,7 +66,13 @@ impl<T: Element> DrxFile<T> {
         xmd.write_at(0, &meta.encode())?;
         let xta = pfs.create(&format!("{base}{XTA_SUFFIX}"))?;
         xta.set_len(meta.payload_bytes())?;
-        Ok(DrxFile { pfs: pfs.clone(), base: base.to_string(), meta, xta, _marker: std::marker::PhantomData })
+        Ok(DrxFile {
+            pfs: pfs.clone(),
+            base: base.to_string(),
+            meta,
+            xta,
+            _marker: std::marker::PhantomData,
+        })
     }
 
     /// Open an existing array file pair; the stored element type must match
@@ -79,7 +85,13 @@ impl<T: Element> DrxFile<T> {
             return Err(MpError::DTypeMismatch { file: meta.dtype(), requested: T::DTYPE });
         }
         let xta = pfs.open(&format!("{base}{XTA_SUFFIX}"))?;
-        Ok(DrxFile { pfs: pfs.clone(), base: base.to_string(), meta, xta, _marker: std::marker::PhantomData })
+        Ok(DrxFile {
+            pfs: pfs.clone(),
+            base: base.to_string(),
+            meta,
+            xta,
+            _marker: std::marker::PhantomData,
+        })
     }
 
     /// Delete both files of an array.
@@ -207,7 +219,10 @@ impl<T: Element> DrxFile<T> {
     pub fn write_region(&mut self, region: &Region, layout: Layout, data: &[T]) -> Result<()> {
         let n = region.volume() as usize;
         if data.len() != n {
-            return Err(MpError::Core(drx_core::DrxError::BufferSize { expected: n, got: data.len() }));
+            return Err(MpError::Core(drx_core::DrxError::BufferSize {
+                expected: n,
+                got: data.len(),
+            }));
         }
         let plan = self.plan(region)?;
         let chunk_bytes = self.meta.chunk_bytes();
@@ -293,10 +308,7 @@ mod tests {
         assert_eq!(f.get(&[3, 4]).unwrap(), 99);
         assert_eq!(f.get(&[0, 0]).unwrap(), 0);
         // Wrong element type is rejected.
-        assert!(matches!(
-            DrxFile::<f64>::open(&fs, "arr"),
-            Err(MpError::DTypeMismatch { .. })
-        ));
+        assert!(matches!(DrxFile::<f64>::open(&fs, "arr"), Err(MpError::DTypeMismatch { .. })));
         DrxFile::<i64>::delete(&fs, "arr").unwrap();
         assert!(DrxFile::<i64>::open(&fs, "arr").is_err());
     }
@@ -332,7 +344,9 @@ mod tests {
             drx_core::ExtendibleArray::new(&[2, 3], &[7, 8]).unwrap();
         f.fill_with(tag).unwrap();
         reference.fill_with(tag).unwrap();
-        for (lo, hi) in [(vec![0, 0], vec![7, 8]), (vec![1, 2], vec![5, 7]), (vec![6, 0], vec![7, 8])] {
+        for (lo, hi) in
+            [(vec![0, 0], vec![7, 8]), (vec![1, 2], vec![5, 7]), (vec![6, 0], vec![7, 8])]
+        {
             let region = Region::new(lo, hi).unwrap();
             for layout in [Layout::C, Layout::Fortran] {
                 assert_eq!(
@@ -398,8 +412,8 @@ mod tests {
         let mut sh: DrxFile<i64> =
             DrxFile::create_with_layout(&fs, "sh", &[2, 2], &[8, 8], InitialLayout::ShellOrder)
                 .unwrap();
-        rm.fill_with(|i| tag(i)).unwrap();
-        sh.fill_with(|i| tag(i)).unwrap();
+        rm.fill_with(tag).unwrap();
+        sh.fill_with(tag).unwrap();
         // Logical contents identical; physical chunk order differs.
         let full = Region::new(vec![0, 0], vec![8, 8]).unwrap();
         assert_eq!(

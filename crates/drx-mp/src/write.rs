@@ -146,10 +146,9 @@ impl<T: Element> DrxmpHandle<T> {
                 self.rank(),
                 zone
             ))),
-            (None, Some(_)) => Err(MpError::Invalid(format!(
-                "rank {} owns no zone but passed data",
-                self.rank()
-            ))),
+            (None, Some(_)) => {
+                Err(MpError::Invalid(format!("rank {} owns no zone but passed data", self.rank())))
+            }
         }
     }
 
@@ -169,9 +168,7 @@ impl<T: Element> DrxmpHandle<T> {
                 }));
             }
             if self.owner_of_chunk(idx) != me {
-                return Err(MpError::Invalid(format!(
-                    "rank {me} does not own chunk {idx:?}"
-                )));
+                return Err(MpError::Invalid(format!("rank {me} does not own chunk {idx:?}")));
             }
             let addr = self.meta.grid().address(idx)?;
             plan_pairs.push((idx.clone(), addr));
@@ -282,8 +279,7 @@ mod tests {
                 let extents = zone.extents();
                 let strides = layout.strides(&extents);
                 for idx in zone.iter() {
-                    let rel: Vec<usize> =
-                        idx.iter().zip(zone.lo()).map(|(&a, &l)| a - l).collect();
+                    let rel: Vec<usize> = idx.iter().zip(zone.lo()).map(|(&a, &l)| a - l).collect();
                     let pos = drx_core::index::offset_with_strides(&rel, &strides) as usize;
                     assert_eq!(data[pos], tag(&idx), "layout {layout:?} at {idx:?}");
                 }
@@ -338,7 +334,9 @@ mod tests {
         })
         .unwrap();
         let f: DrxFile<i64> = DrxFile::open(&fs, "a").unwrap();
-        let wrote = |i: usize, j: usize| ((1..3).contains(&i) || (5..7).contains(&i)) && (1..7).contains(&j);
+        let wrote = |i: usize, j: usize| {
+            ((1..3).contains(&i) || (5..7).contains(&i)) && (1..7).contains(&j)
+        };
         for i in 0..8 {
             for j in 0..8 {
                 let expect = if wrote(i, j) { -9 } else { tag(&[i, j]) };
@@ -351,9 +349,15 @@ mod tests {
     fn collective_write_conflict_on_shared_partial_chunk_is_detected() {
         let fs = pfs();
         run_spmd(2, |comm| {
-            let mut h: DrxmpHandle<i64> =
-                DrxmpHandle::create(comm, &fs, "cf", &[8, 8], &[16, 8], DistSpec::block(vec![2, 1]))
-                    .map_err(to_msg)?;
+            let mut h: DrxmpHandle<i64> = DrxmpHandle::create(
+                comm,
+                &fs,
+                "cf",
+                &[8, 8],
+                &[16, 8],
+                DistSpec::block(vec![2, 1]),
+            )
+            .map_err(to_msg)?;
             // Rows 0..12 (rank 0) and 12..16 (rank 1): both partially cover
             // the chunk row 8..16 — a chunk-granular RMW race.
             let region = if comm.rank() == 0 {
@@ -440,13 +444,13 @@ mod tests {
         let fs = pfs();
         {
             let mut f: DrxFile<i64> = DrxFile::create(&fs, "u", &[3, 3], &[10, 10]).unwrap();
-            f.fill_with(|i| tag(i)).unwrap();
+            f.fill_with(tag).unwrap();
         }
         for dist in [DistSpec::block(vec![2, 2]), DistSpec::block_cyclic(vec![2, 2], vec![1, 1])] {
             // Reset contents between distributions.
             {
                 let mut f: DrxFile<i64> = DrxFile::open(&fs, "u").unwrap();
-                f.fill_with(|i| tag(i)).unwrap();
+                f.fill_with(tag).unwrap();
             }
             let fs2 = fs.clone();
             run_spmd(4, move |comm| {

@@ -60,11 +60,7 @@ impl DistSpec {
         let mut factors = prime_factors(nprocs);
         factors.sort_unstable_by(|a, b| b.cmp(a));
         for f in factors {
-            let (pos, _) = grid
-                .iter()
-                .enumerate()
-                .min_by_key(|&(_, &g)| g)
-                .expect("rank >= 1");
+            let (pos, _) = grid.iter().enumerate().min_by_key(|&(_, &g)| g).expect("rank >= 1");
             grid[pos] *= f;
         }
         DistSpec::Block { proc_grid: grid }
@@ -306,7 +302,10 @@ mod tests {
             let mut owned = std::collections::HashMap::new();
             for rank in 0..4 {
                 for chunk in spec.chunks_of(rank, &grid) {
-                    assert!(owned.insert(chunk.clone(), rank).is_none(), "chunk {chunk:?} double-owned");
+                    assert!(
+                        owned.insert(chunk.clone(), rank).is_none(),
+                        "chunk {chunk:?} double-owned"
+                    );
                     assert_eq!(spec.owner_of_chunk(&chunk, &grid), rank);
                 }
             }

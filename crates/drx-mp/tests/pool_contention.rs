@@ -1,0 +1,147 @@
+//! Contention test for `ChunkPool` statistics accounting.
+//!
+//! `ChunkPool` itself is `&mut self` — concurrent users share it behind a
+//! mutex, exactly as `drx-server`'s `SharedChunkCache` does. This test
+//! hammers one pool from many threads with a mixed hit/miss/eviction
+//! workload and then checks the cumulative `PoolStats` against invariants
+//! that must hold *regardless of interleaving*:
+//!
+//! * every chunk access is either a hit or a miss (conservation);
+//! * every miss faults a frame in, every eviction throws one out, and the
+//!   pool can never hold more than `capacity` frames, so
+//!   `misses - evictions` is bounded by the capacity;
+//! * dirty frames written back are counted once per writeback, and after a
+//!   final flush the file contents reflect every write exactly.
+
+use drx_mp::{ChunkPool, PoolStats};
+use drx_pfs::Pfs;
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+const CB: usize = 128; // chunk bytes
+const CHUNKS: usize = 24;
+const CAPACITY: usize = 8; // far below CHUNKS: evictions guaranteed
+const THREADS: usize = 8;
+const ROUNDS: usize = 40;
+
+fn make_pool() -> (Pfs, Arc<Mutex<ChunkPool>>) {
+    let pfs = Pfs::memory(2, 1024).unwrap();
+    let f = pfs.create("pool").unwrap();
+    f.set_len((CHUNKS * CB) as u64).unwrap();
+    for a in 0..CHUNKS {
+        f.write_at((a * CB) as u64, &[a as u8; CB]).unwrap();
+    }
+    let pool = ChunkPool::new(f, CB, CAPACITY).unwrap();
+    (pfs, Arc::new(Mutex::new(pool)))
+}
+
+#[test]
+fn concurrent_mixed_workload_keeps_stats_consistent() {
+    let (pfs, pool) = make_pool();
+    let accesses_per_thread = ROUNDS * 3; // two reads + one write per round
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let pool = Arc::clone(&pool);
+        handles.push(thread::spawn(move || {
+            for r in 0..ROUNDS {
+                // A hot chunk (likely hit), a roving cold chunk (likely
+                // miss + eviction), and a write to the thread's own chunk.
+                let hot = (t % 4) as u64;
+                let cold = ((t * 7 + r * 5) % CHUNKS) as u64;
+                let own = ((t + 8) % CHUNKS) as u64;
+
+                let mut buf = [0u8; CB];
+                {
+                    let mut p = pool.lock().unwrap();
+                    p.read(hot, 0, &mut buf).unwrap();
+                }
+                {
+                    let mut p = pool.lock().unwrap();
+                    p.read(cold, 0, &mut buf).unwrap();
+                    // Unwritten chunks always read back their fill pattern,
+                    // no matter how often they were evicted and refaulted.
+                    if cold >= 16 {
+                        assert!(buf.iter().all(|&b| b == cold as u8), "chunk {cold} corrupted");
+                    }
+                }
+                {
+                    let mut p = pool.lock().unwrap();
+                    p.write(own, 0, &[0xC0 | t as u8; 16]).unwrap();
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let mut p = pool.lock().unwrap();
+    let s: PoolStats = p.stats();
+
+    // Conservation: every access was classified exactly once.
+    assert_eq!(
+        s.hits + s.misses,
+        (THREADS * accesses_per_thread) as u64,
+        "hits {} + misses {} must equal total accesses",
+        s.hits,
+        s.misses
+    );
+    // The workload touches more distinct chunks than fit, so both hits
+    // (hot set) and misses+evictions (cold sweep) must occur.
+    assert!(s.hits > 0, "hot chunks should hit");
+    assert!(s.misses > 0, "cold sweep should miss");
+    assert!(s.evictions > 0, "capacity {CAPACITY} < working set forces evictions");
+    // Frames in = frames out + frames resident; residency is capped.
+    assert!(
+        s.misses - s.evictions <= CAPACITY as u64,
+        "misses {} - evictions {} exceeds capacity {CAPACITY}",
+        s.misses,
+        s.evictions
+    );
+    // Dirty evictions wrote back; plus the final flush.
+    let before_flush = s.writebacks;
+    p.flush().unwrap();
+    let after = p.stats();
+    assert!(after.writebacks >= before_flush);
+    drop(p);
+
+    // Every thread's own-chunk write must have survived eviction traffic.
+    let f = pfs.open("pool").unwrap();
+    for t in 0..THREADS {
+        let own = (t + 8) % CHUNKS;
+        let bytes = f.read_vec((own * CB) as u64, 16).unwrap();
+        assert_eq!(bytes, vec![0xC0 | t as u8; 16], "chunk {own} lost thread {t}'s write");
+    }
+}
+
+#[test]
+fn concurrent_prefetch_and_reads_agree() {
+    // Interleave coalesced prefetches with point reads from other threads;
+    // stats must still conserve and data must stay correct.
+    let (_pfs, pool) = make_pool();
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let pool = Arc::clone(&pool);
+        handles.push(thread::spawn(move || {
+            for r in 0..ROUNDS / 2 {
+                let base = ((t + r) % (CHUNKS - 4)) as u64;
+                if t % 2 == 0 {
+                    let out = pool.lock().unwrap().prefetch(&[base, base + 1, base + 2]).unwrap();
+                    assert_eq!(out.resident + out.fetched, 3);
+                    assert!(out.runs <= out.fetched);
+                } else {
+                    let mut buf = [0u8; CB];
+                    pool.lock().unwrap().read(base, 0, &mut buf).unwrap();
+                    assert!(buf.iter().all(|&b| b == base as u8));
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let s = pool.lock().unwrap().stats();
+    assert!(s.misses > 0);
+    assert!(s.misses - s.evictions <= CAPACITY as u64);
+    assert_eq!(s.writebacks, 0, "a read-only workload never writes back");
+}

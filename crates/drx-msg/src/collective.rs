@@ -224,11 +224,8 @@ mod tests {
     #[test]
     fn scatter_distributes_parts() {
         run_spmd(3, |comm| {
-            let parts = if comm.rank() == 0 {
-                Some(vec![vec![10], vec![20, 20], vec![30]])
-            } else {
-                None
-            };
+            let parts =
+                if comm.rank() == 0 { Some(vec![vec![10], vec![20, 20], vec![30]]) } else { None };
             let got = comm.scatter_bytes(0, parts)?;
             let expected = match comm.rank() {
                 0 => vec![10],

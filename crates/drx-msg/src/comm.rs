@@ -25,7 +25,9 @@ impl Payload {
     pub(crate) fn bytes(self) -> Result<Vec<u8>> {
         match self {
             Payload::Bytes(b) => Ok(b),
-            Payload::Obj(_) => Err(MsgError::CollectiveMismatch("expected bytes, got object".into())),
+            Payload::Obj(_) => {
+                Err(MsgError::CollectiveMismatch("expected bytes, got object".into()))
+            }
         }
     }
 }
@@ -135,7 +137,11 @@ impl Comm {
     pub(crate) fn new_group(size: usize) -> Vec<Comm> {
         let inner = CommInner::new(size);
         (0..size)
-            .map(|rank| Comm { inner: Arc::clone(&inner), rank, coll_seq: Arc::new(AtomicU64::new(0)) })
+            .map(|rank| Comm {
+                inner: Arc::clone(&inner),
+                rank,
+                coll_seq: Arc::new(AtomicU64::new(0)),
+            })
             .collect()
     }
 
@@ -179,7 +185,11 @@ impl Comm {
 
     /// Blocking receive matching on optional source and tag. Returns
     /// `(source, tag, data)`.
-    pub fn recv_bytes(&self, src: Option<usize>, tag: Option<u32>) -> Result<(usize, u32, Vec<u8>)> {
+    pub fn recv_bytes(
+        &self,
+        src: Option<usize>,
+        tag: Option<u32>,
+    ) -> Result<(usize, u32, Vec<u8>)> {
         if let Some(s) = src {
             self.check_rank(s)?;
         }
@@ -219,7 +229,12 @@ impl Comm {
     }
 
     /// Typed send of a scalar slice.
-    pub fn send_slice<T: crate::wire::Scalar>(&self, dst: usize, tag: u32, vals: &[T]) -> Result<()> {
+    pub fn send_slice<T: crate::wire::Scalar>(
+        &self,
+        dst: usize,
+        tag: u32,
+        vals: &[T],
+    ) -> Result<()> {
         self.send_bytes(dst, tag, crate::wire::encode(vals))
     }
 
@@ -332,8 +347,7 @@ impl Comm {
             })
             .collect();
         // 2. My group: ranks with my color, sorted by (key, old rank).
-        let mut members: Vec<usize> =
-            (0..self.size()).filter(|&r| pairs[r].0 == color).collect();
+        let mut members: Vec<usize> = (0..self.size()).filter(|&r| pairs[r].0 == color).collect();
         members.sort_by_key(|&r| (pairs[r].1, r));
         let new_rank = members.iter().position(|&r| r == self.rank).expect("self in group");
         let leader = members[0];
@@ -473,11 +487,8 @@ mod tests {
             assert_eq!(sub.rank(), comm.rank() / 2);
             // The sub-communicator works for its own collectives.
             let col = sub.alltoall_bytes(vec![vec![comm.rank() as u8]; 2])?;
-            let expected: Vec<Vec<u8>> = if comm.rank() % 2 == 0 {
-                vec![vec![0], vec![2]]
-            } else {
-                vec![vec![1], vec![3]]
-            };
+            let expected: Vec<Vec<u8>> =
+                if comm.rank() % 2 == 0 { vec![vec![0], vec![2]] } else { vec![vec![1], vec![3]] };
             assert_eq!(col, expected);
             Ok(())
         })

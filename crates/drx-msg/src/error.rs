@@ -37,7 +37,10 @@ impl fmt::Display for MsgError {
             MsgError::BadDatatype(why) => write!(f, "bad datatype: {why}"),
             MsgError::Pfs(e) => write!(f, "PFS error: {e}"),
             MsgError::WindowRange { rank, offset, len, size } => {
-                write!(f, "window access [{offset}, {offset}+{len}) on rank {rank} exceeds size {size}")
+                write!(
+                    f,
+                    "window access [{offset}, {offset}+{len}) on rank {rank} exceeds size {size}"
+                )
             }
             MsgError::Invalid(why) => write!(f, "invalid argument: {why}"),
         }

@@ -232,10 +232,8 @@ impl MsgFile {
     ) -> Result<Option<(u64, u64, u64, Vec<Vec<(u64, u64)>>)>> {
         let flat: Vec<u64> = mine.iter().flat_map(|&(o, l)| [o, l]).collect();
         let all = self.comm.allgather_vec::<u64>(&flat)?;
-        let all_ranges: Vec<Vec<(u64, u64)>> = all
-            .into_iter()
-            .map(|v| v.chunks_exact(2).map(|c| (c[0], c[1])).collect())
-            .collect();
+        let all_ranges: Vec<Vec<(u64, u64)>> =
+            all.into_iter().map(|v| v.chunks_exact(2).map(|c| (c[0], c[1])).collect()).collect();
         let mut lo = u64::MAX;
         let mut hi = 0u64;
         for ranges in &all_ranges {
@@ -463,8 +461,7 @@ mod tests {
         run_spmd(4, |comm| {
             let mut f = MsgFile::open(comm, &fs, "f", false)?;
             let base = Datatype::contiguous(bs as u64);
-            let displs: Vec<usize> =
-                (0..blocks / 4).map(|i| comm.rank() + 4 * i).collect();
+            let displs: Vec<usize> = (0..blocks / 4).map(|i| comm.rank() + 4 * i).collect();
             f.set_view(0, Some(Datatype::indexed(&[1; 16], &displs, &base)?));
             let mut buf = vec![0u8; bs * blocks / 4];
             f.read_at(0, &mut buf)?; // independent
@@ -477,8 +474,7 @@ mod tests {
         run_spmd(4, |comm| {
             let mut f = MsgFile::open(comm, &fs, "f", false)?;
             let base = Datatype::contiguous(bs as u64);
-            let displs: Vec<usize> =
-                (0..blocks / 4).map(|i| comm.rank() + 4 * i).collect();
+            let displs: Vec<usize> = (0..blocks / 4).map(|i| comm.rank() + 4 * i).collect();
             f.set_view(0, Some(Datatype::indexed(&[1; 16], &displs, &base)?));
             let mut buf = vec![0u8; bs * blocks / 4];
             f.read_all(0, &mut buf)?; // collective

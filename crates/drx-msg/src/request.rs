@@ -84,7 +84,7 @@ impl Comm {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::error::MsgError;
     use crate::runtime::run_spmd;
 

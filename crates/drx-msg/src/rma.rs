@@ -51,9 +51,7 @@ impl Window {
     }
 
     fn part(&self, rank: usize) -> Result<&Arc<RwLock<Vec<u8>>>> {
-        self.parts
-            .get(rank)
-            .ok_or(MsgError::BadRank { rank, size: self.comm.size() })
+        self.parts.get(rank).ok_or(MsgError::BadRank { rank, size: self.comm.size() })
     }
 
     fn check_range(&self, rank: usize, offset: u64, len: u64, size: u64) -> Result<()> {

@@ -10,7 +10,7 @@ use proptest::prelude::*;
 /// A random monotonically increasing displacement list with gaps.
 fn view_strategy() -> impl Strategy<Value = (u64, Vec<usize>, Vec<usize>)> {
     (
-        1u64..16,                                        // base item bytes
+        1u64..16,                                            // base item bytes
         prop::collection::vec((0usize..3, 1usize..4), 1..6), // (gap, blocklen)
     )
         .prop_map(|(base, blocks)| {

@@ -79,7 +79,8 @@ pub struct FileBackend {
 impl FileBackend {
     /// Open (creating if needed) the backing file at `path`.
     pub fn open(path: &Path) -> Result<Self> {
-        let file = OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
         Ok(FileBackend { file })
     }
 }

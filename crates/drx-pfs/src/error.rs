@@ -60,9 +60,9 @@ mod tests {
     #[test]
     fn display_variants() {
         assert!(PfsError::NoSuchFile("x".into()).to_string().contains("x"));
-        assert!(
-            PfsError::OutOfRange { offset: 5, len: 10, file_len: 8 }.to_string().contains("EOF 8")
-        );
+        assert!(PfsError::OutOfRange { offset: 5, len: 10, file_len: 8 }
+            .to_string()
+            .contains("EOF 8"));
         assert!(PfsError::Injected { server: 3, detail: "boom".into() }
             .to_string()
             .contains("server 3"));

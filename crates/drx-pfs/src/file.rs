@@ -174,7 +174,11 @@ impl PfsFile {
         for frag in self.inner.map.split(offset, len) {
             let start = (frag.global_offset - offset) as usize;
             let end = start + frag.len as usize;
-            self.inner.servers[frag.server].read(&self.name, frag.local_offset, &mut buf[start..end])?;
+            self.inner.servers[frag.server].read(
+                &self.name,
+                frag.local_offset,
+                &mut buf[start..end],
+            )?;
         }
         Ok(())
     }
@@ -192,12 +196,15 @@ impl PfsFile {
         for frag in self.inner.map.split(offset, data.len() as u64) {
             let start = (frag.global_offset - offset) as usize;
             let end = start + frag.len as usize;
-            self.inner.servers[frag.server].write(&self.name, frag.local_offset, &data[start..end])?;
+            self.inner.servers[frag.server].write(
+                &self.name,
+                frag.local_offset,
+                &data[start..end],
+            )?;
         }
         let mut meta = self.inner.meta.lock();
-        let entry = meta
-            .get_mut(&self.name)
-            .ok_or_else(|| PfsError::NoSuchFile(self.name.clone()))?;
+        let entry =
+            meta.get_mut(&self.name).ok_or_else(|| PfsError::NoSuchFile(self.name.clone()))?;
         *entry = (*entry).max(offset + data.len() as u64);
         Ok(())
     }
@@ -206,9 +213,8 @@ impl PfsFile {
     pub fn set_len(&self, len: u64) -> Result<()> {
         {
             let mut meta = self.inner.meta.lock();
-            let entry = meta
-                .get_mut(&self.name)
-                .ok_or_else(|| PfsError::NoSuchFile(self.name.clone()))?;
+            let entry =
+                meta.get_mut(&self.name).ok_or_else(|| PfsError::NoSuchFile(self.name.clone()))?;
             *entry = len;
         }
         // Best effort: trim the server-local stream at the boundary of the

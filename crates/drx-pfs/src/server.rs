@@ -66,7 +66,13 @@ impl IoServer {
             Backing::Disk(dir) => {
                 let safe: String = name
                     .chars()
-                    .map(|c| if c.is_ascii_alphanumeric() || c == '.' || c == '-' || c == '_' { c } else { '_' })
+                    .map(|c| {
+                        if c.is_ascii_alphanumeric() || c == '.' || c == '-' || c == '_' {
+                            c
+                        } else {
+                            '_'
+                        }
+                    })
                     .collect();
                 Box::new(FileBackend::open(&dir.join(format!("server{}", self.id)).join(safe))?)
             }
@@ -111,11 +117,7 @@ impl IoServer {
         Ok(())
     }
 
-    fn with_entry<R>(
-        &self,
-        name: &str,
-        f: impl FnOnce(&mut FileEntry) -> Result<R>,
-    ) -> Result<R> {
+    fn with_entry<R>(&self, name: &str, f: impl FnOnce(&mut FileEntry) -> Result<R>) -> Result<R> {
         let mut files = self.files.lock();
         let entry = files
             .get_mut(name)

@@ -77,13 +77,7 @@ impl ServerStats {
     }
 
     /// Record one request and return its cost.
-    pub fn record(
-        &mut self,
-        cost: &CostModel,
-        is_write: bool,
-        len: u64,
-        seek: bool,
-    ) -> u64 {
+    pub fn record(&mut self, cost: &CostModel, is_write: bool, len: u64, seek: bool) -> u64 {
         if is_write {
             self.write_requests += 1;
             self.bytes_written += len;

@@ -77,7 +77,9 @@ impl StripeMap {
                 {
                     last.len += frag_len;
                 }
-                _ => frags.push(Fragment { server, local_offset, global_offset: pos, len: frag_len }),
+                _ => {
+                    frags.push(Fragment { server, local_offset, global_offset: pos, len: frag_len })
+                }
             }
             pos += frag_len;
         }

@@ -1,0 +1,169 @@
+//! Client handles: one typed request API over two transports.
+//!
+//! [`Client`] talks to an in-process [`Server`] directly (no serialization
+//! — ideal for tests and embedding); [`TcpClient`] speaks the
+//! length-prefixed wire protocol of [`crate::proto`] over a socket. Both
+//! are the same [`Conn`] type over different [`Transport`]s, so they expose
+//! the identical API and cannot drift apart.
+
+use crate::error::{ErrorCode, Result, ServerError};
+use crate::proto::{self, encode_request, ArrayInfo, Request, Response, StatReply};
+use crate::server::Server;
+use drx_core::{dtype, Element};
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// How requests reach the server.
+pub trait Transport {
+    fn call(&mut self, req: Request) -> Result<Response>;
+}
+
+/// In-process transport: requests go straight to [`Server::handle`].
+pub struct Local {
+    server: Server,
+    session: u64,
+}
+
+impl Transport for Local {
+    fn call(&mut self, req: Request) -> Result<Response> {
+        Ok(self.server.handle(self.session, req))
+    }
+}
+
+impl Drop for Local {
+    fn drop(&mut self) {
+        self.server.close_session(self.session);
+    }
+}
+
+/// TCP transport: frames over a socket per [`crate::proto`].
+pub struct Tcp {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Transport for Tcp {
+    fn call(&mut self, req: Request) -> Result<Response> {
+        proto::write_frame(&mut self.writer, &encode_request(&req))?;
+        let body = proto::read_frame(&mut self.reader)?
+            .ok_or_else(|| ServerError::protocol("server closed the connection"))?;
+        proto::decode_response(&body)
+    }
+}
+
+/// A connection to an array server. `T` picks the transport; the request
+/// API is transport-independent.
+pub struct Conn<T: Transport> {
+    transport: T,
+}
+
+/// In-process client handle.
+pub type Client = Conn<Local>;
+
+/// Remote client handle over TCP.
+pub type TcpClient = Conn<Tcp>;
+
+impl Client {
+    /// Open a session against an in-process server. The session closes
+    /// when the client drops.
+    pub fn connect(server: &Server) -> Client {
+        let session = server.open_session();
+        Conn { transport: Local { server: server.clone(), session } }
+    }
+}
+
+impl TcpClient {
+    /// Connect and handshake with a TCP server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<TcpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let mut writer = BufWriter::new(stream.try_clone()?);
+        let mut reader = BufReader::new(stream);
+        proto::write_handshake(&mut writer)?;
+        proto::read_handshake(&mut reader)?;
+        Ok(Conn { transport: Tcp { reader, writer } })
+    }
+}
+
+fn fail(resp: Response, wanted: &str) -> ServerError {
+    match resp {
+        Response::Error { code, message } => proto::response_error(code, message),
+        other => ServerError::protocol(format!("expected {wanted}, got {other:?}")),
+    }
+}
+
+impl<T: Transport> Conn<T> {
+    /// Open an array by name; returns a handle plus its shape.
+    pub fn open(&mut self, name: &str) -> Result<(u32, ArrayInfo)> {
+        match self.transport.call(Request::Open { name: name.into() })? {
+            Response::Opened { handle, info } => Ok((handle, info)),
+            other => Err(fail(other, "Opened")),
+        }
+    }
+
+    /// Read `[lo, hi)` as raw little-endian element bytes, row-major.
+    pub fn read_region(&mut self, handle: u32, lo: &[u64], hi: &[u64]) -> Result<Vec<u8>> {
+        let req = Request::ReadRegion { handle, lo: lo.to_vec(), hi: hi.to_vec() };
+        match self.transport.call(req)? {
+            Response::Data { data } => Ok(data),
+            other => Err(fail(other, "Data")),
+        }
+    }
+
+    /// Read `[lo, hi)` decoded as elements of type `E`.
+    pub fn read_region_as<E: Element>(
+        &mut self,
+        handle: u32,
+        lo: &[u64],
+        hi: &[u64],
+    ) -> Result<Vec<E>> {
+        let bytes = self.read_region(handle, lo, hi)?;
+        dtype::decode_slice(&bytes)
+            .map_err(|e| ServerError::new(ErrorCode::BadRequest, e.to_string()))
+    }
+
+    /// Overwrite `[lo, hi)` with raw little-endian element bytes.
+    pub fn write_region(&mut self, handle: u32, lo: &[u64], hi: &[u64], data: &[u8]) -> Result<()> {
+        let req =
+            Request::WriteRegion { handle, lo: lo.to_vec(), hi: hi.to_vec(), data: data.to_vec() };
+        match self.transport.call(req)? {
+            Response::Written => Ok(()),
+            other => Err(fail(other, "Written")),
+        }
+    }
+
+    /// Overwrite `[lo, hi)` with typed elements.
+    pub fn write_region_from<E: Element>(
+        &mut self,
+        handle: u32,
+        lo: &[u64],
+        hi: &[u64],
+        elems: &[E],
+    ) -> Result<()> {
+        self.write_region(handle, lo, hi, &dtype::encode_slice(elems))
+    }
+
+    /// Grow dimension `dim` by `by` elements; returns the new bounds.
+    pub fn extend(&mut self, handle: u32, dim: u32, by: u64) -> Result<Vec<u64>> {
+        match self.transport.call(Request::Extend { handle, dim, by })? {
+            Response::Extended { bounds } => Ok(bounds),
+            other => Err(fail(other, "Extended")),
+        }
+    }
+
+    /// Shape and server-side statistics for the array.
+    pub fn stat(&mut self, handle: u32) -> Result<StatReply> {
+        match self.transport.call(Request::Stat { handle })? {
+            Response::Stat(reply) => Ok(reply),
+            other => Err(fail(other, "Stat")),
+        }
+    }
+
+    /// Release the handle (flushes the array's cache).
+    pub fn close(&mut self, handle: u32) -> Result<()> {
+        match self.transport.call(Request::Close { handle })? {
+            Response::Closed => Ok(()),
+            other => Err(fail(other, "Closed")),
+        }
+    }
+}

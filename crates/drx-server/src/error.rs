@@ -1,0 +1,103 @@
+//! Server-side error type and the stable wire error codes it maps to.
+
+use std::fmt;
+
+/// Stable error codes carried in `Response::Error` frames. Codes are part
+/// of the wire protocol: new codes may be appended, existing values never
+/// change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// Malformed frame or field (protocol-level).
+    Protocol = 1,
+    /// No array with the requested name.
+    NoSuchArray = 2,
+    /// Unknown or already-closed handle.
+    BadHandle = 3,
+    /// Region or index outside the array bounds, or rank mismatch.
+    OutOfBounds = 4,
+    /// Request is well-formed but invalid (bad dimension, zero extent,
+    /// payload length mismatch, ...).
+    BadRequest = 5,
+    /// Underlying storage or metadata failure.
+    Internal = 6,
+}
+
+impl ErrorCode {
+    pub fn from_u16(v: u16) -> Option<Self> {
+        Some(match v {
+            1 => ErrorCode::Protocol,
+            2 => ErrorCode::NoSuchArray,
+            3 => ErrorCode::BadHandle,
+            4 => ErrorCode::OutOfBounds,
+            5 => ErrorCode::BadRequest,
+            6 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// Error type for everything in this crate.
+#[derive(Debug)]
+pub struct ServerError {
+    pub code: ErrorCode,
+    pub message: String,
+}
+
+impl ServerError {
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        ServerError { code, message: message.into() }
+    }
+
+    pub fn protocol(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::Protocol, message)
+    }
+
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::BadRequest, message)
+    }
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<drx_core::DrxError> for ServerError {
+    fn from(e: drx_core::DrxError) -> Self {
+        let code = match &e {
+            drx_core::DrxError::IndexOutOfBounds { .. }
+            | drx_core::DrxError::AddressOutOfBounds { .. }
+            | drx_core::DrxError::RankMismatch { .. } => ErrorCode::OutOfBounds,
+            _ => ErrorCode::BadRequest,
+        };
+        ServerError::new(code, e.to_string())
+    }
+}
+
+impl From<drx_pfs::PfsError> for ServerError {
+    fn from(e: drx_pfs::PfsError) -> Self {
+        let code = match &e {
+            drx_pfs::PfsError::NoSuchFile(_) => ErrorCode::NoSuchArray,
+            _ => ErrorCode::Internal,
+        };
+        ServerError::new(code, e.to_string())
+    }
+}
+
+impl From<drx_mp::MpError> for ServerError {
+    fn from(e: drx_mp::MpError) -> Self {
+        ServerError::new(ErrorCode::Internal, e.to_string())
+    }
+}
+
+impl From<std::io::Error> for ServerError {
+    fn from(e: std::io::Error) -> Self {
+        ServerError::new(ErrorCode::Internal, e.to_string())
+    }
+}
+
+pub type Result<T> = std::result::Result<T, ServerError>;

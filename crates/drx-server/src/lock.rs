@@ -1,0 +1,256 @@
+//! Chunk-aligned range locking.
+//!
+//! Every region operation resolves to a set of linear chunk addresses (via
+//! the `F*` mapping); the lock manager grants shared (read) or exclusive
+//! (write) ownership of that whole set *atomically* — a request either
+//! holds every chunk it needs or none, waiting otherwise. Because no
+//! waiter ever holds a partial set, there is no hold-and-wait and therefore
+//! no deadlock, regardless of how requests overlap.
+//!
+//! Writers get priority: while a writer is queued on a chunk, new readers
+//! of that chunk wait. This bounds writer starvation under a steady reader
+//! stream; readers admitted before the writer arrived finish normally
+//! (their locks are already held).
+//!
+//! `Extend` does not take chunk locks at all — it is serialized by the
+//! array's metadata `RwLock` (see `server.rs`). Extension is append-only
+//! (the paper's defining property: existing chunk addresses never move),
+//! so in-flight reads and writes against already-allocated chunks stay
+//! valid while the array grows.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+
+/// Sharing mode of one acquisition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    Read,
+    Write,
+}
+
+#[derive(Default)]
+struct ChunkLock {
+    readers: u32,
+    writer: bool,
+    /// Writers blocked wanting this chunk; readers defer to them.
+    waiting_writers: u32,
+}
+
+impl ChunkLock {
+    fn is_free(&self) -> bool {
+        self.readers == 0 && !self.writer && self.waiting_writers == 0
+    }
+}
+
+#[derive(Default)]
+struct LockTable {
+    chunks: HashMap<u64, ChunkLock>,
+    /// Number of times any acquisition had to block.
+    waits: u64,
+}
+
+/// Lock manager for one array's chunk address space.
+#[derive(Default)]
+pub struct RangeLockManager {
+    table: Mutex<LockTable>,
+    cond: Condvar,
+}
+
+impl RangeLockManager {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of acquisitions that had to block so far.
+    pub fn wait_count(&self) -> u64 {
+        self.table.lock().waits
+    }
+
+    /// Number of chunks currently locked (for tests/introspection).
+    pub fn locked_chunks(&self) -> usize {
+        self.table.lock().chunks.len()
+    }
+
+    /// Acquire `mode` locks on every chunk in `addrs`, blocking until the
+    /// entire set can be granted at once. The guard releases on drop.
+    pub fn acquire(&self, addrs: &[u64], mode: LockMode) -> RangeGuard<'_> {
+        let mut addrs: Vec<u64> = addrs.to_vec();
+        addrs.sort_unstable();
+        addrs.dedup();
+        let mut t = self.table.lock();
+        let mut registered = false;
+        loop {
+            let grantable = addrs.iter().all(|a| {
+                let c = t.chunks.get(a);
+                match mode {
+                    // `registered` means the queued writer is *this* call,
+                    // which should not defer to itself.
+                    LockMode::Read => {
+                        c.is_none_or(|c| !c.writer && (c.waiting_writers == 0 || registered))
+                    }
+                    LockMode::Write => c.is_none_or(|c| {
+                        c.readers == 0 && !c.writer && (c.waiting_writers == 0 || registered)
+                    }),
+                }
+            });
+            if grantable {
+                for &a in &addrs {
+                    let c = t.chunks.entry(a).or_default();
+                    if registered {
+                        c.waiting_writers -= 1;
+                    }
+                    match mode {
+                        LockMode::Read => c.readers += 1,
+                        LockMode::Write => c.writer = true,
+                    }
+                }
+                return RangeGuard { mgr: self, addrs, mode };
+            }
+            if mode == LockMode::Write && !registered {
+                for &a in &addrs {
+                    t.chunks.entry(a).or_default().waiting_writers += 1;
+                }
+                registered = true;
+            }
+            t.waits += 1;
+            self.cond.wait(&mut t);
+        }
+    }
+}
+
+/// Holds `mode` locks on a set of chunks; releases (and wakes waiters) on
+/// drop.
+pub struct RangeGuard<'a> {
+    mgr: &'a RangeLockManager,
+    addrs: Vec<u64>,
+    mode: LockMode,
+}
+
+impl RangeGuard<'_> {
+    pub fn addrs(&self) -> &[u64] {
+        &self.addrs
+    }
+}
+
+impl Drop for RangeGuard<'_> {
+    fn drop(&mut self) {
+        let mut t = self.mgr.table.lock();
+        for &a in &self.addrs {
+            let c = t.chunks.get_mut(&a).expect("held chunk has an entry");
+            match self.mode {
+                LockMode::Read => c.readers -= 1,
+                LockMode::Write => c.writer = false,
+            }
+            if c.is_free() {
+                t.chunks.remove(&a);
+            }
+        }
+        drop(t);
+        self.mgr.cond.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn readers_share_writers_exclude() {
+        let m = RangeLockManager::new();
+        let r1 = m.acquire(&[1, 2, 3], LockMode::Read);
+        let r2 = m.acquire(&[2, 3, 4], LockMode::Read);
+        assert_eq!(m.locked_chunks(), 4);
+        drop(r1);
+        drop(r2);
+        assert_eq!(m.locked_chunks(), 0);
+        let w = m.acquire(&[1, 2], LockMode::Write);
+        drop(w);
+        assert_eq!(m.locked_chunks(), 0);
+    }
+
+    #[test]
+    fn writer_blocks_until_readers_release() {
+        let m = Arc::new(RangeLockManager::new());
+        let r = m.acquire(&[5], LockMode::Read);
+        let m2 = Arc::clone(&m);
+        let acquired = Arc::new(AtomicU32::new(0));
+        let a2 = Arc::clone(&acquired);
+        let t = thread::spawn(move || {
+            let _w = m2.acquire(&[5, 6], LockMode::Write);
+            a2.store(1, Ordering::SeqCst);
+        });
+        thread::sleep(Duration::from_millis(30));
+        assert_eq!(acquired.load(Ordering::SeqCst), 0, "writer must wait for reader");
+        drop(r);
+        t.join().unwrap();
+        assert_eq!(acquired.load(Ordering::SeqCst), 1);
+        assert!(m.wait_count() >= 1);
+    }
+
+    #[test]
+    fn queued_writer_defers_new_readers() {
+        let m = Arc::new(RangeLockManager::new());
+        let r = m.acquire(&[7], LockMode::Read);
+        let m2 = Arc::clone(&m);
+        let w = thread::spawn(move || {
+            let _w = m2.acquire(&[7], LockMode::Write);
+            // Hold briefly so the deferred reader observably waits.
+            thread::sleep(Duration::from_millis(20));
+        });
+        // Let the writer queue up.
+        while m.wait_count() == 0 {
+            thread::sleep(Duration::from_millis(1));
+        }
+        let m3 = Arc::clone(&m);
+        let got_read = Arc::new(AtomicU32::new(0));
+        let g2 = Arc::clone(&got_read);
+        let rd = thread::spawn(move || {
+            let _r = m3.acquire(&[7], LockMode::Read);
+            g2.store(1, Ordering::SeqCst);
+        });
+        thread::sleep(Duration::from_millis(10));
+        // New reader defers to the queued writer even though only a read
+        // lock is held right now.
+        assert_eq!(got_read.load(Ordering::SeqCst), 0);
+        drop(r);
+        w.join().unwrap();
+        rd.join().unwrap();
+        assert_eq!(got_read.load(Ordering::SeqCst), 1);
+        assert_eq!(m.locked_chunks(), 0);
+    }
+
+    #[test]
+    fn overlapping_writers_make_progress() {
+        // A classic deadlock shape under two-phase locking: W1 wants {1,2},
+        // W2 wants {2,3}, interleaved. All-or-nothing acquisition means
+        // both always finish.
+        let m = Arc::new(RangeLockManager::new());
+        let mut handles = Vec::new();
+        for i in 0..8u64 {
+            let m = Arc::clone(&m);
+            handles.push(thread::spawn(move || {
+                for _ in 0..50 {
+                    let set = [i % 4, (i + 1) % 4, (i + 2) % 4];
+                    let _g = m.acquire(&set, LockMode::Write);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.locked_chunks(), 0);
+    }
+
+    #[test]
+    fn duplicate_addresses_are_collapsed() {
+        let m = RangeLockManager::new();
+        let g = m.acquire(&[9, 9, 9], LockMode::Write);
+        assert_eq!(g.addrs(), &[9]);
+        drop(g);
+        assert_eq!(m.locked_chunks(), 0);
+    }
+}

@@ -1,0 +1,528 @@
+//! Versioned binary wire protocol for the DRX array service.
+//!
+//! A connection starts with a 6-byte handshake in each direction — the
+//! magic `b"DRXS"` followed by the little-endian `u16` protocol version.
+//! After the handshake, each direction carries *frames*: a little-endian
+//! `u32` body length followed by the body. A request body is an opcode
+//! byte plus fields; a response body is a status byte plus fields. All
+//! integers are little-endian, matching the `.xmd` metadata codec.
+//!
+//! The format is versioned through [`PROTO_VERSION`]: a server refuses a
+//! handshake carrying a version it does not speak, and opcode/error-code
+//! values are append-only.
+
+use crate::error::{ErrorCode, Result, ServerError};
+use drx_mp::PoolStats;
+use std::io::{Read, Write};
+
+/// Connection magic, sent by both sides before any frame.
+pub const PROTO_MAGIC: [u8; 4] = *b"DRXS";
+/// Current protocol version.
+pub const PROTO_VERSION: u16 = 1;
+/// Upper bound on a frame body; larger length prefixes are rejected as
+/// protocol errors rather than allocated.
+pub const MAX_FRAME: usize = 1 << 30;
+
+const OP_OPEN: u8 = 1;
+const OP_READ_REGION: u8 = 2;
+const OP_WRITE_REGION: u8 = 3;
+const OP_EXTEND: u8 = 4;
+const OP_STAT: u8 = 5;
+const OP_CLOSE: u8 = 6;
+
+const RESP_OPENED: u8 = 0x80;
+const RESP_DATA: u8 = 0x81;
+const RESP_WRITTEN: u8 = 0x82;
+const RESP_EXTENDED: u8 = 0x83;
+const RESP_STAT: u8 = 0x84;
+const RESP_CLOSED: u8 = 0x85;
+const RESP_ERROR: u8 = 0xFF;
+
+/// A client request. Regions are half-open `[lo, hi)` boxes in element
+/// coordinates; region payloads are raw little-endian element bytes in
+/// row-major (C) order of the region extents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Open the named array, returning a handle.
+    Open { name: String },
+    /// Read a region of the array as row-major element bytes.
+    ReadRegion { handle: u32, lo: Vec<u64>, hi: Vec<u64> },
+    /// Overwrite a region with row-major element bytes.
+    WriteRegion { handle: u32, lo: Vec<u64>, hi: Vec<u64>, data: Vec<u8> },
+    /// Grow dimension `dim` by `by` elements (append-only).
+    Extend { handle: u32, dim: u32, by: u64 },
+    /// Array shape plus server-side cache / I/O / lock statistics.
+    Stat { handle: u32 },
+    /// Release the handle.
+    Close { handle: u32 },
+}
+
+/// Static description of an open array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayInfo {
+    /// `DType::code()` of the element type.
+    pub dtype: u8,
+    pub bounds: Vec<u64>,
+    pub chunk_shape: Vec<u64>,
+}
+
+impl ArrayInfo {
+    pub fn rank(&self) -> usize {
+        self.bounds.len()
+    }
+}
+
+/// Payload of a `Stat` response.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StatReply {
+    pub dtype: u8,
+    pub bounds: Vec<u64>,
+    pub chunk_shape: Vec<u64>,
+    pub total_chunks: u64,
+    pub payload_bytes: u64,
+    /// Chunk-cache counters attributed to the requesting session.
+    pub session_cache: PoolStats,
+    /// Chunk-cache counters for the whole array (all sessions).
+    pub global_cache: PoolStats,
+    /// Cumulative PFS request count across the server's file system.
+    pub pfs_requests: u64,
+    /// Cumulative PFS bytes moved.
+    pub pfs_bytes: u64,
+    /// Coalesced fetch batches executed for this array.
+    pub coalesced_batches: u64,
+    /// Times a session blocked waiting for a chunk-range lock.
+    pub lock_waits: u64,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    Opened { handle: u32, info: ArrayInfo },
+    Data { data: Vec<u8> },
+    Written,
+    Extended { bounds: Vec<u64> },
+    Stat(StatReply),
+    Closed,
+    Error { code: u16, message: String },
+}
+
+// ---------------------------------------------------------------------------
+// Body codec
+// ---------------------------------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_dims(out: &mut Vec<u8>, dims: &[u64]) {
+    out.push(dims.len() as u8);
+    for &d in dims {
+        put_u64(out, d);
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u16(out, s.len() as u16);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+fn put_pool_stats(out: &mut Vec<u8>, s: &PoolStats) {
+    put_u64(out, s.hits);
+    put_u64(out, s.misses);
+    put_u64(out, s.evictions);
+    put_u64(out, s.writebacks);
+}
+
+/// Truncation-checked reader over a frame body.
+struct Body<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Body<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Body { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(ServerError::protocol(format!(
+                "truncated frame: wanted {n} bytes at {}, body is {}",
+                self.pos,
+                self.buf.len()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn dims(&mut self) -> Result<Vec<u64>> {
+        let k = self.u8()? as usize;
+        (0..k).map(|_| self.u64()).collect()
+    }
+
+    fn string(&mut self) -> Result<String> {
+        let n = self.u16()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| ServerError::protocol("string field is not UTF-8"))
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    fn pool_stats(&mut self) -> Result<PoolStats> {
+        Ok(PoolStats {
+            hits: self.u64()?,
+            misses: self.u64()?,
+            evictions: self.u64()?,
+            writebacks: self.u64()?,
+        })
+    }
+
+    fn finish(self) -> Result<()> {
+        if self.pos != self.buf.len() {
+            return Err(ServerError::protocol(format!(
+                "{} trailing bytes after frame body",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Encode a request body (no length prefix).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::new();
+    match req {
+        Request::Open { name } => {
+            out.push(OP_OPEN);
+            put_str(&mut out, name);
+        }
+        Request::ReadRegion { handle, lo, hi } => {
+            out.push(OP_READ_REGION);
+            put_u32(&mut out, *handle);
+            put_dims(&mut out, lo);
+            put_dims(&mut out, hi);
+        }
+        Request::WriteRegion { handle, lo, hi, data } => {
+            out.push(OP_WRITE_REGION);
+            put_u32(&mut out, *handle);
+            put_dims(&mut out, lo);
+            put_dims(&mut out, hi);
+            put_bytes(&mut out, data);
+        }
+        Request::Extend { handle, dim, by } => {
+            out.push(OP_EXTEND);
+            put_u32(&mut out, *handle);
+            put_u32(&mut out, *dim);
+            put_u64(&mut out, *by);
+        }
+        Request::Stat { handle } => {
+            out.push(OP_STAT);
+            put_u32(&mut out, *handle);
+        }
+        Request::Close { handle } => {
+            out.push(OP_CLOSE);
+            put_u32(&mut out, *handle);
+        }
+    }
+    out
+}
+
+/// Decode a request body.
+pub fn decode_request(body: &[u8]) -> Result<Request> {
+    let mut b = Body::new(body);
+    let req = match b.u8()? {
+        OP_OPEN => Request::Open { name: b.string()? },
+        OP_READ_REGION => Request::ReadRegion { handle: b.u32()?, lo: b.dims()?, hi: b.dims()? },
+        OP_WRITE_REGION => Request::WriteRegion {
+            handle: b.u32()?,
+            lo: b.dims()?,
+            hi: b.dims()?,
+            data: b.bytes()?,
+        },
+        OP_EXTEND => Request::Extend { handle: b.u32()?, dim: b.u32()?, by: b.u64()? },
+        OP_STAT => Request::Stat { handle: b.u32()? },
+        OP_CLOSE => Request::Close { handle: b.u32()? },
+        op => return Err(ServerError::protocol(format!("unknown request opcode {op:#04x}"))),
+    };
+    b.finish()?;
+    Ok(req)
+}
+
+/// Encode a response body (no length prefix).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::new();
+    match resp {
+        Response::Opened { handle, info } => {
+            out.push(RESP_OPENED);
+            put_u32(&mut out, *handle);
+            out.push(info.dtype);
+            put_dims(&mut out, &info.bounds);
+            put_dims(&mut out, &info.chunk_shape);
+        }
+        Response::Data { data } => {
+            out.push(RESP_DATA);
+            put_bytes(&mut out, data);
+        }
+        Response::Written => out.push(RESP_WRITTEN),
+        Response::Extended { bounds } => {
+            out.push(RESP_EXTENDED);
+            put_dims(&mut out, bounds);
+        }
+        Response::Stat(s) => {
+            out.push(RESP_STAT);
+            out.push(s.dtype);
+            put_dims(&mut out, &s.bounds);
+            put_dims(&mut out, &s.chunk_shape);
+            put_u64(&mut out, s.total_chunks);
+            put_u64(&mut out, s.payload_bytes);
+            put_pool_stats(&mut out, &s.session_cache);
+            put_pool_stats(&mut out, &s.global_cache);
+            put_u64(&mut out, s.pfs_requests);
+            put_u64(&mut out, s.pfs_bytes);
+            put_u64(&mut out, s.coalesced_batches);
+            put_u64(&mut out, s.lock_waits);
+        }
+        Response::Closed => out.push(RESP_CLOSED),
+        Response::Error { code, message } => {
+            out.push(RESP_ERROR);
+            put_u16(&mut out, *code);
+            put_str(&mut out, message);
+        }
+    }
+    out
+}
+
+/// Decode a response body.
+pub fn decode_response(body: &[u8]) -> Result<Response> {
+    let mut b = Body::new(body);
+    let resp = match b.u8()? {
+        RESP_OPENED => {
+            let handle = b.u32()?;
+            let dtype = b.u8()?;
+            let bounds = b.dims()?;
+            let chunk_shape = b.dims()?;
+            Response::Opened { handle, info: ArrayInfo { dtype, bounds, chunk_shape } }
+        }
+        RESP_DATA => Response::Data { data: b.bytes()? },
+        RESP_WRITTEN => Response::Written,
+        RESP_EXTENDED => Response::Extended { bounds: b.dims()? },
+        RESP_STAT => Response::Stat(StatReply {
+            dtype: b.u8()?,
+            bounds: b.dims()?,
+            chunk_shape: b.dims()?,
+            total_chunks: b.u64()?,
+            payload_bytes: b.u64()?,
+            session_cache: b.pool_stats()?,
+            global_cache: b.pool_stats()?,
+            pfs_requests: b.u64()?,
+            pfs_bytes: b.u64()?,
+            coalesced_batches: b.u64()?,
+            lock_waits: b.u64()?,
+        }),
+        RESP_CLOSED => Response::Closed,
+        RESP_ERROR => Response::Error { code: b.u16()?, message: b.string()? },
+        op => return Err(ServerError::protocol(format!("unknown response opcode {op:#04x}"))),
+    };
+    b.finish()?;
+    Ok(resp)
+}
+
+// ---------------------------------------------------------------------------
+// Framing and handshake over a byte stream
+// ---------------------------------------------------------------------------
+
+/// Write the handshake preamble (magic + version).
+pub fn write_handshake(w: &mut impl Write) -> std::io::Result<()> {
+    w.write_all(&PROTO_MAGIC)?;
+    w.write_all(&PROTO_VERSION.to_le_bytes())?;
+    w.flush()
+}
+
+/// Read and validate the peer's handshake preamble.
+pub fn read_handshake(r: &mut impl Read) -> Result<()> {
+    let mut buf = [0u8; 6];
+    r.read_exact(&mut buf).map_err(|e| ServerError::protocol(format!("handshake: {e}")))?;
+    if buf[..4] != PROTO_MAGIC {
+        return Err(ServerError::protocol("bad magic in handshake"));
+    }
+    let version = u16::from_le_bytes([buf[4], buf[5]]);
+    if version != PROTO_VERSION {
+        return Err(ServerError::protocol(format!(
+            "protocol version {version} not supported (expected {PROTO_VERSION})"
+        )));
+    }
+    Ok(())
+}
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> std::io::Result<()> {
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Read one length-prefixed frame. Returns `Ok(None)` on clean EOF at a
+/// frame boundary.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(ServerError::protocol(format!("frame header: {e}"))),
+    }
+    let n = u32::from_le_bytes(len) as usize;
+    if n > MAX_FRAME {
+        return Err(ServerError::protocol(format!("frame of {n} bytes exceeds limit")));
+    }
+    let mut body = vec![0u8; n];
+    r.read_exact(&mut body).map_err(|e| ServerError::protocol(format!("frame body: {e}")))?;
+    Ok(Some(body))
+}
+
+/// Convenience: a `ServerError` rendered as an error response.
+pub fn error_response(e: &ServerError) -> Response {
+    Response::Error { code: e.code as u16, message: e.message.clone() }
+}
+
+/// Convenience: rebuild a `ServerError` from an error response.
+pub fn response_error(code: u16, message: String) -> ServerError {
+    ServerError::new(ErrorCode::from_u16(code).unwrap_or(ErrorCode::Internal), message)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let body = encode_request(&req);
+        assert_eq!(decode_request(&body).unwrap(), req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let body = encode_response(&resp);
+        assert_eq!(decode_response(&body).unwrap(), resp);
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_request(Request::Open { name: "matrix".into() });
+        roundtrip_request(Request::ReadRegion { handle: 7, lo: vec![0, 2, 4], hi: vec![1, 3, 9] });
+        roundtrip_request(Request::WriteRegion {
+            handle: 1,
+            lo: vec![5],
+            hi: vec![6],
+            data: vec![1, 2, 3, 4, 5, 6, 7, 8],
+        });
+        roundtrip_request(Request::Extend { handle: 2, dim: 1, by: 12 });
+        roundtrip_request(Request::Stat { handle: 3 });
+        roundtrip_request(Request::Close { handle: u32::MAX });
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        roundtrip_response(Response::Opened {
+            handle: 9,
+            info: ArrayInfo { dtype: 4, bounds: vec![10, 12], chunk_shape: vec![2, 3] },
+        });
+        roundtrip_response(Response::Data { data: vec![0xAB; 100] });
+        roundtrip_response(Response::Written);
+        roundtrip_response(Response::Extended { bounds: vec![10, 16] });
+        roundtrip_response(Response::Stat(StatReply {
+            dtype: 2,
+            bounds: vec![4, 4],
+            chunk_shape: vec![2, 2],
+            total_chunks: 4,
+            payload_bytes: 128,
+            session_cache: PoolStats { hits: 1, misses: 2, evictions: 3, writebacks: 4 },
+            global_cache: PoolStats { hits: 5, misses: 6, evictions: 7, writebacks: 8 },
+            pfs_requests: 9,
+            pfs_bytes: 10,
+            coalesced_batches: 11,
+            lock_waits: 12,
+        }));
+        roundtrip_response(Response::Closed);
+        roundtrip_response(Response::Error { code: 4, message: "out of bounds".into() });
+    }
+
+    #[test]
+    fn malformed_bodies_are_rejected() {
+        // Empty body.
+        assert!(decode_request(&[]).is_err());
+        // Unknown opcode.
+        assert!(decode_request(&[0x77]).is_err());
+        assert!(decode_response(&[0x00]).is_err());
+        // Truncated string length.
+        assert!(decode_request(&[OP_OPEN, 5, 0, b'a']).is_err());
+        // Trailing garbage.
+        let mut body = encode_request(&Request::Stat { handle: 1 });
+        body.push(0);
+        assert!(decode_request(&body).is_err());
+        // Non-UTF-8 name.
+        assert!(decode_request(&[OP_OPEN, 2, 0, 0xFF, 0xFE]).is_err());
+    }
+
+    #[test]
+    fn framing_roundtrip_and_eof() {
+        let mut buf = Vec::new();
+        write_handshake(&mut buf).unwrap();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        read_handshake(&mut r).unwrap();
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn handshake_rejects_bad_magic_and_version() {
+        let mut r: &[u8] = b"NOPE\x01\x00";
+        assert!(read_handshake(&mut r).is_err());
+        let mut r: &[u8] = &[b'D', b'R', b'X', b'S', 0xEE, 0xEE];
+        assert!(read_handshake(&mut r).is_err());
+        let mut r: &[u8] = b"D";
+        assert!(read_handshake(&mut r).is_err());
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(read_frame(&mut &buf[..]).is_err());
+    }
+}

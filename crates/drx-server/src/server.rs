@@ -1,0 +1,436 @@
+//! The array service: sessions, open arrays, and request execution.
+//!
+//! A [`Server`] owns one [`Pfs`] namespace and any number of DRX arrays
+//! (`.xmd` + `.xta` pairs) inside it. Clients talk to it through sessions
+//! — either in-process ([`crate::Client`]) or over TCP ([`crate::serve`],
+//! [`crate::TcpClient`]); both funnel into [`Server::handle`], so the two
+//! transports have identical semantics.
+//!
+//! Concurrency model, per array:
+//!
+//! * **Region reads/writes** take shared/exclusive chunk-range locks on
+//!   exactly the chunks the region touches (all-or-nothing; see
+//!   [`crate::lock`]). Disjoint regions proceed in parallel; overlapping
+//!   writes serialize; a region operation is atomic with respect to any
+//!   other operation whose chunk set overlaps it.
+//! * **Extend** never takes chunk locks. It holds the array's metadata
+//!   `RwLock` exclusively, which serializes extends against each other and
+//!   against the bounds snapshot every region operation starts with.
+//!   Because DRX extension is append-only — the axial-vector mapping `F*`
+//!   never relocates an existing chunk — readers and writers working from
+//!   a pre-extend snapshot remain correct while the array grows.
+//! * **Chunk I/O** goes through one [`SharedChunkCache`] per array, which
+//!   merges concurrent misses into coalesced PFS reads.
+
+use crate::cache::SharedChunkCache;
+use crate::error::{ErrorCode, Result, ServerError};
+use crate::lock::{LockMode, RangeLockManager};
+use crate::proto::{ArrayInfo, Request, Response, StatReply};
+use drx_core::{index, ArrayMeta, Region};
+use drx_mp::{XMD_SUFFIX, XTA_SUFFIX};
+use drx_pfs::{Pfs, PfsFile};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Tunables for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Capacity, in chunks, of each array's shared cache.
+    pub cache_chunks: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { cache_chunks: 64 }
+    }
+}
+
+/// One open array: metadata, payload file, lock manager, shared cache.
+pub(crate) struct ArrayState {
+    name: String,
+    meta: RwLock<ArrayMeta>,
+    xmd: PfsFile,
+    xta: PfsFile,
+    locks: RangeLockManager,
+    cache: SharedChunkCache,
+}
+
+struct Session {
+    handles: HashMap<u32, Arc<ArrayState>>,
+}
+
+struct Inner {
+    pfs: Pfs,
+    config: ServerConfig,
+    arrays: Mutex<HashMap<String, Arc<ArrayState>>>,
+    sessions: Mutex<HashMap<u64, Session>>,
+    next_session: AtomicU64,
+    next_handle: AtomicU32,
+}
+
+/// An embeddable multi-client DRX array service. Cheap to clone (shared
+/// state behind an `Arc`); clones serve the same arrays and sessions.
+#[derive(Clone)]
+pub struct Server {
+    inner: Arc<Inner>,
+}
+
+fn to_usize_dims(v: &[u64]) -> Result<Vec<usize>> {
+    v.iter()
+        .map(|&x| {
+            usize::try_from(x)
+                .map_err(|_| ServerError::bad_request(format!("dimension value {x} too large")))
+        })
+        .collect()
+}
+
+fn to_u64_dims(v: &[usize]) -> Vec<u64> {
+    v.iter().map(|&x| x as u64).collect()
+}
+
+impl Server {
+    pub fn new(pfs: Pfs, config: ServerConfig) -> Self {
+        Server {
+            inner: Arc::new(Inner {
+                pfs,
+                config,
+                arrays: Mutex::new(HashMap::new()),
+                sessions: Mutex::new(HashMap::new()),
+                next_session: AtomicU64::new(1),
+                next_handle: AtomicU32::new(1),
+            }),
+        }
+    }
+
+    pub fn pfs(&self) -> &Pfs {
+        &self.inner.pfs
+    }
+
+    /// Begin a session. Every transport connection maps to one session.
+    pub fn open_session(&self) -> u64 {
+        let id = self.inner.next_session.fetch_add(1, Ordering::Relaxed);
+        self.inner.sessions.lock().insert(id, Session { handles: HashMap::new() });
+        id
+    }
+
+    /// End a session: drops its handles, flushes the touched arrays, and
+    /// retires its cache statistics.
+    pub fn close_session(&self, session: u64) {
+        let Some(state) = self.inner.sessions.lock().remove(&session) else { return };
+        for array in state.handles.values() {
+            let _ = array.cache.flush();
+            array.cache.drop_session(session);
+        }
+    }
+
+    pub fn session_count(&self) -> usize {
+        self.inner.sessions.lock().len()
+    }
+
+    /// Flush every open array's cache to storage.
+    pub fn flush_all(&self) -> Result<()> {
+        let arrays: Vec<Arc<ArrayState>> = self.inner.arrays.lock().values().cloned().collect();
+        for a in arrays {
+            a.cache.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Execute one request on behalf of `session`. Never panics on bad
+    /// input; failures come back as [`Response::Error`].
+    pub fn handle(&self, session: u64, req: Request) -> Response {
+        match self.try_handle(session, req) {
+            Ok(resp) => resp,
+            Err(e) => Response::Error { code: e.code as u16, message: e.message },
+        }
+    }
+
+    fn try_handle(&self, session: u64, req: Request) -> Result<Response> {
+        match req {
+            Request::Open { name } => {
+                let array = self.open_array(&name)?;
+                let handle = self.inner.next_handle.fetch_add(1, Ordering::Relaxed);
+                let info = {
+                    let meta = array.meta.read();
+                    ArrayInfo {
+                        dtype: meta.dtype().code(),
+                        bounds: to_u64_dims(meta.element_bounds()),
+                        chunk_shape: to_u64_dims(meta.chunking().shape()),
+                    }
+                };
+                self.session_mut(session, |s| {
+                    s.handles.insert(handle, Arc::clone(&array));
+                })?;
+                Ok(Response::Opened { handle, info })
+            }
+            Request::ReadRegion { handle, lo, hi } => {
+                let array = self.resolve(session, handle)?;
+                let data = read_region(&array, session, &lo, &hi)?;
+                Ok(Response::Data { data })
+            }
+            Request::WriteRegion { handle, lo, hi, data } => {
+                let array = self.resolve(session, handle)?;
+                write_region(&array, session, &lo, &hi, &data)?;
+                Ok(Response::Written)
+            }
+            Request::Extend { handle, dim, by } => {
+                let array = self.resolve(session, handle)?;
+                let bounds = extend(&array, dim, by)?;
+                Ok(Response::Extended { bounds })
+            }
+            Request::Stat { handle } => {
+                let array = self.resolve(session, handle)?;
+                Ok(Response::Stat(self.stat(&array, session)))
+            }
+            Request::Close { handle } => {
+                let array =
+                    self.session_mut(session, |s| s.handles.remove(&handle))?.ok_or_else(|| {
+                        ServerError::new(ErrorCode::BadHandle, format!("unknown handle {handle}"))
+                    })?;
+                array.cache.flush()?;
+                array.cache.drop_session(session);
+                Ok(Response::Closed)
+            }
+        }
+    }
+
+    fn session_mut<R>(&self, session: u64, f: impl FnOnce(&mut Session) -> R) -> Result<R> {
+        let mut sessions = self.inner.sessions.lock();
+        let s = sessions.get_mut(&session).ok_or_else(|| {
+            ServerError::new(ErrorCode::BadHandle, format!("unknown session {session}"))
+        })?;
+        Ok(f(s))
+    }
+
+    fn resolve(&self, session: u64, handle: u32) -> Result<Arc<ArrayState>> {
+        self.session_mut(session, |s| s.handles.get(&handle).cloned())?.ok_or_else(|| {
+            ServerError::new(ErrorCode::BadHandle, format!("unknown handle {handle}"))
+        })
+    }
+
+    fn open_array(&self, name: &str) -> Result<Arc<ArrayState>> {
+        let mut arrays = self.inner.arrays.lock();
+        if let Some(a) = arrays.get(name) {
+            return Ok(Arc::clone(a));
+        }
+        let pfs = &self.inner.pfs;
+        let xmd = pfs.open(&format!("{name}{XMD_SUFFIX}")).map_err(|_| {
+            ServerError::new(ErrorCode::NoSuchArray, format!("no array named '{name}'"))
+        })?;
+        let meta = ArrayMeta::decode(&xmd.read_vec(0, xmd.len() as usize)?)
+            .map_err(|e| ServerError::new(ErrorCode::Internal, e.to_string()))?;
+        let xta = pfs.open(&format!("{name}{XTA_SUFFIX}")).map_err(|_| {
+            ServerError::new(ErrorCode::NoSuchArray, format!("array '{name}' has no payload"))
+        })?;
+        let cache = SharedChunkCache::new(
+            xta.clone(),
+            meta.chunk_bytes() as usize,
+            self.inner.config.cache_chunks,
+        )?;
+        let state = Arc::new(ArrayState {
+            name: name.to_string(),
+            meta: RwLock::new(meta),
+            xmd,
+            xta,
+            locks: RangeLockManager::new(),
+            cache,
+        });
+        arrays.insert(name.to_string(), Arc::clone(&state));
+        Ok(state)
+    }
+
+    fn stat(&self, array: &ArrayState, session: u64) -> StatReply {
+        let meta = array.meta.read();
+        let pfs_stats = self.inner.pfs.stats();
+        StatReply {
+            dtype: meta.dtype().code(),
+            bounds: to_u64_dims(meta.element_bounds()),
+            chunk_shape: to_u64_dims(meta.chunking().shape()),
+            total_chunks: meta.total_chunks(),
+            payload_bytes: meta.payload_bytes(),
+            session_cache: array.cache.session_stats(session),
+            global_cache: array.cache.global_stats(),
+            pfs_requests: pfs_stats.total_requests(),
+            pfs_bytes: pfs_stats.total_bytes(),
+            coalesced_batches: array.cache.coalesced_batches(),
+            lock_waits: array.locks.wait_count(),
+        }
+    }
+}
+
+/// The chunk plan of a region under a metadata snapshot: the covered
+/// chunks' grid indices and linear addresses, sorted by address.
+fn plan(meta: &ArrayMeta, region: &Region) -> Result<Vec<(Vec<usize>, u64)>> {
+    let chunk_region = meta.chunking().chunks_covering(region)?;
+    let mut pairs = meta.grid().region_addresses(&chunk_region)?;
+    pairs.sort_by_key(|&(_, a)| a);
+    Ok(pairs)
+}
+
+/// Validate `[lo, hi)` against a metadata snapshot and build the region.
+fn checked_region(meta: &ArrayMeta, lo: &[u64], hi: &[u64]) -> Result<Region> {
+    let lo = to_usize_dims(lo)?;
+    let hi = to_usize_dims(hi)?;
+    if lo.len() != meta.rank() || hi.len() != meta.rank() {
+        return Err(ServerError::new(
+            ErrorCode::OutOfBounds,
+            format!("region rank {} does not match array rank {}", lo.len(), meta.rank()),
+        ));
+    }
+    let region = Region::new(lo, hi)?;
+    let bounds = meta.element_bounds();
+    for d in 0..meta.rank() {
+        if region.hi()[d] > bounds[d] {
+            return Err(ServerError::new(
+                ErrorCode::OutOfBounds,
+                format!("region upper corner {:?} exceeds bounds {:?}", region.hi(), bounds),
+            ));
+        }
+    }
+    Ok(region)
+}
+
+fn read_region(array: &ArrayState, session: u64, lo: &[u64], hi: &[u64]) -> Result<Vec<u8>> {
+    // Bounds snapshot: extends are serialized against this read lock, and
+    // append-only extension keeps every address in the snapshot valid
+    // afterwards.
+    let meta = array.meta.read().clone();
+    let region = checked_region(&meta, lo, hi)?;
+    if region.is_empty() {
+        return Ok(Vec::new());
+    }
+    let esize = meta.dtype().size();
+    let pairs = plan(&meta, &region)?;
+    let addrs: Vec<u64> = pairs.iter().map(|&(_, a)| a).collect();
+
+    let _guard = array.locks.acquire(&addrs, LockMode::Read);
+    let chunks = array.cache.read_chunks(session, &addrs)?;
+
+    let extents = region.extents();
+    let strides = index::row_major_strides(&extents);
+    let chunking = meta.chunking();
+    let mut out = vec![0u8; region.volume() as usize * esize];
+    for ((chunk_idx, _), bytes) in pairs.iter().zip(&chunks) {
+        let chunk_elems = chunking.chunk_elements(chunk_idx)?;
+        let Some(valid) = chunk_elems.intersect(&region) else { continue };
+        index::for_each_offset_pair(
+            &valid,
+            chunk_elems.lo(),
+            chunking.strides(),
+            region.lo(),
+            &strides,
+            |src, dst| {
+                let s = src as usize * esize;
+                let d = dst as usize * esize;
+                out[d..d + esize].copy_from_slice(&bytes[s..s + esize]);
+            },
+        );
+    }
+    Ok(out)
+}
+
+fn write_region(
+    array: &ArrayState,
+    session: u64,
+    lo: &[u64],
+    hi: &[u64],
+    data: &[u8],
+) -> Result<()> {
+    let meta = array.meta.read().clone();
+    let region = checked_region(&meta, lo, hi)?;
+    let esize = meta.dtype().size();
+    let expected = region.volume() as usize * esize;
+    if data.len() != expected {
+        return Err(ServerError::bad_request(format!(
+            "write payload of {} bytes does not cover region ({expected} bytes)",
+            data.len()
+        )));
+    }
+    if region.is_empty() {
+        return Ok(());
+    }
+    let pairs = plan(&meta, &region)?;
+    let addrs: Vec<u64> = pairs.iter().map(|&(_, a)| a).collect();
+    let chunking = meta.chunking();
+    let cb = meta.chunk_bytes() as usize;
+
+    let _guard = array.locks.acquire(&addrs, LockMode::Write);
+
+    // Chunks only partially covered by the region need their current
+    // contents first (read-modify-write); fetch them as one coalesced
+    // batch. A chunk counts as fully covered only when the region contains
+    // its *entire* allocated extent — including slack beyond the current
+    // element bounds, which must be preserved for future extends.
+    let mut partial_addrs = Vec::new();
+    let mut full = vec![false; pairs.len()];
+    for (i, (chunk_idx, addr)) in pairs.iter().enumerate() {
+        let chunk_elems = chunking.chunk_elements(chunk_idx)?;
+        let covered =
+            chunk_elems.intersect(&region).is_some_and(|v| v.volume() == chunk_elems.volume());
+        full[i] = covered;
+        if !covered {
+            partial_addrs.push(*addr);
+        }
+    }
+    let partial_bytes = array.cache.read_chunks(session, &partial_addrs)?;
+    let mut partial: HashMap<u64, Vec<u8>> = partial_addrs.into_iter().zip(partial_bytes).collect();
+
+    let extents = region.extents();
+    let strides = index::row_major_strides(&extents);
+    for (i, (chunk_idx, addr)) in pairs.iter().enumerate() {
+        let chunk_elems = chunking.chunk_elements(chunk_idx)?;
+        let Some(valid) = chunk_elems.intersect(&region) else { continue };
+        let mut bytes = if full[i] {
+            vec![0u8; cb]
+        } else {
+            partial.remove(addr).expect("partial chunk was fetched")
+        };
+        index::for_each_offset_pair(
+            &valid,
+            chunk_elems.lo(),
+            chunking.strides(),
+            region.lo(),
+            &strides,
+            |dst, src| {
+                let d = dst as usize * esize;
+                let s = src as usize * esize;
+                bytes[d..d + esize].copy_from_slice(&data[s..s + esize]);
+            },
+        );
+        array.cache.put_chunk(session, *addr, &bytes)?;
+    }
+    Ok(())
+}
+
+fn extend(array: &ArrayState, dim: u32, by: u64) -> Result<Vec<u64>> {
+    // The metadata write lock is the extend serialization point: no other
+    // extend, and no region operation's bounds snapshot, can interleave
+    // with the axial-vector update. Chunk locks are not needed — existing
+    // chunk addresses are immutable under `F*`'s append-only growth.
+    let mut meta = array.meta.write();
+    let by = usize::try_from(by)
+        .map_err(|_| ServerError::bad_request(format!("extend amount {by} too large")))?;
+    // Flush before growing so the payload file is never left with dirty
+    // cached chunks beyond a stale length.
+    array.cache.flush()?;
+    let outcome = meta.extend(dim as usize, by)?;
+    if outcome.new_chunk_count > 0 {
+        array.xta.set_len(meta.payload_bytes())?;
+    }
+    let bytes = meta.encode();
+    array.xmd.write_at(0, &bytes)?;
+    array.xmd.set_len(bytes.len() as u64)?;
+    Ok(to_u64_dims(meta.element_bounds()))
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let arrays = self.inner.arrays.lock();
+        f.debug_struct("Server")
+            .field("arrays", &arrays.values().map(|a| a.name.clone()).collect::<Vec<_>>())
+            .field("sessions", &self.session_count())
+            .finish()
+    }
+}

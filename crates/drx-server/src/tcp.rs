@@ -1,0 +1,135 @@
+//! TCP transport: a listener plus a fixed pool of worker threads, each
+//! accepting connections and running the frame loop. One connection is one
+//! session; a connection is served entirely by the worker that accepted
+//! it (requests within a session execute in order, matching the
+//! in-process client's semantics).
+
+use crate::error::{Result, ServerError};
+use crate::proto::{
+    decode_request, encode_response, error_response, read_frame, read_handshake, write_frame,
+    write_handshake,
+};
+use crate::server::Server;
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running TCP server. Dropping the handle (or calling
+/// [`ServeHandle::shutdown`]) stops the workers and flushes the server.
+pub struct ServeHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+    server: Server,
+}
+
+impl ServeHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn stop_workers(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Each blocked accept needs one wake-up connection.
+        for _ in 0..self.workers.len() {
+            let _ = TcpStream::connect(self.addr);
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    /// Stop accepting, join the workers, and flush all arrays.
+    pub fn shutdown(mut self) -> Result<()> {
+        self.stop_workers();
+        self.server.flush_all()
+    }
+}
+
+impl Drop for ServeHandle {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.stop_workers();
+            let _ = self.server.flush_all();
+        }
+    }
+}
+
+/// Serve `server` on `addr` with `threads` acceptor/worker threads.
+pub fn serve(server: &Server, addr: impl ToSocketAddrs, threads: usize) -> Result<ServeHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let threads = threads.max(1);
+    let mut workers = Vec::with_capacity(threads);
+    for i in 0..threads {
+        let listener = listener.try_clone()?;
+        let server = server.clone();
+        let stop = Arc::clone(&stop);
+        let worker = std::thread::Builder::new()
+            .name(format!("drx-server-{i}"))
+            .spawn(move || worker_loop(listener, server, stop))
+            .map_err(ServerError::from)?;
+        workers.push(worker);
+    }
+    Ok(ServeHandle { addr, stop, workers, server: server.clone() })
+}
+
+fn worker_loop(listener: TcpListener, server: Server, stop: Arc<AtomicBool>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                let _ = serve_connection(&server, stream);
+            }
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Run one connection's handshake and frame loop to completion.
+fn serve_connection(server: &Server, stream: TcpStream) -> Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    read_handshake(&mut reader)?;
+    write_handshake(&mut writer)?;
+    let session = server.open_session();
+    let result = connection_loop(server, session, &mut reader, &mut writer);
+    server.close_session(session);
+    result
+}
+
+fn connection_loop(
+    server: &Server,
+    session: u64,
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut BufWriter<TcpStream>,
+) -> Result<()> {
+    loop {
+        let body = match read_frame(reader) {
+            Ok(Some(body)) => body,
+            Ok(None) => return Ok(()), // clean disconnect
+            Err(e) => {
+                // Report, then drop the connection: after a framing error
+                // the stream position is unreliable.
+                let _ = write_frame(writer, &encode_response(&error_response(&e)));
+                return Err(e);
+            }
+        };
+        let resp = match decode_request(&body) {
+            Ok(req) => server.handle(session, req),
+            Err(e) => error_response(&e),
+        };
+        write_frame(writer, &encode_response(&resp))?;
+    }
+}

@@ -42,7 +42,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let pfs = open_pfs(&dir)?;
         // One snapshot row initially (the initial condition).
         let mut ckpt: DrxFile<f64> = DrxFile::create(&pfs, "state", &[1, 64], &[1, CELLS])?;
-        let mut state: Vec<f64> = (0..CELLS).map(|i| if i == CELLS / 2 { 1000.0 } else { 0.0 }).collect();
+        let mut state: Vec<f64> =
+            (0..CELLS).map(|i| if i == CELLS / 2 { 1000.0 } else { 0.0 }).collect();
         let snap0 = Region::new(vec![0, 0], vec![1, CELLS])?;
         ckpt.write_region(&snap0, Layout::C, &state)?;
 
@@ -106,11 +107,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for _ in 1..=35 {
             step(&mut reference);
         }
-        let max_err = resumed
-            .iter()
-            .zip(&reference)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f64, f64::max);
+        let max_err =
+            resumed.iter().zip(&reference).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
         assert!(max_err < 1e-9, "resumed trajectory diverged: {max_err}");
         println!("resumed trajectory matches the uninterrupted run (max err {max_err:.2e})");
     }

@@ -23,7 +23,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Start with 4 time steps on a 32×64 grid; chunk one time step into
     // 16×16 spatial tiles.
     let (lat0, lon0) = (32usize, 64usize);
-    let mut ds: DrxFile<f64> = DrxFile::create(&pfs, "temperature", &[1, 16, 16], &[4, lat0, lon0])?;
+    let mut ds: DrxFile<f64> =
+        DrxFile::create(&pfs, "temperature", &[1, 16, 16], &[4, lat0, lon0])?;
     for t in 0..4 {
         write_time_step(&mut ds, t, lat0, lon0)?;
     }
@@ -51,8 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Backfill the new southern band for every existing time step.
     for t in 0..t_bound {
         let region = Region::new(vec![t, lat0, 0], vec![t + 1, lat1, lon1])?;
-        let data: Vec<f64> =
-            region.iter().map(|idx| temperature(idx[0], idx[1], idx[2])).collect();
+        let data: Vec<f64> = region.iter().map(|idx| temperature(idx[0], idx[1], idx[2])).collect();
         ds.write_region(&region, Layout::C, &data)?;
     }
 

@@ -47,8 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fs = pfs.clone();
     run_spmd(4, move |comm| {
         let dist = DistSpec::block(vec![2, 2]);
-        let mut a: DrxmpHandle<f64> = DrxmpHandle::open(comm, &fs, "A", dist.clone()).map_err(to_msg)?;
-        let mut b: DrxmpHandle<f64> = DrxmpHandle::open(comm, &fs, "B", dist.clone()).map_err(to_msg)?;
+        let mut a: DrxmpHandle<f64> =
+            DrxmpHandle::open(comm, &fs, "A", dist.clone()).map_err(to_msg)?;
+        let mut b: DrxmpHandle<f64> =
+            DrxmpHandle::open(comm, &fs, "B", dist.clone()).map_err(to_msg)?;
         let mut c: DrxmpHandle<f64> = DrxmpHandle::open(comm, &fs, "C", dist).map_err(to_msg)?;
         let zone = c.my_zone().expect("every rank owns a C zone");
         let (ri, rj) = (zone.lo()[0], zone.lo()[1]);
@@ -106,8 +108,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fs = pfs.clone();
     run_spmd(4, move |comm| {
         let dist = DistSpec::block(vec![4, 1]);
-        let mut a: DrxmpHandle<f64> = DrxmpHandle::open(comm, &fs, "A", dist.clone()).map_err(to_msg)?;
-        let mut b: DrxmpHandle<f64> = DrxmpHandle::open(comm, &fs, "B", dist.clone()).map_err(to_msg)?;
+        let mut a: DrxmpHandle<f64> =
+            DrxmpHandle::open(comm, &fs, "A", dist.clone()).map_err(to_msg)?;
+        let mut b: DrxmpHandle<f64> =
+            DrxmpHandle::open(comm, &fs, "B", dist.clone()).map_err(to_msg)?;
         let mut c: DrxmpHandle<f64> = DrxmpHandle::open(comm, &fs, "C", dist).map_err(to_msg)?;
         // Each rank computes its row band of the NEW columns only.
         let rows = M / comm.size();

@@ -38,18 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The listing's static tables (negative entries are not used).
     let chunk_distrib: [usize; 4] = [6, 6, 4, 4];
-    let global_map: [&[usize]; 4] = [
-        &[0, 1, 2, 3, 4, 5],
-        &[6, 7, 8, 12, 13, 14],
-        &[9, 10, 16, 17],
-        &[11, 15, 18, 19],
-    ];
-    let in_memory_map: [&[usize]; 4] = [
-        &[0, 1, 2, 3, 4, 5],
-        &[0, 2, 4, 1, 3, 5],
-        &[0, 1, 2, 3],
-        &[0, 1, 2, 3],
-    ];
+    let global_map: [&[usize]; 4] =
+        [&[0, 1, 2, 3, 4, 5], &[6, 7, 8, 12, 13, 14], &[9, 10, 16, 17], &[11, 15, 18, 19]];
+    let in_memory_map: [&[usize]; 4] =
+        [&[0, 1, 2, 3, 4, 5], &[0, 2, 4, 1, 3, 5], &[0, 1, 2, 3], &[0, 1, 2, 3]];
 
     /* This code for 2 x 2 process decomp. */
     let outputs = run_spmd(4, move |comm| {

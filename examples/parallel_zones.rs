@@ -16,15 +16,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4-rank SPMD program (collective create + collective extensions).
     let fs = pfs.clone();
     run_spmd(4, move |comm| {
-        let mut h: DrxmpHandle<f64> = DrxmpHandle::create(
-            comm,
-            &fs,
-            "fig1",
-            &[2, 3],
-            &[2, 3],
-            DistSpec::block(vec![2, 2]),
-        )
-        .map_err(to_msg)?;
+        let mut h: DrxmpHandle<f64> =
+            DrxmpHandle::create(comm, &fs, "fig1", &[2, 3], &[2, 3], DistSpec::block(vec![2, 2]))
+                .map_err(to_msg)?;
         // Element-level extensions reproducing chunk segments 1, {2,3},
         // {4,5}, {6,7,8}, {9,10,11}, {12..15}, {16..19}.
         for (dim, by) in [(1, 3), (0, 4), (1, 3), (0, 2), (1, 3), (0, 2)] {

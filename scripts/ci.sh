@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# The full local CI gate: everything a PR must pass.
+#
+#   scripts/ci.sh          # run all stages
+#
+# Stages mirror what the repo considers tier-1 (ROADMAP.md) plus style:
+#   1. release build of the whole workspace
+#   2. the test suite (quiet)
+#   3. rustfmt --check
+#   4. clippy with warnings denied
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> CI green"

@@ -12,12 +12,18 @@
 //! drxtool get    <dir> <name> --index 9x7
 //! drxtool set    <dir> <name> --index 9x7 --value 3.5
 //! drxtool dump   <dir> <name> [--lo 0x0 --hi 4x4]   # print a region (2-D: as a grid)
+//! drxtool serve  <dir> --addr 127.0.0.1:7421 [--threads N] [--cache CHUNKS]
+//! drxtool client <addr> <info|get|set> <name> [--index 9x7] [--value 3.5]
 //! ```
+//!
+//! `serve` exposes every array in the directory over the drx-server TCP
+//! protocol; `client` talks to such a server.
 //!
 //! The tool stores the PFS geometry in `<dir>/pfs.conf` so later invocations
 //! reopen the same striping.
 
 use drx::serial::DrxFile;
+use drx::server::{Server, ServerConfig, TcpClient};
 use drx::{Backing, CostModel, DType, Pfs, PfsConfig};
 use std::path::{Path, PathBuf};
 use std::process::exit;
@@ -25,9 +31,12 @@ use std::process::exit;
 fn usage() -> ! {
     eprintln!(
         "usage: drxtool <create|info|axial|extend|get|set|dump> <dir> <name> [options]\n\
+         \x20      drxtool serve <dir> --addr HOST:PORT [--threads N] [--cache CHUNKS]\n\
+         \x20      drxtool client <addr> <info|get|set> <name> [options]\n\
          options: --dtype f64|i64  --chunk AxB[xC…]  --bounds AxB[xC…]\n\
                   --servers N  --stripe BYTES  --dim D  --by N\n\
-                  --index AxB[xC…]  --value V  --lo AxB[xC…]  --hi AxB[xC…]"
+                  --index AxB[xC…]  --value V  --lo AxB[xC…]  --hi AxB[xC…]\n\
+                  --addr HOST:PORT  --threads N  --cache CHUNKS"
     );
     exit(2);
 }
@@ -45,6 +54,9 @@ struct Opts {
     value: f64,
     lo: Vec<usize>,
     hi: Vec<usize>,
+    addr: String,
+    threads: usize,
+    cache: usize,
 }
 
 fn parse_dims(s: &str) -> Vec<usize> {
@@ -65,6 +77,9 @@ fn parse_opts(args: &[String]) -> Opts {
         value: 0.0,
         lo: vec![],
         hi: vec![],
+        addr: String::new(),
+        threads: 4,
+        cache: 64,
     };
     let mut i = 0;
     while i < args.len() {
@@ -83,6 +98,9 @@ fn parse_opts(args: &[String]) -> Opts {
             "--value" => o.value = val.parse().unwrap_or_else(|_| usage()),
             "--lo" => o.lo = parse_dims(&val),
             "--hi" => o.hi = parse_dims(&val),
+            "--addr" => o.addr = val,
+            "--threads" => o.threads = val.parse().unwrap_or_else(|_| usage()),
+            "--cache" => o.cache = val.parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
         i += 2;
@@ -104,7 +122,9 @@ fn pfs_for(dir: &Path, opts: &Opts, create: bool) -> Result<Pfs, Box<dyn std::er
         std::fs::write(&conf, format!("{} {}\n", opts.servers, opts.stripe))?;
         (opts.servers, opts.stripe)
     } else {
-        return Err(format!("{} is not a drxtool directory (missing pfs.conf)", dir.display()).into());
+        return Err(
+            format!("{} is not a drxtool directory (missing pfs.conf)", dir.display()).into()
+        );
     };
     let pfs = Pfs::new(PfsConfig {
         n_servers: servers,
@@ -160,8 +180,146 @@ fn dims(v: &[usize]) -> String {
     v.iter().map(|x| x.to_string()).collect::<Vec<_>>().join("×")
 }
 
+/// List the array base names stored in a drxtool directory by scanning any
+/// one server's stripe files for `.xmd` entries.
+fn array_names(dir: &Path) -> Result<Vec<String>, Box<dyn std::error::Error>> {
+    let mut names = std::collections::BTreeSet::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if !(path.is_dir()
+            && path.file_name().is_some_and(|n| n.to_string_lossy().starts_with("server")))
+        {
+            continue;
+        }
+        for f in std::fs::read_dir(&path)? {
+            let name = f?.file_name().to_string_lossy().into_owned();
+            if let Some(base) = name.strip_suffix(".xmd") {
+                names.insert(base.to_string());
+            }
+        }
+    }
+    Ok(names.into_iter().collect())
+}
+
+/// `drxtool serve <dir> --addr HOST:PORT [--threads N] [--cache CHUNKS]`
+fn run_serve(dir: &Path, opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
+    if opts.addr.is_empty() {
+        return Err("serve requires --addr HOST:PORT".into());
+    }
+    let pfs = pfs_for(dir, opts, false)?;
+    let names = array_names(dir)?;
+    if names.is_empty() {
+        return Err(format!("no arrays found in {}", dir.display()).into());
+    }
+    for name in &names {
+        adopt(&pfs, dir, name)?;
+    }
+    let server = Server::new(pfs, ServerConfig { cache_chunks: opts.cache });
+    let handle = drx::server::serve(&server, opts.addr.as_str(), opts.threads)
+        .map_err(|e| format!("cannot serve on {}: {e}", opts.addr))?;
+    println!("serving {} array(s) [{}] on {}", names.len(), names.join(", "), handle.addr());
+    // Serve until the process is killed.
+    loop {
+        std::thread::park();
+    }
+}
+
+/// `drxtool client <addr> <info|get|set> <name> [--index …] [--value …]`
+fn run_client(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    if args.len() < 3 {
+        usage();
+    }
+    let addr = args[0].as_str();
+    let sub = args[1].as_str();
+    let name = args[2].as_str();
+    let opts = parse_opts(&args[3..]);
+    let mut client =
+        TcpClient::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let (handle, info) = client.open(name)?;
+    let u64_index = |idx: &[usize]| -> (Vec<u64>, Vec<u64>) {
+        let lo: Vec<u64> = idx.iter().map(|&i| i as u64).collect();
+        let hi: Vec<u64> = idx.iter().map(|&i| i as u64 + 1).collect();
+        (lo, hi)
+    };
+    match sub {
+        "info" => {
+            let s = client.stat(handle)?;
+            println!("array      : {name}");
+            println!("dtype      : {}", DType::from_code(s.dtype)?.name());
+            println!(
+                "bounds     : {}",
+                s.bounds.iter().map(|b| b.to_string()).collect::<Vec<_>>().join("×")
+            );
+            println!(
+                "chunk shape: {}",
+                s.chunk_shape.iter().map(|b| b.to_string()).collect::<Vec<_>>().join("×")
+            );
+            println!("chunks     : {}", s.total_chunks);
+            println!("payload    : {} bytes", s.payload_bytes);
+            println!(
+                "cache      : {} hits / {} misses (global)",
+                s.global_cache.hits, s.global_cache.misses
+            );
+            println!("pfs        : {} requests, {} bytes", s.pfs_requests, s.pfs_bytes);
+            println!("batches    : {} coalesced, {} lock waits", s.coalesced_batches, s.lock_waits);
+        }
+        "get" => {
+            if opts.index.is_empty() {
+                usage();
+            }
+            let (lo, hi) = u64_index(&opts.index);
+            match DType::from_code(info.dtype)? {
+                DType::Float64 => {
+                    println!("{}", client.read_region_as::<f64>(handle, &lo, &hi)?[0])
+                }
+                DType::Int64 => println!("{}", client.read_region_as::<i64>(handle, &lo, &hi)?[0]),
+                other => {
+                    return Err(
+                        format!("client supports f64/i64 arrays, found {}", other.name()).into()
+                    )
+                }
+            }
+        }
+        "set" => {
+            if opts.index.is_empty() {
+                usage();
+            }
+            let (lo, hi) = u64_index(&opts.index);
+            match DType::from_code(info.dtype)? {
+                DType::Float64 => {
+                    client.write_region_from::<f64>(handle, &lo, &hi, &[opts.value])?
+                }
+                DType::Int64 => {
+                    client.write_region_from::<i64>(handle, &lo, &hi, &[opts.value as i64])?
+                }
+                other => {
+                    return Err(
+                        format!("client supports f64/i64 arrays, found {}", other.name()).into()
+                    )
+                }
+            }
+            println!("ok");
+        }
+        _ => usage(),
+    }
+    client.close(handle)?;
+    Ok(())
+}
+
 fn run() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    if args[0] == "serve" {
+        if args.len() < 2 {
+            usage();
+        }
+        return run_serve(&PathBuf::from(&args[1]), &parse_opts(&args[2..]));
+    }
+    if args[0] == "client" {
+        return run_client(&args[1..]);
+    }
     if args.len() < 3 {
         usage();
     }
@@ -183,10 +341,22 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             };
             match opts.dtype.as_str() {
                 "f64" => {
-                    DrxFile::<f64>::create_with_layout(&pfs, &name, &opts.chunk, &opts.bounds, layout)?;
+                    DrxFile::<f64>::create_with_layout(
+                        &pfs,
+                        &name,
+                        &opts.chunk,
+                        &opts.bounds,
+                        layout,
+                    )?;
                 }
                 "i64" => {
-                    DrxFile::<i64>::create_with_layout(&pfs, &name, &opts.chunk, &opts.bounds, layout)?;
+                    DrxFile::<i64>::create_with_layout(
+                        &pfs,
+                        &name,
+                        &opts.chunk,
+                        &opts.bounds,
+                        layout,
+                    )?;
                 }
                 other => return Err(format!("unsupported dtype {other}").into()),
             }
@@ -203,7 +373,11 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             match meta.dtype() {
                 DType::Float64 => dispatch::<f64>(cmd, &pfs, &name, &opts)?,
                 DType::Int64 => dispatch::<i64>(cmd, &pfs, &name, &opts)?,
-                other => return Err(format!("drxtool supports f64/i64 files, found {}", other.name()).into()),
+                other => {
+                    return Err(
+                        format!("drxtool supports f64/i64 files, found {}", other.name()).into()
+                    )
+                }
             }
         }
         _ => usage(),
@@ -261,9 +435,7 @@ where
             if opts.index.is_empty() {
                 usage();
             }
-            let v: T = format!("{}", opts.value)
-                .parse()
-                .map_err(|e| format!("bad value: {e}"))?;
+            let v: T = format!("{}", opts.value).parse().map_err(|e| format!("bad value: {e}"))?;
             f.set(&opts.index, v)?;
             println!("ok");
         }

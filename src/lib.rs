@@ -30,8 +30,8 @@
 
 pub use drx_core::{
     alloc, axial, chunk, dtype, index, mapping, meta, order, ArrayMeta, AxialRecord, AxialVector,
-    Chunking, Complex64, DType, DrxError, Element, ExtendOutcome, ExtendibleArray, InitialLayout,
-    ExtendibleShape, Layout, Region, SegmentRef, MAX_RANK,
+    Chunking, Complex64, DType, DrxError, Element, ExtendOutcome, ExtendibleArray, ExtendibleShape,
+    InitialLayout, Layout, Region, SegmentRef, MAX_RANK,
 };
 
 pub use drx_pfs::{Backing, CostModel, Pfs, PfsConfig, PfsError, PfsFile, PfsStats, StripeMap};
@@ -49,7 +49,17 @@ pub mod parallel {
     pub use drx_mp::{
         api, drxmp_close, drxmp_init, drxmp_open, drxmp_read, drxmp_read_all, drxmp_write,
         drxmp_write_all, CachedDrxFile, ChunkPool, DistSpec, DrxmpContext, DrxmpHandle,
-        DrxmpStatus, GaView, MemHandle, MpError, PoolStats,
+        DrxmpStatus, GaView, MemHandle, MpError, PoolStats, PrefetchOutcome,
+    };
+}
+
+/// The multi-client array service (sessions, chunk-range locks, shared
+/// cache, in-process and TCP transports).
+pub mod server {
+    pub use drx_server::{
+        proto, serve, ArrayInfo, Client, Conn, ErrorCode, LockMode, RangeGuard, RangeLockManager,
+        Request, Response, ServeHandle, Server, ServerConfig, ServerError, SharedChunkCache,
+        StatReply, TcpClient, Transport,
     };
 }
 

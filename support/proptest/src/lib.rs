@@ -1,0 +1,354 @@
+//! Offline stand-in for the `proptest` crate (see `support/` — the build
+//! environment has no crates.io access).
+//!
+//! Implements the API slice the workspace's property tests use: the
+//! [`proptest!`] macro (with `#![proptest_config(..)]`), the [`Strategy`]
+//! trait with `prop_map` / `prop_flat_map` / `boxed`, range and tuple
+//! strategies, `prop::collection::vec`, `prop::bool::ANY`, `any::<T>()`,
+//! `Just`, [`prop_oneof!`], and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest, deliberate for an offline test shim:
+//! no shrinking (a failing case reports its values and seed instead), and
+//! generation is deterministic per test name so CI failures reproduce.
+
+pub mod strategy;
+
+pub mod test_runner {
+    /// Per-test configuration. Only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Outcome carrier for one generated case: assertion failures unwind to
+    /// the runner as `Fail`, `prop_assume!` misses as `Reject`.
+    #[derive(Debug)]
+    pub enum CaseError {
+        Fail(String),
+        Reject,
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::{Strategy, TestRng};
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "anything goes" strategy.
+    pub trait Arbitrary: Sized {
+        fn generate_any(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn generate_any(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn generate_any(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn generate_any(rng: &mut TestRng) -> Self {
+            // Finite, roughly symmetric values; NaN/inf generation is not
+            // useful for these tests.
+            (rng.next_f64() - 0.5) * 2e9
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn generate_any(rng: &mut TestRng) -> Self {
+            f64::generate_any(rng) as f32
+        }
+    }
+
+    /// Strategy produced by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::generate_any(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`: `any::<u8>()`, `any::<bool>()`, …
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::{Strategy, TestRng};
+
+    /// Length specification for [`vec`]: an exact `usize` or a range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        /// Exclusive.
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec(strategy, len)` — a vector of generated
+    /// elements.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+pub mod bool {
+    use crate::strategy::{Strategy, TestRng};
+
+    /// The `prop::bool::ANY` strategy.
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    pub const ANY: BoolAny = BoolAny;
+}
+
+/// The `prop::` namespace as the prelude exposes it.
+pub mod prop {
+    pub use crate::bool;
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Define property tests. Each function runs `config.cases` times with
+/// freshly generated inputs; generation is deterministic per test name.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::strategy::TestRng::from_name(stringify!($name));
+                let mut accepted = 0u32;
+                let mut attempts = 0u32;
+                while accepted < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts < config.cases.saturating_mul(32).max(1024),
+                        "proptest {}: too many prop_assume! rejections",
+                        stringify!($name),
+                    );
+                    let case_seed = rng.next_u64();
+                    let mut case_rng = $crate::strategy::TestRng::from_seed(case_seed);
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut case_rng);)+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::CaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err($crate::test_runner::CaseError::Reject) => {}
+                        ::std::result::Result::Err($crate::test_runner::CaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest {} failed (case {} of {}, seed {:#x}): {}",
+                                stringify!($name), accepted + 1, config.cases, case_seed, msg,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::CaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` != `{:?}`: {}", l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: `{:?}` == `{:?}`", l, r);
+    }};
+}
+
+/// Discard the current case unless a precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::CaseError::Reject);
+        }
+    };
+}
+
+/// Choose uniformly between several strategies producing the same value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (1usize..10, 0u64..5), f in 0.0f64..1.0) {
+            prop_assert!((1..10).contains(&a));
+            prop_assert!(b < 5);
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vectors_and_any(v in prop::collection::vec(any::<u8>(), 3..6), flag in prop::bool::ANY) {
+            prop_assert!(v.len() >= 3 && v.len() < 6);
+            let _ = flag;
+        }
+
+        #[test]
+        fn maps_and_assume(n in 0usize..100) {
+            prop_assume!(n % 2 == 0);
+            let doubled = (0usize..50).prop_map(move |x| x * 2);
+            let mut rng = crate::strategy::TestRng::from_seed(n as u64);
+            prop_assert_eq!(Strategy::generate(&doubled, &mut rng) % 2, 0);
+        }
+
+        #[test]
+        fn oneof_and_flat_map(
+            choice in prop_oneof![1usize..2, 5usize..6],
+            pair in (1usize..4).prop_flat_map(|k| prop::collection::vec(0usize..5, k)),
+        ) {
+            prop_assert!(choice == 1 || choice == 5);
+            prop_assert!(!pair.is_empty() && pair.len() < 4);
+        }
+
+        #[test]
+        fn inclusive_ranges(x in 3u8..=3) {
+            prop_assert_eq!(x, 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        use crate::strategy::{Strategy, TestRng};
+        let s = crate::collection::vec(0u64..1000, 4usize);
+        let mut r1 = TestRng::from_name("fixed");
+        let mut r2 = TestRng::from_name("fixed");
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+}

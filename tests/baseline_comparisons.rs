@@ -26,7 +26,8 @@ fn all_formats_agree_on_stored_content() {
     h5.write_region(&region, Layout::C, &data).unwrap();
     nc.write_region(&region, Layout::C, &data).unwrap();
 
-    for (lo, hi) in [(vec![0, 0], vec![n, n]), (vec![2, 3], vec![9, 11]), (vec![5, 0], vec![6, n])] {
+    for (lo, hi) in [(vec![0, 0], vec![n, n]), (vec![2, 3], vec![9, 11]), (vec![5, 0], vec![6, n])]
+    {
         let r = Region::new(lo, hi).unwrap();
         for layout in [Layout::C, Layout::Fortran] {
             let want = drx.read_region(&r, layout).unwrap();
@@ -108,7 +109,8 @@ fn extension_io_cost_ordering_matches_the_paper() {
                 f.extend(1, 8).unwrap();
             }
             "nc" => {
-                let mut f: NetcdfLikeFile<f64> = NetcdfLikeFile::create(&pfs, "x", &[n, n]).unwrap();
+                let mut f: NetcdfLikeFile<f64> =
+                    NetcdfLikeFile::create(&pfs, "x", &[n, n]).unwrap();
                 f.write_region(&region, Layout::C, &data).unwrap();
                 pfs.reset_stats();
                 f.extend_fixed(1, 8).unwrap();

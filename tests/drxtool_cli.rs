@@ -33,7 +33,23 @@ fn tmpdir(tag: &str) -> PathBuf {
 #[test]
 fn full_lifecycle_across_processes() {
     let dir = tmpdir("life");
-    ok_stdout(&dir, &["create", "a", "--dtype", "f64", "--chunk", "2x3", "--bounds", "10x12", "--servers", "2", "--stripe", "256"]);
+    ok_stdout(
+        &dir,
+        &[
+            "create",
+            "a",
+            "--dtype",
+            "f64",
+            "--chunk",
+            "2x3",
+            "--bounds",
+            "10x12",
+            "--servers",
+            "2",
+            "--stripe",
+            "256",
+        ],
+    );
     ok_stdout(&dir, &["set", "a", "--index", "9x7", "--value", "3.5"]);
     assert_eq!(ok_stdout(&dir, &["get", "a", "--index", "9x7"]).trim(), "3.5");
     // Extend a non-primary dimension in a separate process; data survives.
@@ -77,6 +93,115 @@ fn dump_renders_grids_and_regions() {
     let v = ok_stdout(&dir, &["dump", "v"]);
     assert!(v.contains("[3] = 1.5"), "{v}");
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn serve_and_client_over_tcp() {
+    let dir = tmpdir("serve");
+    ok_stdout(&dir, &["create", "grid", "--dtype", "f64", "--chunk", "2x2", "--bounds", "6x6"]);
+    ok_stdout(&dir, &["set", "grid", "--index", "3x4", "--value", "7.25"]);
+    // Port 0 is not supported by the CLI (the client needs a known port),
+    // so derive one from the pid to keep parallel test runs apart.
+    let port = 20000 + (std::process::id() % 20000);
+    let addr = format!("127.0.0.1:{port}");
+    let mut server = Command::new(env!("CARGO_BIN_EXE_drxtool"))
+        .args(["serve"])
+        .arg(&dir)
+        .args(["--addr", &addr, "--threads", "2"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn drxtool serve");
+    // Wait for the listener to come up.
+    let mut connected = false;
+    for _ in 0..100 {
+        if std::net::TcpStream::connect(&addr).is_ok() {
+            connected = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    assert!(connected, "server never started listening on {addr}");
+
+    let client = |args: &[&str]| -> Output {
+        Command::new(env!("CARGO_BIN_EXE_drxtool"))
+            .args(["client", &addr])
+            .args(args)
+            .output()
+            .expect("spawn drxtool client")
+    };
+    let get = client(&["get", "grid", "--index", "3x4"]);
+    assert!(get.status.success(), "{}", String::from_utf8_lossy(&get.stderr));
+    assert_eq!(String::from_utf8_lossy(&get.stdout).trim(), "7.25");
+
+    let set = client(&["set", "grid", "--index", "0x1", "--value", "2.5"]);
+    assert!(set.status.success(), "{}", String::from_utf8_lossy(&set.stderr));
+    let get2 = client(&["get", "grid", "--index", "0x1"]);
+    assert_eq!(String::from_utf8_lossy(&get2.stdout).trim(), "2.5");
+
+    let info = client(&["info", "grid"]);
+    let text = String::from_utf8_lossy(&info.stdout).to_string();
+    assert!(info.status.success());
+    assert!(text.contains("bounds     : 6×6"), "{text}");
+    assert!(text.contains("float64"), "{text}");
+
+    // Opening a name the server does not have is an error, not a hang.
+    let missing = client(&["get", "nope", "--index", "0x0"]);
+    assert!(!missing.status.success());
+    assert!(String::from_utf8_lossy(&missing.stderr).contains("drxtool:"));
+
+    server.kill().expect("kill server");
+    server.wait().expect("reap server");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn serve_rejects_bad_arguments() {
+    let dir = tmpdir("serve-bad");
+    // Serving a directory that does not exist.
+    let out = tool(&dir, &["serve", "--addr", "127.0.0.1:0"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("drxtool:"));
+    // Serving without --addr.
+    ok_stdout(&dir, &["create", "a", "--dtype", "f64", "--chunk", "2", "--bounds", "4"]);
+    let out = tool(&dir, &["serve"]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--addr"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Serving on an unresolvable address.
+    let out = tool(&dir, &["serve", "--addr", "host.invalid:1"]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("cannot serve"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn client_rejects_bad_address_and_usage() {
+    // Connecting to a port nothing listens on fails cleanly.
+    let out = Command::new(env!("CARGO_BIN_EXE_drxtool"))
+        .args(["client", "127.0.0.1:1", "info", "a"])
+        .output()
+        .expect("spawn drxtool client");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot connect"));
+    // Unparseable address.
+    let out = Command::new(env!("CARGO_BIN_EXE_drxtool"))
+        .args(["client", "not-an-address", "info", "a"])
+        .output()
+        .expect("spawn drxtool client");
+    assert!(!out.status.success());
+    // Missing subcommand arguments exit with usage (status 2).
+    let out = Command::new(env!("CARGO_BIN_EXE_drxtool"))
+        .args(["client", "127.0.0.1:1"])
+        .output()
+        .expect("spawn drxtool client");
+    assert_eq!(out.status.code(), Some(2));
 }
 
 #[test]

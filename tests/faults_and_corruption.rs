@@ -99,9 +99,7 @@ fn wrong_dtype_is_rejected_everywhere() {
     assert!(DrxFile::<f32>::open(&pfs, "arr").is_err());
     let fs = pfs.clone();
     run_spmd(2, move |comm| {
-        assert!(
-            DrxmpHandle::<f64>::open(comm, &fs, "arr", DistSpec::block(vec![2, 1])).is_err()
-        );
+        assert!(DrxmpHandle::<f64>::open(comm, &fs, "arr", DistSpec::block(vec![2, 1])).is_err());
         Ok(())
     })
     .unwrap();

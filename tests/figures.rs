@@ -11,13 +11,8 @@ fn figure1_chunk_grid() {
     for (dim, by) in [(1, 1), (0, 1), (0, 1), (1, 1), (0, 1), (1, 1), (0, 1)] {
         s.extend(dim, by).unwrap();
     }
-    let expected = [
-        [0u64, 1, 6, 12],
-        [2, 3, 7, 13],
-        [4, 5, 8, 14],
-        [9, 10, 11, 15],
-        [16, 17, 18, 19],
-    ];
+    let expected =
+        [[0u64, 1, 6, 12], [2, 3, 7, 13], [4, 5, 8, 14], [9, 10, 11, 15], [16, 17, 18, 19]];
     for (i, row) in expected.iter().enumerate() {
         for (j, &addr) in row.iter().enumerate() {
             assert_eq!(s.address(&[i, j]).unwrap(), addr, "chunk ({i},{j})");
@@ -72,13 +67,25 @@ fn figure3_axial_vectors_and_addresses() {
     // Γ0 = {(4, 48, [12,3,1])}, Γ1 = {(3, 36, [3,12,1])},
     // Γ2 = {(0,0,[3,1,1]), (1,12,[3,1,12]), (3,72,[4,1,24])}.
     let g0 = s.axial(0).records();
-    assert_eq!((g0[0].start_index, g0[0].start_addr, g0[0].coeffs.clone()), (4, 48, vec![12, 3, 1]));
+    assert_eq!(
+        (g0[0].start_index, g0[0].start_addr, g0[0].coeffs.clone()),
+        (4, 48, vec![12, 3, 1])
+    );
     let g1 = s.axial(1).records();
-    assert_eq!((g1[0].start_index, g1[0].start_addr, g1[0].coeffs.clone()), (3, 36, vec![3, 12, 1]));
+    assert_eq!(
+        (g1[0].start_index, g1[0].start_addr, g1[0].coeffs.clone()),
+        (3, 36, vec![3, 12, 1])
+    );
     let g2 = s.axial(2).records();
     assert_eq!((g2[0].start_index, g2[0].start_addr, g2[0].coeffs.clone()), (0, 0, vec![3, 1, 1]));
-    assert_eq!((g2[1].start_index, g2[1].start_addr, g2[1].coeffs.clone()), (1, 12, vec![3, 1, 12]));
-    assert_eq!((g2[2].start_index, g2[2].start_addr, g2[2].coeffs.clone()), (3, 72, vec![4, 1, 24]));
+    assert_eq!(
+        (g2[1].start_index, g2[1].start_addr, g2[1].coeffs.clone()),
+        (1, 12, vec![3, 1, 12])
+    );
+    assert_eq!(
+        (g2[2].start_index, g2[2].start_addr, g2[2].coeffs.clone()),
+        (3, 72, vec![4, 1, 24])
+    );
     // Worked addresses.
     assert_eq!(s.address(&[2, 1, 0]).unwrap(), 7);
     assert_eq!(s.address(&[3, 1, 2]).unwrap(), 34);

@@ -18,7 +18,7 @@ fn workflow(side0: usize, rounds: usize, ranks: usize) {
     {
         let mut f: DrxFile<i64> =
             DrxFile::create(&pfs, "soak", &[4, 4, 2], &[side0, side0, 4]).unwrap();
-        f.fill_with(|i| tag(i)).unwrap();
+        f.fill_with(tag).unwrap();
     }
     let mut bounds = vec![side0, side0, 4];
     for round in 0..rounds {
