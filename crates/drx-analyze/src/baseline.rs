@@ -1,0 +1,86 @@
+//! The L2 panic-site baseline: accepted technical debt, checked in as
+//! `<count>\t<path>` lines and only allowed to shrink.
+
+use crate::config;
+use crate::lints::panic_paths;
+use crate::scan::{rs_files_under, SourceFile};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Parse a baseline file. Missing file → empty baseline (strict mode).
+pub fn load(path: &Path) -> BTreeMap<String, usize> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return BTreeMap::new();
+    };
+    parse(&text)
+}
+
+pub fn parse(text: &str) -> BTreeMap<String, usize> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some((count, path)) = line.split_once('\t') {
+            if let Ok(n) = count.trim().parse::<usize>() {
+                out.insert(path.trim().to_string(), n);
+            }
+        }
+    }
+    out
+}
+
+pub fn render(map: &BTreeMap<String, usize>) -> String {
+    let mut out = String::from(
+        "# L2 panic-site baseline: accepted `unwrap()` / `expect(` / `panic!` debt.\n\
+         # Regenerate with `cargo run -p drx-analyze -- baseline`; counts may only shrink.\n",
+    );
+    for (path, n) in map {
+        out.push_str(&format!("{n}\t{path}\n"));
+    }
+    out
+}
+
+/// Scan the configured L2 crates under `root` and produce the current
+/// per-file counts (files with zero sites omitted).
+pub fn generate(root: &Path) -> BTreeMap<String, usize> {
+    let mut out = BTreeMap::new();
+    for f in l2_sources(root) {
+        let n = panic_paths::scan_file(&f).len();
+        if n > 0 {
+            out.insert(f.path.display().to_string(), n);
+        }
+    }
+    out
+}
+
+/// Load the non-test sources in L2 scope, with repo-relative display paths.
+pub fn l2_sources(root: &Path) -> Vec<SourceFile> {
+    let mut out = Vec::new();
+    for krate in config::L2_CRATES {
+        let dir = root.join(krate).join("src");
+        for p in rs_files_under(&dir) {
+            let display = p.strip_prefix(root).unwrap_or(&p).to_path_buf();
+            if let Ok(f) = SourceFile::load(&p, display) {
+                out.push(f);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_render_roundtrip() {
+        let text = "# comment\n3\tcrates/a/src/x.rs\n1\tcrates/b/src/y.rs\n";
+        let map = parse(text);
+        assert_eq!(map.len(), 2);
+        assert_eq!(map["crates/a/src/x.rs"], 3);
+        let again = parse(&render(&map));
+        assert_eq!(map, again);
+    }
+}

@@ -1,0 +1,140 @@
+//! Declared facts, extracted from structured comments in the scanned
+//! sources.
+//!
+//! Three comment forms are recognized anywhere in a file:
+//!
+//! * `// lock-class: <suffix> => <Class>` — classifies lock acquisitions.
+//!   `<suffix>` is a dotted field-path suffix (`table`, `inner.meta`); the
+//!   acquisition `self.inner.meta.lock()` is classified by the longest
+//!   declared suffix that matches its receiver path.
+//! * `// lock-order: <A> -> <B>` — declares that a thread holding class
+//!   `A` may acquire class `B`. The union of declared and observed edges
+//!   must form a DAG, and every observed edge must be declared.
+//! * `// allow-discard: <reason>` — on the line of (or the line before) a
+//!   `let _ = …;` statement, suppresses the L5 discarded-Result lint.
+
+use crate::scan::SourceFile;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockClassFact {
+    /// Dotted suffix, split into segments (`["inner", "meta"]`).
+    pub suffix: Vec<String>,
+    pub class: String,
+    pub file: String,
+    pub line: u32,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LockOrderFact {
+    pub from: String,
+    pub to: String,
+}
+
+#[derive(Debug, Default)]
+pub struct Facts {
+    pub classes: Vec<LockClassFact>,
+    pub order: Vec<(LockOrderFact, String, u32)>,
+    /// Lines carrying an `allow-discard` comment, per file.
+    pub allow_discard: HashMap<String, Vec<u32>>,
+}
+
+impl Facts {
+    /// Extract facts from one file, appending to `self`.
+    pub fn collect(&mut self, f: &SourceFile) {
+        let path = f.path.display().to_string();
+        for (_, tok) in f.comments() {
+            let text = comment_payload(&tok.text);
+            if let Some(rest) = text.strip_prefix("lock-class:") {
+                if let Some((suffix, class)) = rest.split_once("=>") {
+                    self.classes.push(LockClassFact {
+                        suffix: suffix.trim().split('.').map(|s| s.trim().to_string()).collect(),
+                        class: class.trim().to_string(),
+                        file: path.clone(),
+                        line: tok.line,
+                    });
+                }
+            } else if let Some(rest) = text.strip_prefix("lock-order:") {
+                // One edge per comment: `A -> B`.
+                if let Some((a, b)) = rest.split_once("->") {
+                    self.order.push((
+                        LockOrderFact { from: a.trim().to_string(), to: b.trim().to_string() },
+                        path.clone(),
+                        tok.line,
+                    ));
+                }
+            } else if text.starts_with("allow-discard") {
+                self.allow_discard.entry(path.clone()).or_default().push(tok.line);
+            }
+        }
+    }
+
+    /// Classify a dotted receiver path (last segment last). Longest
+    /// matching declared suffix wins.
+    pub fn classify(&self, path_segments: &[String]) -> Option<&LockClassFact> {
+        self.classes
+            .iter()
+            .filter(|c| {
+                c.suffix.len() <= path_segments.len()
+                    && path_segments[path_segments.len() - c.suffix.len()..] == c.suffix[..]
+            })
+            .max_by_key(|c| c.suffix.len())
+    }
+
+    pub fn discard_allowed(&self, file: &str, line: u32) -> bool {
+        self.allow_discard
+            .get(file)
+            .is_some_and(|lines| lines.iter().any(|&l| l == line || l + 1 == line))
+    }
+}
+
+/// Strip comment sigils and leading doc markers, returning trimmed text.
+fn comment_payload(text: &str) -> &str {
+    let t = text.trim_start_matches('/').trim_start_matches('*').trim_start_matches('!').trim();
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn facts_of(src: &str) -> Facts {
+        let f = SourceFile::parse(PathBuf::from("x.rs"), src);
+        let mut facts = Facts::default();
+        facts.collect(&f);
+        facts
+    }
+
+    #[test]
+    fn parses_class_and_order() {
+        let f = facts_of(
+            "// lock-class: inner.meta => PfsMeta\n\
+             // lock-order: A -> B\n\
+             fn x() {}",
+        );
+        assert_eq!(f.classes.len(), 1);
+        assert_eq!(f.classes[0].suffix, ["inner", "meta"]);
+        assert_eq!(f.classes[0].class, "PfsMeta");
+        assert_eq!(f.order.len(), 1);
+        assert_eq!(f.order[0].0, LockOrderFact { from: "A".into(), to: "B".into() });
+    }
+
+    #[test]
+    fn longest_suffix_wins() {
+        let f =
+            facts_of("// lock-class: meta => ArrayMeta\n// lock-class: inner.meta => PfsMeta\n");
+        let seg = |s: &str| s.split('.').map(str::to_string).collect::<Vec<_>>();
+        assert_eq!(f.classify(&seg("array.meta")).unwrap().class, "ArrayMeta");
+        assert_eq!(f.classify(&seg("self.inner.meta")).unwrap().class, "PfsMeta");
+        assert!(f.classify(&seg("other")).is_none());
+    }
+
+    #[test]
+    fn allow_discard_lines() {
+        let f = facts_of("fn a() {\n    // allow-discard: best effort\n    let _ = go();\n}\n");
+        assert!(f.discard_allowed("x.rs", 2));
+        assert!(f.discard_allowed("x.rs", 3)); // line after the comment
+        assert!(!f.discard_allowed("x.rs", 4));
+    }
+}

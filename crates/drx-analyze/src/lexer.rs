@@ -1,0 +1,345 @@
+//! A hand-rolled Rust token scanner.
+//!
+//! The analyzer deliberately avoids `syn` and friends: the build
+//! environment is offline (see `support/`), and the lints below only need
+//! a faithful *token* stream — identifiers, punctuation, literals and
+//! comments with line numbers — not a full syntax tree. The scanner
+//! understands everything that can hide a token from a naive regex:
+//! string/char/byte literals with escapes, raw strings with `#` fences,
+//! nested block comments, lifetimes vs. char literals, and doc comments.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// Token text. For comments this includes the `//` / `/*` sigils; for
+    /// string literals the text is not preserved (lints never look inside).
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers `r#type`).
+    Ident,
+    /// A single punctuation character (`.`, `{`, `(`, `;`, `#`, …).
+    Punct,
+    /// String/char/byte/numeric literal (contents dropped).
+    Lit,
+    /// Lifetime such as `'a` (kept distinct so `'a` is never a char).
+    Lifetime,
+    /// Line or block comment, text preserved for fact extraction.
+    Comment,
+}
+
+impl Tok {
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// Lex `src` into a token stream. Never fails: unterminated constructs are
+/// closed at end of input (the lints run on code that already compiles, so
+/// this only matters for fixture robustness).
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer { chars: src.chars().collect(), pos: 0, line: 1, out: Vec::new() }.run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string_lit(line),
+                'r' | 'b' if self.raw_or_byte_string(line) => {}
+                '\'' => self.char_or_lifetime(line),
+                c if c.is_alphanumeric() || c == '_' => self.word(line),
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::Comment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0u32;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokKind::Comment, text, line);
+    }
+
+    fn string_lit(&mut self, line: u32) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump(); // escaped char, whatever it is
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Lit, String::new(), line);
+    }
+
+    /// Handle `r"…"`, `r#"…"#`, `br"…"`, `b"…"`, `b'…'` prefixes. Returns
+    /// true if a literal was consumed; false means the `r`/`b` starts a
+    /// plain identifier (or a raw identifier `r#name`).
+    fn raw_or_byte_string(&mut self, line: u32) -> bool {
+        let c0 = self.peek(0);
+        let (skip, rest) = match (c0, self.peek(1)) {
+            (Some('b'), Some('"')) => (1, Some('"')),
+            (Some('b'), Some('\'')) => {
+                // Byte char literal b'x' (incl. b'\'').
+                self.bump();
+                self.char_body(line);
+                return true;
+            }
+            (Some('b'), Some('r')) => (2, self.peek(2)),
+            (Some('r'), c1) => (1, c1),
+            _ => return false,
+        };
+        match rest {
+            Some('"') => {
+                for _ in 0..skip {
+                    self.bump();
+                }
+                self.raw_string_body(0, line);
+                true
+            }
+            Some('#') => {
+                // Count fence hashes; `r#ident` (one hash then ident char)
+                // is a raw identifier, not a string.
+                let mut hashes = 0;
+                while self.peek(skip + hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek(skip + hashes) == Some('"') {
+                    for _ in 0..skip + hashes {
+                        self.bump();
+                    }
+                    self.raw_string_body(hashes, line);
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => false,
+        }
+    }
+
+    fn raw_string_body(&mut self, hashes: usize, line: u32) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut ok = true;
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+        }
+        self.push(TokKind::Lit, String::new(), line);
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        // `'a` followed by non-quote is a lifetime; `'a'`, `'\n'`, `'''`
+        // are char literals.
+        let c1 = self.peek(1);
+        let c2 = self.peek(2);
+        let is_lifetime = match (c1, c2) {
+            (Some('\\'), _) => false,
+            (Some(c), Some('\'')) if c != '\'' => false,
+            (Some(c), _) if c.is_alphabetic() || c == '_' => true,
+            _ => false,
+        };
+        if is_lifetime {
+            self.bump(); // '
+            let mut name = String::from("'");
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    name.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Lifetime, name, line);
+        } else {
+            self.char_body(line);
+        }
+    }
+
+    fn char_body(&mut self, line: u32) {
+        self.bump(); // opening '
+        if let Some('\\') = self.bump() {
+            self.bump();
+        }
+        // Consume to the closing quote (handles '\u{...}').
+        while let Some(c) = self.peek(0) {
+            self.bump();
+            if c == '\'' {
+                break;
+            }
+        }
+        self.push(TokKind::Lit, String::new(), line);
+    }
+
+    fn word(&mut self, line: u32) {
+        let mut text = String::new();
+        // Raw identifier prefix.
+        if self.peek(0) == Some('r') && self.peek(1) == Some('#') {
+            self.bump();
+            self.bump();
+        }
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let kind = if text.starts_with(|c: char| c.is_ascii_digit()) {
+            TokKind::Lit
+        } else {
+            TokKind::Ident
+        };
+        self.push(kind, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).into_iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn words_and_puncts() {
+        let toks = lex("let x = a.lock();");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["let", "x", "=", "a", ".", "lock", "(", ")", ";"]);
+    }
+
+    #[test]
+    fn strings_hide_tokens() {
+        assert_eq!(idents(r#"f("x.lock() unwrap()")"#), ["f"]);
+        assert_eq!(idents(r##"g(r#"quote " inside"#)"##), ["g"]);
+        assert_eq!(idents("h(b\"bytes\")"), ["h"]);
+    }
+
+    #[test]
+    fn comments_are_kept_with_text() {
+        let toks = lex("a // lock-order: A -> B\nb /* block */ c");
+        let comments: Vec<&str> =
+            toks.iter().filter(|t| t.kind == TokKind::Comment).map(|t| t.text.as_str()).collect();
+        assert_eq!(comments, ["// lock-order: A -> B", "/* block */"]);
+        assert_eq!(idents("a // x.unwrap()\nb"), ["a", "b"]);
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        assert_eq!(idents("a /* one /* two */ still */ b"), ["a", "b"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lts: Vec<&str> =
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).map(|t| t.text.as_str()).collect();
+        assert_eq!(lts, ["'a", "'a"]);
+        let lits = toks.iter().filter(|t| t.kind == TokKind::Lit).count();
+        assert_eq!(lits, 2);
+    }
+
+    #[test]
+    fn raw_identifier_is_ident() {
+        assert_eq!(idents("r#type r#match normal"), ["type", "match", "normal"]);
+    }
+
+    #[test]
+    fn line_numbers() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+}

@@ -1,0 +1,82 @@
+//! drx-analyze — workspace invariant linter for the DRX locking/cache
+//! layer. Offline and dependency-free: a hand-rolled token scanner feeds
+//! five lints (L1 lock-order, L2 panic-path ratchet, L3 protocol
+//! exhaustiveness, L4 unsafe inventory, L5 discarded results). See
+//! DESIGN.md §9 for the catalog and the declared lock-order DAG.
+
+pub mod baseline;
+pub mod config;
+pub mod facts;
+pub mod lexer;
+pub mod lints;
+pub mod report;
+pub mod scan;
+
+use facts::Facts;
+use report::Report;
+use scan::{rs_files_under, SourceFile};
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Load a source file with a repo-relative display path; `None` if absent.
+fn load_rel(root: &Path, rel: &str) -> Option<SourceFile> {
+    let p = root.join(rel);
+    SourceFile::load(&p, Path::new(rel).to_path_buf()).ok()
+}
+
+/// Run all five lints over the workspace at `root`.
+pub fn run_check(root: &Path) -> Report {
+    let mut report = Report::default();
+    let mut scanned: BTreeSet<String> = BTreeSet::new();
+
+    // L1: lock-order over the concurrency layer.
+    let l1_files: Vec<SourceFile> =
+        config::L1_FILES.iter().filter_map(|rel| load_rel(root, rel)).collect();
+    let mut facts = Facts::default();
+    for f in &l1_files {
+        facts.collect(f);
+        scanned.insert(f.path.display().to_string());
+    }
+    lints::lock_order::check(&l1_files, &facts, config::L1_CALL_METHODS, &mut report);
+
+    // L2: panic-path ratchet against the checked-in baseline.
+    let base = baseline::load(&root.join(config::L2_BASELINE));
+    let l2_files = baseline::l2_sources(root);
+    for f in &l2_files {
+        scanned.insert(f.path.display().to_string());
+    }
+    lints::panic_paths::check(&l2_files, &base, &mut report);
+
+    // L3: protocol exhaustiveness.
+    if let Some(proto) = load_rel(root, config::L3_PROTO) {
+        scanned.insert(proto.path.display().to_string());
+        let mut test_files = Vec::new();
+        for dir in config::L3_TEST_DIRS {
+            for p in rs_files_under(&root.join(dir)) {
+                let display = p.strip_prefix(root).unwrap_or(&p).to_path_buf();
+                if let Ok(f) = SourceFile::load(&p, display) {
+                    scanned.insert(f.path.display().to_string());
+                    test_files.push(f);
+                }
+            }
+        }
+        lints::proto::check(&proto, &test_files, &mut report);
+    }
+
+    // L4 + L5 over all first-party sources. Facts (allow-discard) are
+    // collected per file so annotations live next to the code they cover.
+    for dir in config::L4_L5_DIRS {
+        for p in rs_files_under(&root.join(dir)) {
+            let display = p.strip_prefix(root).unwrap_or(&p).to_path_buf();
+            let Ok(f) = SourceFile::load(&p, display) else { continue };
+            scanned.insert(f.path.display().to_string());
+            let mut file_facts = Facts::default();
+            file_facts.collect(&f);
+            lints::unsafety::check(&f, &mut report);
+            lints::discard::check(&f, &file_facts, &mut report);
+        }
+    }
+
+    report.files_scanned = scanned.len();
+    report
+}

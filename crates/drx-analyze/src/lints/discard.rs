@@ -1,0 +1,114 @@
+//! L5 — discarded `Result` lint.
+//!
+//! `let _ = expr;` where `expr` contains a call silently swallows the
+//! error channel of a fallible operation. Each such statement in non-test
+//! code must carry an `// allow-discard: <reason>` comment (same line or
+//! the line above) acknowledging that the error is intentionally dropped.
+
+use crate::facts::Facts;
+use crate::lexer::TokKind;
+use crate::report::{Lint, Report};
+use crate::scan::SourceFile;
+
+pub fn check(f: &SourceFile, facts: &Facts, report: &mut Report) {
+    let path = f.path.display().to_string();
+    let mut i = 0;
+    while i + 2 < f.sig_len() {
+        if f.in_test(i)
+            || !f.sig_tok(i).is_ident("let")
+            || !f.sig_tok(i + 1).is_ident("_")
+            || !f.sig_tok(i + 2).is_punct('=')
+        {
+            i += 1;
+            continue;
+        }
+        let line = f.sig_tok(i).line;
+        // Scan the right-hand side to the terminating `;` at depth 0; a
+        // `(` anywhere in it means a call (or at least call-shaped) value.
+        let mut j = i + 3;
+        let mut depth = 0i32;
+        let mut has_call = false;
+        let mut has_try = false;
+        while j < f.sig_len() {
+            let t = f.sig_tok(j);
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" | "{" => {
+                        has_call |= t.is_punct('(');
+                        depth += 1;
+                    }
+                    ")" | "]" | "}" => depth -= 1,
+                    ";" if depth == 0 => break,
+                    // `let _ = f()?;` propagates the error and discards
+                    // only the success value — not a swallowed Result.
+                    "?" if depth == 0 => has_try = true,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        if has_call && !has_try && !facts.discard_allowed(&path, line) {
+            report.push(
+                Lint::DiscardedResult,
+                &path,
+                line,
+                "`let _ =` discards a call result; annotate `// allow-discard: <reason>` if intended"
+                    .to_string(),
+            );
+        }
+        i = j;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run(src: &str) -> Report {
+        let f = SourceFile::parse(PathBuf::from("x.rs"), src);
+        let mut facts = Facts::default();
+        facts.collect(&f);
+        let mut report = Report::default();
+        check(&f, &facts, &mut report);
+        report
+    }
+
+    #[test]
+    fn bare_discard_flags() {
+        let r = run("fn a() { let _ = std::fs::remove_file(p); }");
+        assert_eq!(r.count(Lint::DiscardedResult), 1, "{}", r.render());
+    }
+
+    #[test]
+    fn annotated_discard_passes() {
+        let r = run(
+            "fn a() {\n    // allow-discard: file may already be gone\n    let _ = std::fs::remove_file(p);\n}",
+        );
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn try_propagated_discard_passes() {
+        let r = run("fn a() -> R { let _ = go()?; Ok(()) }");
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn non_call_discard_ignored() {
+        let r = run("fn a() { let _ = x; }");
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn named_bindings_ignored() {
+        let r = run("fn a() { let _res = go(); }");
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn test_code_exempt() {
+        let r = run("#[test]\nfn t() { let _ = go(); }");
+        assert!(r.is_clean(), "{}", r.render());
+    }
+}

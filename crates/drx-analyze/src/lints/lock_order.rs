@@ -1,0 +1,656 @@
+//! L1 — lock-order analysis.
+//!
+//! Extracts every `Mutex`/`RwLock` acquisition (`.lock()`, `.read()`,
+//! `.write()` with empty argument lists) from the configured concurrency
+//! files, classifies each acquisition via declared `// lock-class:` facts,
+//! and tracks which classes are *held* across each function body:
+//!
+//! * a `let name = receiver.lock();` binding holds its class until a
+//!   `drop(name)` or the end of the enclosing block;
+//! * a chained acquisition (`receiver.lock().method()`) is transient — it
+//!   never enters the held set, but edges out of it are still recorded for
+//!   the chained method call;
+//! * calls to an allowlisted set of method names (see
+//!   [`crate::config::L1_CALL_METHODS`]) propagate *summaries*: the set of
+//!   classes a callee (transitively) acquires, unioned over same-named
+//!   functions. Holding `A` while calling a method whose summary contains
+//!   `B` observes the edge `A -> B`.
+//!
+//! Violations: an acquisition whose receiver no `lock-class` fact
+//! classifies; an observed edge not declared by a `// lock-order:` fact; a
+//! cycle in the union of declared and observed edges; a direct re-entrant
+//! acquisition (`A` while `A` is held); and an order fact naming an
+//! undeclared class.
+//!
+//! This is a lint, not a verifier: closures passed across functions are
+//! opaque, and summary matching is name-based. The `drx-sched` explorer
+//! (see `support/drx-sched`) is the dynamic complement that actually runs
+//! the interleavings.
+
+use crate::facts::Facts;
+use crate::report::{Lint, Report};
+use crate::scan::{FnItem, SourceFile};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// Run the L1 check over `files` (the configured lock-layer sources).
+pub fn check(files: &[SourceFile], facts: &Facts, allow_calls: &[&str], report: &mut Report) {
+    let allow: HashSet<&str> = allow_calls.iter().copied().collect();
+
+    // Pass A: per-function direct acquisitions and allowlisted callees.
+    let mut direct: HashMap<String, BTreeSet<String>> = HashMap::new();
+    let mut callees: HashMap<String, BTreeSet<String>> = HashMap::new();
+    let mut fn_names: BTreeSet<String> = BTreeSet::new();
+    for f in files {
+        for item in f.functions() {
+            if f.in_test(item.name_pos) {
+                continue;
+            }
+            let (d, c) = summarize(f, &item, facts, &allow);
+            fn_names.insert(item.name.to_string());
+            direct.entry(item.name.to_string()).or_default().extend(d);
+            callees.entry(item.name.to_string()).or_default().extend(c);
+        }
+    }
+
+    // Fixpoint: summary(name) = direct(name) ∪ ⋃ summary(callee).
+    let mut summary: HashMap<String, BTreeSet<String>> = direct.clone();
+    loop {
+        let mut changed = false;
+        for name in &fn_names {
+            let mut acc = summary.get(name).cloned().unwrap_or_default();
+            let before = acc.len();
+            if let Some(cs) = callees.get(name) {
+                for c in cs {
+                    if let Some(s) = summary.get(c) {
+                        acc.extend(s.iter().cloned());
+                    }
+                }
+            }
+            if acc.len() != before {
+                summary.insert(name.clone(), acc);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Pass B: held-set tracking, observed edges.
+    let mut observed: BTreeMap<(String, String), (String, u32)> = BTreeMap::new();
+    for f in files {
+        for item in f.functions() {
+            if f.in_test(item.name_pos) {
+                continue;
+            }
+            walk_holds(f, &item, facts, &allow, &summary, &mut observed, report);
+        }
+    }
+
+    // Declared facts and sanity checks.
+    let class_names: BTreeSet<&str> = facts.classes.iter().map(|c| c.class.as_str()).collect();
+    let mut declared: BTreeSet<(String, String)> = BTreeSet::new();
+    for (edge, file, line) in &facts.order {
+        for end in [&edge.from, &edge.to] {
+            if !class_names.contains(end.as_str()) {
+                report.push(
+                    Lint::LockOrder,
+                    file,
+                    *line,
+                    format!("lock-order fact references undeclared class `{end}`"),
+                );
+            }
+        }
+        declared.insert((edge.from.clone(), edge.to.clone()));
+    }
+
+    // Every observed edge must be declared.
+    for ((a, b), (file, line)) in &observed {
+        if !declared.contains(&(a.clone(), b.clone())) {
+            report.push(
+                Lint::LockOrder,
+                file,
+                *line,
+                format!(
+                    "undeclared lock nesting: {b} acquired while {a} held; declare with `// lock-order: {a} -> {b}` if intended"
+                ),
+            );
+        }
+    }
+
+    // The union graph must be acyclic.
+    let mut graph: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for (a, b) in declared.iter().chain(observed.keys()) {
+        graph.entry(a.clone()).or_default().insert(b.clone());
+        graph.entry(b.clone()).or_default();
+    }
+    if let Some(cycle) = find_cycle(&graph) {
+        let loc = facts
+            .order
+            .iter()
+            .find(|(e, _, _)| e.from == cycle[0])
+            .map(|(_, f, l)| (f.clone(), *l))
+            .or_else(|| observed.get(&(cycle[0].clone(), cycle[1].clone())).cloned())
+            .unwrap_or_else(|| ("<facts>".to_string(), 0));
+        report.push(
+            Lint::LockOrder,
+            &loc.0,
+            loc.1,
+            format!("lock-order cycle: {}", cycle.join(" -> ")),
+        );
+    }
+}
+
+/// Find the dotted receiver chain ending just before sig position `dot`
+/// (the `.` of `.lock()`). Returns segments, outermost first.
+fn receiver_chain(f: &SourceFile, body_start: usize, dot: usize) -> Vec<String> {
+    let mut segs: Vec<String> = Vec::new();
+    let mut j = dot as isize - 1;
+    loop {
+        if j < body_start as isize {
+            break;
+        }
+        let t = f.sig_tok(j as usize);
+        if t.is_punct(']') {
+            // Skip the balanced index expression; it contributes nothing
+            // to classification.
+            let mut depth = 0i32;
+            while j >= body_start as isize {
+                let t2 = f.sig_tok(j as usize);
+                if t2.is_punct(']') {
+                    depth += 1;
+                } else if t2.is_punct('[') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j -= 1;
+            }
+            j -= 1;
+            continue;
+        }
+        if t.is_punct(')') {
+            // A call in the chain (`foo().lock()`): stop — the receiver is
+            // an expression, not a field path; leave whatever segments we
+            // have (classification will likely fail, which is the point).
+            break;
+        }
+        if t.kind == crate::lexer::TokKind::Ident {
+            segs.push(t.text.clone());
+            if j > body_start as isize && f.sig_tok((j - 1) as usize).is_punct('.') {
+                j -= 2;
+                continue;
+            }
+        }
+        break;
+    }
+    segs.reverse();
+    segs
+}
+
+/// Pass A: direct acquisitions and allowlisted callees of one function.
+fn summarize(
+    f: &SourceFile,
+    item: &FnItem<'_>,
+    facts: &Facts,
+    allow: &HashSet<&str>,
+) -> (BTreeSet<String>, BTreeSet<String>) {
+    let mut direct = BTreeSet::new();
+    let mut calls = BTreeSet::new();
+    let mut i = item.body.start;
+    while i < item.body.end {
+        if let Some(acq) = acquisition_at(f, item.body.start, i) {
+            if let Some(c) = facts.classify(&acq.receiver) {
+                direct.insert(c.class.clone());
+            }
+            i = acq.after_paren;
+            continue;
+        }
+        let t = f.sig_tok(i);
+        if t.kind == crate::lexer::TokKind::Ident
+            && allow.contains(t.text.as_str())
+            && i + 1 < item.body.end
+            && f.sig_tok(i + 1).is_punct('(')
+        {
+            calls.insert(t.text.clone());
+        }
+        i += 1;
+    }
+    (direct, calls)
+}
+
+struct Acq {
+    receiver: Vec<String>,
+    /// Sig position just past the closing `)` of the empty argument list.
+    after_paren: usize,
+    line: u32,
+}
+
+/// Detect `receiver.lock()` / `.read()` / `.write()` (empty parens) with
+/// the `.` at sig position `i`.
+fn acquisition_at(f: &SourceFile, body_start: usize, i: usize) -> Option<Acq> {
+    if !f.sig_tok(i).is_punct('.') || i + 3 >= f.sig_len() {
+        return None;
+    }
+    let m = f.sig_tok(i + 1);
+    if m.kind != crate::lexer::TokKind::Ident || !ACQUIRE_METHODS.contains(&m.text.as_str()) {
+        return None;
+    }
+    if !f.sig_tok(i + 2).is_punct('(') || !f.sig_tok(i + 3).is_punct(')') {
+        return None;
+    }
+    let receiver = receiver_chain(f, body_start, i);
+    if receiver.is_empty() {
+        return None;
+    }
+    Some(Acq { receiver, after_paren: i + 4, line: m.line })
+}
+
+struct Binding {
+    name: String,
+    class: String,
+    active: bool,
+}
+
+/// Pass B: walk one function with held-class tracking, recording observed
+/// edges and direct violations.
+#[allow(clippy::too_many_arguments)]
+fn walk_holds(
+    f: &SourceFile,
+    item: &FnItem<'_>,
+    facts: &Facts,
+    allow: &HashSet<&str>,
+    summary: &HashMap<String, BTreeSet<String>>,
+    observed: &mut BTreeMap<(String, String), (String, u32)>,
+    report: &mut Report,
+) {
+    let path = f.path.display().to_string();
+    let mut bindings: Vec<Binding> = Vec::new();
+    let mut scopes: Vec<Vec<usize>> = vec![Vec::new()];
+    let held = |bindings: &[Binding]| -> BTreeSet<String> {
+        bindings.iter().filter(|b| b.active).map(|b| b.class.clone()).collect()
+    };
+    let record =
+        |a: &str, b: &str, line: u32, observed: &mut BTreeMap<(String, String), (String, u32)>| {
+            observed.entry((a.to_string(), b.to_string())).or_insert((path.clone(), line));
+        };
+
+    let mut i = item.body.start;
+    while i < item.body.end {
+        let t = f.sig_tok(i);
+        if t.is_punct('{') {
+            scopes.push(Vec::new());
+            i += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            if let Some(scope) = scopes.pop() {
+                for bi in scope {
+                    bindings[bi].active = false;
+                }
+            }
+            i += 1;
+            continue;
+        }
+        // drop(name) releases a guard binding early.
+        if t.is_ident("drop")
+            && i + 3 < item.body.end
+            && f.sig_tok(i + 1).is_punct('(')
+            && f.sig_tok(i + 2).kind == crate::lexer::TokKind::Ident
+            && f.sig_tok(i + 3).is_punct(')')
+        {
+            let name = &f.sig_tok(i + 2).text;
+            if let Some(b) = bindings.iter_mut().rev().find(|b| b.active && &b.name == name) {
+                b.active = false;
+            }
+            i += 4;
+            continue;
+        }
+        if let Some(acq) = acquisition_at(f, item.body.start, i) {
+            let Some(fact) = facts.classify(&acq.receiver) else {
+                report.push(
+                    Lint::LockOrder,
+                    &path,
+                    acq.line,
+                    format!(
+                        "acquisition `{}.{}()` in `{}` has no lock-class fact (add `// lock-class: {} => <Class>`)",
+                        acq.receiver.join("."),
+                        f.sig_tok(i + 1).text,
+                        item.name,
+                        acq.receiver.last().map(String::as_str).unwrap_or("?"),
+                    ),
+                );
+                i = acq.after_paren;
+                continue;
+            };
+            let class = fact.class.clone();
+            for a in held(&bindings) {
+                if a == class {
+                    report.push(
+                        Lint::LockOrder,
+                        &path,
+                        acq.line,
+                        format!(
+                            "re-entrant acquisition of {class} in `{}` while already held",
+                            item.name
+                        ),
+                    );
+                } else {
+                    record(&a, &class, acq.line, observed);
+                }
+            }
+            // Chained call on a transient guard: `x.lock().flush()` runs
+            // `flush` while the class is held.
+            let mut after = acq.after_paren;
+            let persists = after < item.body.end && f.sig_tok(after).is_punct(';');
+            if !persists
+                && after + 1 < item.body.end
+                && f.sig_tok(after).is_punct('.')
+                && f.sig_tok(after + 1).kind == crate::lexer::TokKind::Ident
+            {
+                let m2 = &f.sig_tok(after + 1).text;
+                if allow.contains(m2.as_str()) {
+                    if let Some(s) = summary.get(m2) {
+                        for c in s {
+                            if c != &class {
+                                record(&class, c, acq.line, observed);
+                            }
+                        }
+                    }
+                }
+            }
+            if persists {
+                // Look back for `let [mut] name = receiver…`.
+                let recv_start = i - 2 * (acq.receiver.len() - 1) - 1; // first segment pos
+                if let Some(name) = let_binding_before(f, item.body.start, recv_start) {
+                    let bi = bindings.len();
+                    bindings.push(Binding { name, class: class.clone(), active: true });
+                    if let Some(scope) = scopes.last_mut() {
+                        scope.push(bi);
+                    }
+                }
+                after += 1; // past the `;`
+            }
+            i = after;
+            continue;
+        }
+        // Allowlisted call while holding → summary edges.
+        if t.kind == crate::lexer::TokKind::Ident
+            && allow.contains(t.text.as_str())
+            && i + 1 < item.body.end
+            && f.sig_tok(i + 1).is_punct('(')
+        {
+            if let Some(s) = summary.get(&t.text) {
+                for a in held(&bindings) {
+                    for c in s {
+                        if c != &a {
+                            record(&a, c, t.line, observed);
+                        }
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// If the tokens immediately before `recv_start` are `let [mut] name =`,
+/// return `name`.
+fn let_binding_before(f: &SourceFile, body_start: usize, recv_start: usize) -> Option<String> {
+    if recv_start < body_start + 3 {
+        return None;
+    }
+    let eq = recv_start - 1;
+    if !f.sig_tok(eq).is_punct('=') {
+        return None;
+    }
+    let name_pos = eq - 1;
+    let name_tok = f.sig_tok(name_pos);
+    if name_tok.kind != crate::lexer::TokKind::Ident {
+        return None;
+    }
+    let kw = f.sig_tok(name_pos - 1);
+    let is_let = kw.is_ident("let")
+        || (kw.is_ident("mut") && name_pos >= 2 && f.sig_tok(name_pos - 2).is_ident("let"));
+    if is_let {
+        Some(name_tok.text.clone())
+    } else {
+        None
+    }
+}
+
+/// DFS cycle detection; returns a cycle as a class list `[a, b, …, a]`.
+fn find_cycle(graph: &BTreeMap<String, BTreeSet<String>>) -> Option<Vec<String>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Grey,
+        Black,
+    }
+    let mut color: BTreeMap<&str, Color> =
+        graph.keys().map(|k| (k.as_str(), Color::White)).collect();
+
+    fn dfs<'a>(
+        node: &'a str,
+        graph: &'a BTreeMap<String, BTreeSet<String>>,
+        color: &mut BTreeMap<&'a str, Color>,
+        stack: &mut Vec<&'a str>,
+    ) -> Option<Vec<String>> {
+        color.insert(node, Color::Grey);
+        stack.push(node);
+        if let Some(next) = graph.get(node) {
+            for n in next {
+                match color.get(n.as_str()).copied().unwrap_or(Color::White) {
+                    Color::Grey => {
+                        let start = stack.iter().position(|s| *s == n.as_str()).unwrap_or(0);
+                        let mut cycle: Vec<String> =
+                            stack[start..].iter().map(|s| s.to_string()).collect();
+                        cycle.push(n.clone());
+                        return Some(cycle);
+                    }
+                    Color::White => {
+                        if let Some(c) = dfs(n.as_str(), graph, color, stack) {
+                            return Some(c);
+                        }
+                    }
+                    Color::Black => {}
+                }
+            }
+        }
+        stack.pop();
+        color.insert(node, Color::Black);
+        None
+    }
+
+    let keys: Vec<&str> = graph.keys().map(String::as_str).collect();
+    for k in keys {
+        if color.get(k).copied() == Some(Color::White) {
+            let mut stack = Vec::new();
+            if let Some(c) = dfs(k, graph, &mut color, &mut stack) {
+                return Some(c);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facts::Facts;
+    use std::path::PathBuf;
+
+    fn run(srcs: &[&str]) -> Report {
+        let files: Vec<SourceFile> = srcs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| SourceFile::parse(PathBuf::from(format!("f{i}.rs")), s))
+            .collect();
+        let mut facts = Facts::default();
+        for f in &files {
+            facts.collect(f);
+        }
+        let mut report = Report::default();
+        check(&files, &facts, &["flush", "inner_op"], &mut report);
+        report
+    }
+
+    #[test]
+    fn clean_declared_nesting_passes() {
+        let r = run(&[r#"
+            // lock-class: a => A
+            // lock-class: b => B
+            // lock-order: A -> B
+            fn f(&self) {
+                let g = self.a.lock();
+                let h = self.b.lock();
+                drop(h);
+                drop(g);
+            }
+        "#]);
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn undeclared_nesting_flags() {
+        let r = run(&[r#"
+            // lock-class: a => A
+            // lock-class: b => B
+            fn f(&self) {
+                let g = self.a.lock();
+                let h = self.b.lock();
+            }
+        "#]);
+        assert_eq!(r.count(Lint::LockOrder), 1, "{}", r.render());
+        assert!(r.render().contains("A -> B"));
+    }
+
+    #[test]
+    fn drop_releases_before_next_acquisition() {
+        let r = run(&[r#"
+            // lock-class: a => A
+            // lock-class: b => B
+            fn f(&self) {
+                let g = self.a.lock();
+                drop(g);
+                let h = self.b.lock();
+            }
+        "#]);
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn block_scope_releases() {
+        let r = run(&[r#"
+            // lock-class: a => A
+            // lock-class: b => B
+            fn f(&self) {
+                { let g = self.a.lock(); }
+                let h = self.b.lock();
+            }
+        "#]);
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn transient_guard_does_not_hold() {
+        let r = run(&[r#"
+            // lock-class: a => A
+            // lock-class: b => B
+            fn f(&self) {
+                let x = self.a.lock().field;
+                let h = self.b.lock();
+            }
+        "#]);
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn cycle_is_reported() {
+        let r = run(&[r#"
+            // lock-class: a => A
+            // lock-class: b => B
+            // lock-order: A -> B
+            // lock-order: B -> A
+            fn f(&self) {}
+        "#]);
+        assert_eq!(r.count(Lint::LockOrder), 1, "{}", r.render());
+        assert!(r.render().contains("cycle"));
+    }
+
+    #[test]
+    fn call_summary_propagates_edges() {
+        let r = run(&[r#"
+            // lock-class: a => A
+            // lock-class: b => B
+            fn inner_op(&self) {
+                let g = self.b.lock();
+            }
+            fn f(&self) {
+                let g = self.a.lock();
+                self.inner_op();
+            }
+        "#]);
+        assert_eq!(r.count(Lint::LockOrder), 1, "{}", r.render());
+        assert!(r.render().contains("B acquired while A held"), "{}", r.render());
+    }
+
+    #[test]
+    fn chained_transient_call_records_edge() {
+        let r = run(&[r#"
+            // lock-class: a => A
+            // lock-class: b => B
+            // lock-order: A -> B
+            fn flush(&self) { let g = self.b.lock(); }
+            fn f(&self) { self.a.lock().flush(); }
+        "#]);
+        // A -> B via the chained call is observed but declared: clean.
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn unclassified_acquisition_flags() {
+        let r = run(&["fn f(&self) { self.mystery.lock(); }"]);
+        assert_eq!(r.count(Lint::LockOrder), 1, "{}", r.render());
+        assert!(r.render().contains("lock-class"));
+    }
+
+    #[test]
+    fn reentrant_acquisition_flags() {
+        let r = run(&[r#"
+            // lock-class: a => A
+            fn f(&self) {
+                let g = self.a.lock();
+                let h = self.a.lock();
+            }
+        "#]);
+        assert_eq!(r.count(Lint::LockOrder), 1, "{}", r.render());
+        assert!(r.render().contains("re-entrant"));
+    }
+
+    #[test]
+    fn test_code_is_ignored() {
+        let r = run(&[r#"
+            // lock-class: a => A
+            // lock-class: b => B
+            #[cfg(test)]
+            mod tests {
+                fn f(&self) {
+                    let g = self.a.lock();
+                    let h = self.b.lock();
+                }
+            }
+        "#]);
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn unknown_class_in_order_fact_flags() {
+        let r = run(&["// lock-class: a => A\n// lock-order: A -> Nope\nfn f() {}"]);
+        assert_eq!(r.count(Lint::LockOrder), 1, "{}", r.render());
+        assert!(r.render().contains("undeclared class"));
+    }
+}

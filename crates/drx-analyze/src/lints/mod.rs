@@ -1,0 +1,7 @@
+//! The five workspace lints, L1–L5 (see DESIGN.md §9).
+
+pub mod discard;
+pub mod lock_order;
+pub mod panic_paths;
+pub mod proto;
+pub mod unsafety;

@@ -1,0 +1,124 @@
+//! L2 — panic-path audit with a ratcheting baseline.
+//!
+//! Counts `unwrap()`, `expect(`, and `panic!` sites in non-test code of
+//! the configured crates. A checked-in baseline (`<count>\t<path>` lines)
+//! records the accepted debt; a file whose count *exceeds* its baseline
+//! entry — or a new file with any offender — fails. Counts below the
+//! baseline are reported as slack so the baseline can be re-tightened
+//! with `drx-analyze baseline`.
+
+use crate::lexer::TokKind;
+use crate::report::{Lint, Report};
+use crate::scan::SourceFile;
+use std::collections::BTreeMap;
+
+/// One panic site: line and what was matched.
+pub fn scan_file(f: &SourceFile) -> Vec<(u32, &'static str)> {
+    let mut out = Vec::new();
+    for i in 0..f.sig_len() {
+        if f.in_test(i) {
+            continue;
+        }
+        let t = f.sig_tok(i);
+        if t.kind != TokKind::Ident || i + 1 >= f.sig_len() {
+            continue;
+        }
+        let next = f.sig_tok(i + 1);
+        let hit = match t.text.as_str() {
+            "unwrap" | "expect" if next.is_punct('(') => {
+                Some(if t.text == "unwrap" { "unwrap()" } else { "expect(..)" })
+            }
+            "panic" if next.is_punct('!') => Some("panic!"),
+            _ => None,
+        };
+        if let Some(kind) = hit {
+            out.push((t.line, kind));
+        }
+    }
+    out
+}
+
+/// Check `files` against `baseline` (path → allowed count).
+pub fn check(files: &[SourceFile], baseline: &BTreeMap<String, usize>, report: &mut Report) {
+    for f in files {
+        let path = f.path.display().to_string();
+        let sites = scan_file(f);
+        let allowed = baseline.get(&path).copied().unwrap_or(0);
+        if sites.len() > allowed {
+            let first = sites.get(allowed).map(|(l, _)| *l).unwrap_or(0);
+            let listed: Vec<String> =
+                sites.iter().map(|(l, k)| format!("{k} at line {l}")).collect();
+            report.push(
+                Lint::PanicPath,
+                &path,
+                first,
+                format!(
+                    "{} panic site(s), baseline allows {}: {}",
+                    sites.len(),
+                    allowed,
+                    listed.join(", ")
+                ),
+            );
+        } else if sites.len() < allowed {
+            report.notes.push(format!(
+                "{path}: {} panic site(s), baseline allows {} — run `drx-analyze baseline` to ratchet down",
+                sites.len(),
+                allowed
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn sf(src: &str) -> SourceFile {
+        SourceFile::parse(PathBuf::from("x.rs"), src)
+    }
+
+    #[test]
+    fn counts_offenders_outside_tests() {
+        let f = sf(r#"
+            fn a() { x.unwrap(); y.expect("m"); panic!("boom"); }
+            fn b() { z.unwrap_or(0); w.unwrap_or_default(); }
+            #[cfg(test)]
+            mod tests { fn t() { q.unwrap(); } }
+        "#);
+        let sites = scan_file(&f);
+        assert_eq!(sites.len(), 3, "{sites:?}");
+    }
+
+    #[test]
+    fn doc_comment_examples_do_not_count() {
+        let f = sf("/// `x.unwrap()` panics\nfn a() {}");
+        assert!(scan_file(&f).is_empty());
+    }
+
+    #[test]
+    fn baseline_ratchet() {
+        let f = sf("fn a() { x.unwrap(); y.unwrap(); }");
+        let mut report = Report::default();
+        let mut base = BTreeMap::new();
+        base.insert("x.rs".to_string(), 2);
+        check(&[f], &base, &mut report);
+        assert!(report.is_clean(), "{}", report.render());
+
+        let g = sf("fn a() { x.unwrap(); y.unwrap(); z.unwrap(); }");
+        let mut report2 = Report::default();
+        check(&[g], &base, &mut report2);
+        assert_eq!(report2.count(Lint::PanicPath), 1, "{}", report2.render());
+    }
+
+    #[test]
+    fn slack_is_noted() {
+        let f = sf("fn a() { x.unwrap(); }");
+        let mut base = BTreeMap::new();
+        base.insert("x.rs".to_string(), 3);
+        let mut report = Report::default();
+        check(&[f], &base, &mut report);
+        assert!(report.is_clean());
+        assert_eq!(report.notes.len(), 1);
+    }
+}

@@ -1,0 +1,202 @@
+//! L3 — protocol exhaustiveness.
+//!
+//! Every `OP_*` opcode constant in the protocol module must be referenced
+//! by both `encode_request` and `decode_request` (resp. `RESP_*` by
+//! `encode_response` / `decode_response`), and every `Request` / `Response`
+//! enum variant must appear in test code — the protocol module's own
+//! `#[cfg(test)]` tests or the crate's integration tests — so each wire
+//! shape has a roundtrip exercising it.
+
+use crate::lexer::TokKind;
+use crate::report::{Lint, Report};
+use crate::scan::SourceFile;
+use std::collections::BTreeSet;
+
+/// Collect `const NAME` identifiers with the given prefix.
+fn consts_with_prefix<'a>(f: &'a SourceFile, prefix: &str) -> Vec<(&'a str, u32)> {
+    let mut out = Vec::new();
+    for i in 0..f.sig_len().saturating_sub(1) {
+        if f.sig_tok(i).is_ident("const") {
+            let name = f.sig_tok(i + 1);
+            if name.kind == TokKind::Ident && name.text.starts_with(prefix) {
+                out.push((name.text.as_str(), name.line));
+            }
+        }
+    }
+    out
+}
+
+/// Does the body of function `fn_name` mention identifier `ident`?
+fn fn_mentions(f: &SourceFile, fn_name: &str, ident: &str) -> Option<bool> {
+    let item = f.functions().into_iter().find(|x| x.name == fn_name)?;
+    Some(item.body.clone().any(|i| f.sig_tok(i).is_ident(ident)))
+}
+
+/// Collect the variant names of `enum <name> { … }`.
+fn enum_variants<'a>(f: &'a SourceFile, name: &str) -> Vec<(&'a str, u32)> {
+    let mut out = Vec::new();
+    for i in 0..f.sig_len().saturating_sub(2) {
+        if !(f.sig_tok(i).is_ident("enum") && f.sig_tok(i + 1).is_ident(name)) {
+            continue;
+        }
+        let Some(open) = (i + 2..f.sig_len()).find(|&j| f.sig_tok(j).is_punct('{')) else {
+            continue;
+        };
+        let close = f.matching_brace(open);
+        let mut j = open + 1;
+        while j < close {
+            let t = f.sig_tok(j);
+            // Skip attributes on variants.
+            if t.is_punct('#') && j + 1 < close && f.sig_tok(j + 1).is_punct('[') {
+                j = f.matching_bracket(j + 1) + 1;
+                continue;
+            }
+            if t.kind == TokKind::Ident {
+                out.push((t.text.as_str(), t.line));
+                j += 1;
+                // Skip the payload: tuple or struct fields.
+                if j < close && f.sig_tok(j).is_punct('(') {
+                    j = f.matching_paren(j) + 1;
+                } else if j < close && f.sig_tok(j).is_punct('{') {
+                    j = f.matching_brace(j) + 1;
+                }
+                // Skip the trailing comma if present.
+                if j < close && f.sig_tok(j).is_punct(',') {
+                    j += 1;
+                }
+                continue;
+            }
+            j += 1;
+        }
+        break;
+    }
+    out
+}
+
+/// Idents appearing in test code: `proto`'s own test regions plus all of
+/// `test_files` (integration tests are test code in full).
+fn test_idents<'a>(proto: &'a SourceFile, test_files: &'a [SourceFile]) -> BTreeSet<&'a str> {
+    let mut out = BTreeSet::new();
+    for i in 0..proto.sig_len() {
+        if proto.in_test(i) && proto.sig_tok(i).kind == TokKind::Ident {
+            out.insert(proto.sig_tok(i).text.as_str());
+        }
+    }
+    for f in test_files {
+        for i in 0..f.sig_len() {
+            if f.sig_tok(i).kind == TokKind::Ident {
+                out.insert(f.sig_tok(i).text.as_str());
+            }
+        }
+    }
+    out
+}
+
+pub fn check(proto: &SourceFile, test_files: &[SourceFile], report: &mut Report) {
+    let path = proto.path.display().to_string();
+    for (prefix, encode, decode) in [
+        ("OP_", "encode_request", "decode_request"),
+        ("RESP_", "encode_response", "decode_response"),
+    ] {
+        for (name, line) in consts_with_prefix(proto, prefix) {
+            for func in [encode, decode] {
+                match fn_mentions(proto, func, name) {
+                    Some(true) => {}
+                    Some(false) => report.push(
+                        Lint::ProtoExhaustive,
+                        &path,
+                        line,
+                        format!("opcode {name} is not referenced in {func}"),
+                    ),
+                    None => report.push(
+                        Lint::ProtoExhaustive,
+                        &path,
+                        line,
+                        format!("protocol function {func} not found (needed for {name})"),
+                    ),
+                }
+            }
+        }
+    }
+    let tests = test_idents(proto, test_files);
+    for enum_name in ["Request", "Response"] {
+        for (variant, line) in enum_variants(proto, enum_name) {
+            if !tests.contains(variant) {
+                report.push(
+                    Lint::ProtoExhaustive,
+                    &path,
+                    line,
+                    format!("{enum_name}::{variant} has no test reference (add a roundtrip test)"),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn sf(src: &str) -> SourceFile {
+        SourceFile::parse(PathBuf::from("proto.rs"), src)
+    }
+
+    const COVERED: &str = r#"
+        const OP_OPEN: u8 = 1;
+        pub enum Request { Open(u32) }
+        pub enum Response { Opened }
+        fn encode_request() { let x = OP_OPEN; }
+        fn decode_request() { match t { OP_OPEN => {} } }
+        #[cfg(test)]
+        mod tests {
+            #[test]
+            fn roundtrip() { let r = Request::Open(1); let s = Response::Opened; }
+        }
+    "#;
+
+    #[test]
+    fn covered_proto_is_clean() {
+        let mut report = Report::default();
+        check(&sf(COVERED), &[], &mut report);
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn missing_decode_reference_flags() {
+        let src = r#"
+            const OP_OPEN: u8 = 1;
+            fn encode_request() { let x = OP_OPEN; }
+            fn decode_request() {}
+        "#;
+        let mut report = Report::default();
+        check(&sf(src), &[], &mut report);
+        assert_eq!(report.count(Lint::ProtoExhaustive), 1, "{}", report.render());
+        assert!(report.render().contains("decode_request"));
+    }
+
+    #[test]
+    fn untested_variant_flags() {
+        let src = r#"
+            pub enum Request { Open(u32), Close }
+            #[cfg(test)]
+            mod tests { fn t() { let r = Request::Open(1); } }
+        "#;
+        let mut report = Report::default();
+        check(&sf(src), &[], &mut report);
+        assert_eq!(report.count(Lint::ProtoExhaustive), 1, "{}", report.render());
+        assert!(report.render().contains("Request::Close"));
+    }
+
+    #[test]
+    fn integration_tests_count_as_coverage() {
+        let src = "pub enum Request { Open(u32) }";
+        let it = SourceFile::parse(
+            PathBuf::from("tests/roundtrip.rs"),
+            "fn t() { let r = Request::Open(1); }",
+        );
+        let mut report = Report::default();
+        check(&sf(src), &[it], &mut report);
+        assert!(report.is_clean(), "{}", report.render());
+    }
+}

@@ -1,0 +1,68 @@
+//! L4 — unsafe inventory.
+//!
+//! Every `unsafe` keyword in non-test code must carry a `// SAFETY:`
+//! comment on the same line or within the three lines above it. The
+//! workspace is currently `unsafe`-free; this lint keeps any future
+//! introduction documented from day one.
+
+use crate::report::{Lint, Report};
+use crate::scan::SourceFile;
+
+pub fn check(f: &SourceFile, report: &mut Report) {
+    let path = f.path.display().to_string();
+    let safety_lines: Vec<u32> = f
+        .toks
+        .iter()
+        .filter(|t| t.kind == crate::lexer::TokKind::Comment && t.text.contains("SAFETY"))
+        .map(|t| t.line)
+        .collect();
+    for i in 0..f.sig_len() {
+        if f.in_test(i) {
+            continue;
+        }
+        let t = f.sig_tok(i);
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        let documented = safety_lines.iter().any(|&l| l <= t.line && l + 3 >= t.line);
+        if !documented {
+            report.push(
+                Lint::UnsafeInventory,
+                &path,
+                t.line,
+                "`unsafe` without a `// SAFETY:` comment".to_string(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run(src: &str) -> Report {
+        let f = SourceFile::parse(PathBuf::from("x.rs"), src);
+        let mut report = Report::default();
+        check(&f, &mut report);
+        report
+    }
+
+    #[test]
+    fn documented_unsafe_passes() {
+        let r = run("fn a() {\n    // SAFETY: ptr is valid for reads\n    unsafe { go() }\n}");
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn undocumented_unsafe_flags() {
+        let r = run("fn a() { unsafe { go() } }");
+        assert_eq!(r.count(Lint::UnsafeInventory), 1, "{}", r.render());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let r = run("#[test]\nfn t() { unsafe { go() } }");
+        assert!(r.is_clean(), "{}", r.render());
+    }
+}

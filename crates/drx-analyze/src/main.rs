@@ -1,0 +1,71 @@
+//! CLI: `drx-analyze check [--root DIR]` runs all lints (exit 0 clean,
+//! 1 findings, 2 usage/setup error); `drx-analyze baseline [--root DIR]`
+//! regenerates the L2 panic-site baseline.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: drx-analyze <check|baseline> [--root DIR]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let mut root_arg: Option<PathBuf> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" if i + 1 < args.len() => {
+                root_arg = Some(PathBuf::from(&args[i + 1]));
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return usage();
+            }
+        }
+    }
+    let Some(root) = drx_analyze::config::find_root(root_arg.as_deref()) else {
+        eprintln!("drx-analyze: could not locate workspace root (try --root)");
+        return ExitCode::from(2);
+    };
+
+    match cmd.as_str() {
+        "check" => {
+            let report = drx_analyze::run_check(&root);
+            print!("{}", report.render());
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        "baseline" => {
+            let map = drx_analyze::baseline::generate(&root);
+            let path = root.join(drx_analyze::config::L2_BASELINE);
+            if let Some(parent) = path.parent() {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("drx-analyze: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+            let text = drx_analyze::baseline::render(&map);
+            if let Err(e) = std::fs::write(&path, &text) {
+                eprintln!("drx-analyze: {e}");
+                return ExitCode::from(2);
+            }
+            println!(
+                "wrote {} ({} file(s), {} site(s))",
+                path.display(),
+                map.len(),
+                map.values().sum::<usize>()
+            );
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,119 @@
+//! Findings and the check report.
+
+use std::fmt;
+
+/// Which lint produced a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lint {
+    /// L1: lock-order / lock-class violations.
+    LockOrder,
+    /// L2: `unwrap()` / `expect(` / `panic!` in non-test code beyond the
+    /// baseline.
+    PanicPath,
+    /// L3: protocol opcode without encode / decode / roundtrip coverage.
+    ProtoExhaustive,
+    /// L4: `unsafe` without a `// SAFETY:` comment.
+    UnsafeInventory,
+    /// L5: `let _ = …` discarding a Result without `// allow-discard:`.
+    DiscardedResult,
+}
+
+impl Lint {
+    pub fn code(&self) -> &'static str {
+        match self {
+            Lint::LockOrder => "L1",
+            Lint::PanicPath => "L2",
+            Lint::ProtoExhaustive => "L3",
+            Lint::UnsafeInventory => "L4",
+            Lint::DiscardedResult => "L5",
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Lint::LockOrder => "lock-order",
+            Lint::PanicPath => "panic-path",
+            Lint::ProtoExhaustive => "proto-exhaustive",
+            Lint::UnsafeInventory => "unsafe-inventory",
+            Lint::DiscardedResult => "discarded-result",
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub lint: Lint,
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} [{}] {}",
+            self.file,
+            self.line,
+            self.lint.code(),
+            self.lint.name(),
+            self.message
+        )
+    }
+}
+
+/// The result of a full `check` run.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+    /// Informational notes (baseline slack, skipped files).
+    pub notes: Vec<String>,
+    /// Files scanned, for the summary line.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    pub fn push(&mut self, lint: Lint, file: &str, line: u32, message: String) {
+        self.findings.push(Finding { lint, file: file.to_string(), line, message });
+    }
+
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    pub fn count(&self, lint: Lint) -> usize {
+        self.findings.iter().filter(|f| f.lint == lint).count()
+    }
+
+    /// Render the human-readable report; findings sorted by file/line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut findings = self.findings.clone();
+        findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+        for f in &findings {
+            out.push_str(&f.to_string());
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        let by_lint: Vec<String> = [
+            Lint::LockOrder,
+            Lint::PanicPath,
+            Lint::ProtoExhaustive,
+            Lint::UnsafeInventory,
+            Lint::DiscardedResult,
+        ]
+        .iter()
+        .map(|l| format!("{} {}", l.code(), self.count(*l)))
+        .collect();
+        out.push_str(&format!(
+            "drx-analyze: {} file(s), {} finding(s) ({})\n",
+            self.files_scanned,
+            self.findings.len(),
+            by_lint.join(", ")
+        ));
+        out
+    }
+}

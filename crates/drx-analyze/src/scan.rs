@@ -1,0 +1,297 @@
+//! Source-file model shared by the lints: lexed tokens, a "significant
+//! token" view (comments stripped), detection of test-only regions, and
+//! function extraction.
+
+use crate::lexer::{lex, Tok, TokKind};
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+
+/// One lexed source file.
+pub struct SourceFile {
+    /// Path as reported in findings (repo-relative when scanned via
+    /// [`crate::config`]).
+    pub path: PathBuf,
+    /// Full token stream, comments included.
+    pub toks: Vec<Tok>,
+    /// Indices into `toks` of the non-comment tokens, in order.
+    pub sig: Vec<usize>,
+    /// Half-open ranges over `sig` positions that are test-only code
+    /// (`#[cfg(test)]` modules and `#[test]` functions).
+    pub test_ranges: Vec<Range<usize>>,
+}
+
+impl SourceFile {
+    pub fn parse(path: PathBuf, src: &str) -> SourceFile {
+        let toks = lex(src);
+        let sig: Vec<usize> = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.kind != TokKind::Comment)
+            .map(|(i, _)| i)
+            .collect();
+        let mut f = SourceFile { path, toks, sig, test_ranges: Vec::new() };
+        f.test_ranges = f.find_test_ranges();
+        f
+    }
+
+    pub fn load(path: &Path, display: PathBuf) -> std::io::Result<SourceFile> {
+        let src = std::fs::read_to_string(path)?;
+        Ok(SourceFile::parse(display, &src))
+    }
+
+    /// The significant token at `sig` position `i`.
+    pub fn sig_tok(&self, i: usize) -> &Tok {
+        &self.toks[self.sig[i]]
+    }
+
+    pub fn sig_len(&self) -> usize {
+        self.sig.len()
+    }
+
+    /// Whether the significant token at `i` lies in test-only code.
+    pub fn in_test(&self, i: usize) -> bool {
+        self.test_ranges.iter().any(|r| r.contains(&i))
+    }
+
+    /// All comment tokens, with their position relative to the significant
+    /// stream: a comment between sig tokens `i-1` and `i` reports `i`.
+    pub fn comments(&self) -> Vec<(usize, &Tok)> {
+        let mut out = Vec::new();
+        let mut sig_pos = 0;
+        for (ti, t) in self.toks.iter().enumerate() {
+            if t.kind == TokKind::Comment {
+                out.push((sig_pos, t));
+            } else {
+                debug_assert_eq!(self.sig[sig_pos], ti);
+                sig_pos += 1;
+            }
+        }
+        out
+    }
+
+    /// Find `sig` ranges of test-only code: the bodies (including headers)
+    /// of items annotated `#[cfg(test)]` or `#[test]`.
+    fn find_test_ranges(&self) -> Vec<Range<usize>> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.sig_len() {
+            if self.is_test_attr(i) {
+                // Find the end of this attribute, then skip any further
+                // attributes, then the item header up to `{` or `;`.
+                let start = i;
+                let mut j = self.skip_attr(i);
+                while self.sig_tok_is(j, "#") {
+                    j = self.skip_attr(j);
+                }
+                // Walk to the item's opening brace (or `;` for extern
+                // items — then there is no body to mark).
+                let mut found_brace = None;
+                while j < self.sig_len() {
+                    let t = self.sig_tok(j);
+                    if t.is_punct('{') {
+                        found_brace = Some(j);
+                        break;
+                    }
+                    if t.is_punct(';') {
+                        break;
+                    }
+                    j += 1;
+                }
+                if let Some(open) = found_brace {
+                    let close = self.matching_brace(open);
+                    out.push(start..close + 1);
+                    i = close + 1;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+        out
+    }
+
+    fn sig_tok_is(&self, i: usize, s: &str) -> bool {
+        i < self.sig_len() && self.sig_tok(i).text == s
+    }
+
+    /// Does `sig[i]` start `#[test]`, `#[cfg(test)]` or `#[cfg(all(test, …`?
+    fn is_test_attr(&self, i: usize) -> bool {
+        if !self.sig_tok_is(i, "#") || !self.sig_tok_is(i + 1, "[") {
+            return false;
+        }
+        if self.sig_tok_is(i + 2, "test") && self.sig_tok_is(i + 3, "]") {
+            return true;
+        }
+        if self.sig_tok_is(i + 2, "cfg") && self.sig_tok_is(i + 3, "(") {
+            // Any `test` ident inside the cfg predicate counts.
+            let close = self.matching_paren(i + 3);
+            return (i + 4..close).any(|k| self.sig_tok_is(k, "test"));
+        }
+        false
+    }
+
+    /// Given `sig[i]` == `#`, return the position after the attribute.
+    fn skip_attr(&self, i: usize) -> usize {
+        if self.sig_tok_is(i + 1, "[") {
+            self.matching_bracket(i + 1) + 1
+        } else {
+            i + 1
+        }
+    }
+
+    fn matching_delim(&self, open_i: usize, open: char, close: char) -> usize {
+        let mut depth = 0i32;
+        for j in open_i..self.sig_len() {
+            let t = self.sig_tok(j);
+            if t.is_punct(open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+        }
+        self.sig_len().saturating_sub(1)
+    }
+
+    pub fn matching_brace(&self, open_i: usize) -> usize {
+        self.matching_delim(open_i, '{', '}')
+    }
+
+    pub fn matching_paren(&self, open_i: usize) -> usize {
+        self.matching_delim(open_i, '(', ')')
+    }
+
+    pub fn matching_bracket(&self, open_i: usize) -> usize {
+        self.matching_delim(open_i, '[', ']')
+    }
+
+    /// Extract every function with a body: `(name, header sig pos, body
+    /// sig range excluding the braces)`.
+    pub fn functions(&self) -> Vec<FnItem<'_>> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.sig_len() {
+            if self.sig_tok(i).is_ident("fn") && i + 1 < self.sig_len() {
+                let name_tok = self.sig_tok(i + 1);
+                if name_tok.kind == TokKind::Ident {
+                    // Walk to the body `{`, stopping at `;` (trait method
+                    // without body). Skip over parenthesized params and any
+                    // `<…>` generics (brace-free in this codebase).
+                    let mut j = i + 2;
+                    let mut body = None;
+                    while j < self.sig_len() {
+                        let t = self.sig_tok(j);
+                        if t.is_punct('(') {
+                            j = self.matching_paren(j) + 1;
+                            continue;
+                        }
+                        if t.is_punct('{') {
+                            body = Some(j);
+                            break;
+                        }
+                        if t.is_punct(';') {
+                            break;
+                        }
+                        j += 1;
+                    }
+                    if let Some(open) = body {
+                        let close = self.matching_brace(open);
+                        out.push(FnItem {
+                            name: &name_tok.text,
+                            name_pos: i + 1,
+                            body: open + 1..close,
+                            line: name_tok.line,
+                        });
+                        // Continue scanning *inside* the body too (nested
+                        // fns are rare but legal); just advance past `fn`.
+                    }
+                }
+            }
+            i += 1;
+        }
+        out
+    }
+}
+
+/// One function with a body.
+pub struct FnItem<'a> {
+    pub name: &'a str,
+    pub name_pos: usize,
+    /// Range over `sig` positions of the body, braces excluded.
+    pub body: Range<usize>,
+    pub line: u32,
+}
+
+/// Recursively collect `.rs` files under `dir`, sorted for determinism.
+pub fn rs_files_under(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else { continue };
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|x| x == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sf(src: &str) -> SourceFile {
+        SourceFile::parse(PathBuf::from("test.rs"), src)
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_mod() {
+        let f = sf(r#"
+            fn real() { a.unwrap(); }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { b.unwrap(); }
+            }
+            fn real2() {}
+        "#);
+        // Find the sig positions of `a` and `b`.
+        let pos_of = |name: &str| (0..f.sig_len()).find(|&i| f.sig_tok(i).is_ident(name)).unwrap();
+        assert!(!f.in_test(pos_of("a")));
+        assert!(f.in_test(pos_of("b")));
+        assert!(!f.in_test(pos_of("real2")));
+    }
+
+    #[test]
+    fn test_attr_on_fn_only_covers_that_fn() {
+        let f = sf("#[test]\nfn t() { x.unwrap(); }\nfn real() { y.unwrap(); }");
+        let pos_of = |name: &str| (0..f.sig_len()).find(|&i| f.sig_tok(i).is_ident(name)).unwrap();
+        assert!(f.in_test(pos_of("x")));
+        assert!(!f.in_test(pos_of("y")));
+    }
+
+    #[test]
+    fn functions_are_found_with_bodies() {
+        let f = sf("impl X { pub fn a(&self) -> u32 { 1 } }\nfn b() {}\ntrait T { fn c(&self); }");
+        let fns = f.functions();
+        let names: Vec<&str> = fns.iter().map(|x| x.name).collect();
+        assert_eq!(names, ["a", "b"]);
+        // Body of `a` is the single literal `1`.
+        assert_eq!(fns[0].body.len(), 1);
+    }
+
+    #[test]
+    fn comments_map_to_sig_positions() {
+        let f = sf("a\n// note\nb");
+        let cs = f.comments();
+        assert_eq!(cs.len(), 1);
+        // The comment sits before sig position 1 (`b`).
+        assert_eq!(cs[0].0, 1);
+    }
+}

@@ -1,0 +1,7 @@
+// Seeded L1 violation: the declared order facts form a cycle.
+// lock-class: table => LockTable
+// lock-class: queue => CacheQueue
+// lock-order: LockTable -> CacheQueue
+// lock-order: CacheQueue -> LockTable
+
+pub fn noop() {}

@@ -1,0 +1,15 @@
+// Seeded L1 violation: CacheQueue is acquired while LockTable is held,
+// but no `lock-order` fact declares the edge.
+// lock-class: table => LockTable
+// lock-class: queue => CacheQueue
+
+pub struct S;
+
+impl S {
+    fn nested(&self) {
+        let t = self.table.lock();
+        let q = self.queue.lock();
+        drop(q);
+        drop(t);
+    }
+}

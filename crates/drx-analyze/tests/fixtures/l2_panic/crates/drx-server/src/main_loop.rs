@@ -1,0 +1,6 @@
+// Seeded L2 violation: an `unwrap()` in non-test code with no baseline
+// entry covering it.
+
+pub fn run(r: Result<u32, ()>) -> u32 {
+    r.unwrap()
+}

@@ -1,0 +1,14 @@
+// Seeded L3 violation: OP_OPEN is encoded but never referenced by the
+// decoder, and Request::Open has no test exercising it.
+
+pub const OP_OPEN: u8 = 1;
+
+pub enum Request {
+    Open(u32),
+}
+
+pub fn encode_request() -> u8 {
+    OP_OPEN
+}
+
+pub fn decode_request() {}

@@ -1,0 +1,5 @@
+// Seeded L4 violation: an undocumented unsafe block.
+
+pub fn peek(p: *const u8) -> u8 {
+    unsafe { *p }
+}

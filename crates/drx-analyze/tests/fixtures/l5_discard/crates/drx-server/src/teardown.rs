@@ -1,0 +1,6 @@
+// Seeded L5 violation: an I/O result silently discarded with no
+// `// allow-discard:` annotation.
+
+pub fn cleanup() {
+    let _ = std::fs::remove_file("scratch.bin");
+}

@@ -1,0 +1,96 @@
+//! End-to-end lint tests: the real workspace must check clean, and each
+//! seeded fixture under `tests/fixtures/` must trip exactly its lint —
+//! both through the library and through the CLI's exit code.
+
+use drx_analyze::report::Lint;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn workspace_checks_clean() {
+    let report = drx_analyze::run_check(&workspace_root());
+    assert!(report.is_clean(), "workspace has lint findings:\n{}", report.render());
+}
+
+fn assert_fires(name: &str, lint: Lint) {
+    let report = drx_analyze::run_check(&fixture(name));
+    assert!(
+        report.count(lint) >= 1,
+        "fixture {name} did not trip {}:\n{}",
+        lint.code(),
+        report.render()
+    );
+    // The seeded fixtures are single-violation: nothing else may fire.
+    assert_eq!(
+        report.count(lint),
+        report.findings.len(),
+        "fixture {name} tripped other lints too:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn l1_undeclared_nesting_fires() {
+    assert_fires("l1_undeclared", Lint::LockOrder);
+}
+
+#[test]
+fn l1_cycle_fires() {
+    assert_fires("l1_cycle", Lint::LockOrder);
+}
+
+#[test]
+fn l2_panic_fires() {
+    assert_fires("l2_panic", Lint::PanicPath);
+}
+
+#[test]
+fn l3_proto_fires() {
+    assert_fires("l3_proto", Lint::ProtoExhaustive);
+}
+
+#[test]
+fn l4_unsafe_fires() {
+    assert_fires("l4_unsafe", Lint::UnsafeInventory);
+}
+
+#[test]
+fn l5_discard_fires() {
+    assert_fires("l5_discard", Lint::DiscardedResult);
+}
+
+#[test]
+fn cli_exit_codes() {
+    let bin = env!("CARGO_BIN_EXE_drx-analyze");
+    let clean = Command::new(bin)
+        .args(["check", "--root"])
+        .arg(workspace_root())
+        .output()
+        .expect("run drx-analyze");
+    assert!(
+        clean.status.success(),
+        "clean workspace should exit 0:\n{}",
+        String::from_utf8_lossy(&clean.stdout)
+    );
+    for name in ["l1_undeclared", "l1_cycle", "l2_panic", "l3_proto", "l4_unsafe", "l5_discard"] {
+        let out = Command::new(bin)
+            .args(["check", "--root"])
+            .arg(fixture(name))
+            .output()
+            .expect("run drx-analyze");
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "fixture {name} should exit 1:\n{}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
+}

@@ -66,7 +66,8 @@ impl RowMajor {
         total - untouched
     }
 
-    fn strides(&self) -> &[u64] {
+    /// Row-major strides of the current shape (dim-0 stride first).
+    pub fn strides(&self) -> &[u64] {
         &self.strides
     }
 }
@@ -77,7 +78,6 @@ impl AllocScheme2 for RowMajor {
     }
 
     fn address2(&self, i: usize, j: usize) -> Result<u64> {
-        let _ = self.strides();
         self.address(&[i, j])
     }
 }
@@ -90,6 +90,7 @@ mod tests {
     fn figure2a_8x8_table() {
         // Figure 2a: the 8×8 row-major table is simply 8i + j.
         let s = RowMajor::new(vec![8, 8]).unwrap();
+        assert_eq!(s.strides(), &[8, 1]);
         for i in 0..8 {
             for j in 0..8 {
                 assert_eq!(s.address2(i, j).unwrap(), (8 * i + j) as u64);

@@ -180,6 +180,9 @@ impl ChunkPool {
     }
 
     fn evict(&mut self, addr: u64) -> Result<()> {
+        // Trace hook for the drx-sched schedule explorer (no-op otherwise).
+        #[cfg(drx_sched)]
+        drx_sched::probe("mpool:evict");
         if let Some(frame) = self.frames.remove(&addr) {
             self.stats.evictions += 1;
             if frame.dirty {
@@ -268,6 +271,9 @@ impl ChunkPool {
     /// than the pool capacity are split so a prefetch can never evict its
     /// own batch.
     pub fn prefetch(&mut self, addrs: &[u64]) -> Result<PrefetchOutcome> {
+        // Trace hook for the drx-sched schedule explorer (no-op otherwise).
+        #[cfg(drx_sched)]
+        drx_sched::probe("mpool:prefetch");
         let mut missing: Vec<u64> =
             addrs.iter().copied().filter(|a| !self.frames.contains_key(a)).collect();
         missing.sort_unstable();

@@ -31,6 +31,7 @@ pub trait Storage: Send + Sync {
 /// no disk noise).
 #[derive(Default)]
 pub struct MemBackend {
+    // lock-class: data => PfsBacking
     data: Mutex<Vec<u8>>,
 }
 

@@ -37,6 +37,7 @@ struct PfsInner {
     servers: Vec<Arc<IoServer>>,
     map: StripeMap,
     /// Logical lengths of the named files.
+    // lock-class: inner.meta => PfsMeta
     meta: Mutex<HashMap<String, u64>>,
 }
 
@@ -222,6 +223,7 @@ impl PfsFile {
         // truncation point; later stripes read as zeros regardless).
         let span = self.inner.map.stripe_size() * self.inner.servers.len() as u64;
         if let Some(frag) = self.inner.map.split(len, span).first() {
+            // allow-discard: stripe shrink is advisory; reads past the logical length are zeros
             let _ = self.inner.servers[frag.server].set_len(&self.name, frag.local_offset);
         }
         Ok(())

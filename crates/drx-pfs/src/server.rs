@@ -36,8 +36,15 @@ pub struct IoServer {
     id: usize,
     backing: Backing,
     cost: CostModel,
+    // `with_entry` runs its closure under the files lock, so the entry's
+    // backing store and the stats counters are ordered after it:
+    // lock-order: PfsFiles -> PfsStats
+    // lock-order: PfsFiles -> PfsBacking
+    // lock-class: files => PfsFiles
     files: Mutex<HashMap<String, FileEntry>>,
+    // lock-class: stats => PfsStats
     stats: Mutex<ServerStats>,
+    // lock-class: fault => PfsFault
     fault: Mutex<Option<FaultPlan>>,
 }
 
@@ -112,6 +119,7 @@ impl IoServer {
         self.files.lock().remove(name);
         if let Backing::Disk(dir) = &self.backing {
             let path = dir.join(format!("server{}", self.id)).join(name);
+            // allow-discard: the file may never have been spilled to disk
             let _ = std::fs::remove_file(path);
         }
         Ok(())

@@ -23,6 +23,9 @@
 use crate::error::Result;
 use drx_mp::{ChunkPool, PoolStats};
 use drx_pfs::PfsFile;
+#[cfg(drx_sched)]
+use drx_sched::sync::{Condvar, Mutex};
+#[cfg(not(drx_sched))]
 use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -40,9 +43,12 @@ struct FetchQueue {
 /// A `ChunkPool` shared by all sessions of one array, with coalesced miss
 /// handling and per-session statistics.
 pub struct SharedChunkCache {
+    // lock-class: pool => ChunkPool
     pool: Mutex<ChunkPool>,
+    // lock-class: queue => CacheQueue
     queue: Mutex<FetchQueue>,
     fetched: Condvar,
+    // lock-class: sessions => SessionStats
     sessions: Mutex<HashMap<u64, PoolStats>>,
     batches: AtomicU64,
     batched_chunks: AtomicU64,
@@ -102,6 +108,7 @@ impl SharedChunkCache {
                 // A batch is being fetched; our addresses ride in the next
                 // one. Park until the current batch completes.
                 let gen = q.generation;
+                sched_probe!("cache:park");
                 while q.in_flight && q.generation == gen {
                     self.fetched.wait(&mut q);
                 }
@@ -112,18 +119,23 @@ impl SharedChunkCache {
                 return Ok(());
             }
             // Become the leader: drain the queue and fetch it all.
+            sched_probe!("cache:lead");
             q.in_flight = true;
             let batch: Vec<u64> = std::mem::take(&mut q.wanted).into_iter().collect();
             drop(q);
 
-            let outcome = {
+            // Credit the leader's per-session stats after the pool guard
+            // is released: SessionStats is ordered after ChunkPool only in
+            // the canonical DAG's absence — not nesting them at all keeps
+            // the leader's critical section minimal.
+            let (outcome, delta) = {
                 let mut pool = self.pool.lock();
                 let before = pool.stats();
                 let out = pool.prefetch(&batch);
                 let delta = pool.stats().delta_since(&before);
-                self.credit(session, delta);
-                out
+                (out, delta)
             };
+            self.credit(session, delta);
 
             let mut q2 = self.queue.lock();
             q2.in_flight = false;

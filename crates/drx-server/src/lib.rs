@@ -41,6 +41,16 @@
 //! client.close(h).unwrap();
 //! ```
 
+/// Trace hook for the drx-sched schedule explorer; compiles away entirely
+/// outside `--cfg drx_sched` test builds. Defined before the modules so its
+/// textual scope covers all of them.
+macro_rules! sched_probe {
+    ($label:literal) => {{
+        #[cfg(drx_sched)]
+        drx_sched::probe($label);
+    }};
+}
+
 pub mod cache;
 pub mod client;
 pub mod error;

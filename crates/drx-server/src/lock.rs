@@ -18,6 +18,9 @@
 //! so in-flight reads and writes against already-allocated chunks stay
 //! valid while the array grows.
 
+#[cfg(drx_sched)]
+use drx_sched::sync::{Condvar, Mutex};
+#[cfg(not(drx_sched))]
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 
@@ -52,6 +55,7 @@ struct LockTable {
 /// Lock manager for one array's chunk address space.
 #[derive(Default)]
 pub struct RangeLockManager {
+    // lock-class: table => LockTable
     table: Mutex<LockTable>,
     cond: Condvar,
 }
@@ -77,6 +81,10 @@ impl RangeLockManager {
         let mut addrs: Vec<u64> = addrs.to_vec();
         addrs.sort_unstable();
         addrs.dedup();
+        match mode {
+            LockMode::Read => sched_probe!("lock:request-read"),
+            LockMode::Write => sched_probe!("lock:request-write"),
+        }
         let mut t = self.table.lock();
         let mut registered = false;
         loop {
@@ -104,6 +112,10 @@ impl RangeLockManager {
                         LockMode::Write => c.writer = true,
                     }
                 }
+                match mode {
+                    LockMode::Read => sched_probe!("lock:grant-read"),
+                    LockMode::Write => sched_probe!("lock:grant-write"),
+                }
                 return RangeGuard { mgr: self, addrs, mode };
             }
             if mode == LockMode::Write && !registered {
@@ -111,6 +123,7 @@ impl RangeLockManager {
                     t.chunks.entry(a).or_default().waiting_writers += 1;
                 }
                 registered = true;
+                sched_probe!("lock:register-writer");
             }
             t.waits += 1;
             self.cond.wait(&mut t);
@@ -136,7 +149,13 @@ impl Drop for RangeGuard<'_> {
     fn drop(&mut self) {
         let mut t = self.mgr.table.lock();
         for &a in &self.addrs {
-            let c = t.chunks.get_mut(&a).expect("held chunk has an entry");
+            // A missing entry means the table was corrupted; releasing the
+            // rest of the guard is still the best recovery, and panicking
+            // in Drop would abort the process mid-unwind.
+            let Some(c) = t.chunks.get_mut(&a) else {
+                debug_assert!(false, "held chunk {a} lost its lock entry");
+                continue;
+            };
             match self.mode {
                 LockMode::Read => c.readers -= 1,
                 LockMode::Write => c.writer = false,
@@ -145,6 +164,7 @@ impl Drop for RangeGuard<'_> {
                 t.chunks.remove(&a);
             }
         }
+        sched_probe!("lock:release");
         drop(t);
         self.mgr.cond.notify_all();
     }

@@ -174,16 +174,25 @@ impl<'a> Body<'a> {
         Ok(self.take(1)?[0])
     }
 
+    fn array<const N: usize>(&mut self) -> Result<[u8; N]> {
+        // `take(N)` yields exactly `N` bytes, so the conversion only fails
+        // if that invariant is broken — surface it as a protocol error
+        // rather than a panic in the decode path.
+        self.take(N)?
+            .try_into()
+            .map_err(|_| ServerError::protocol("internal: slice length mismatch".to_string()))
+    }
+
     fn u16(&mut self) -> Result<u16> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.array()?))
     }
 
     fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     fn dims(&mut self) -> Result<Vec<u64>> {

@@ -50,6 +50,7 @@ impl Default for ServerConfig {
 /// One open array: metadata, payload file, lock manager, shared cache.
 pub(crate) struct ArrayState {
     name: String,
+    // lock-class: meta => ArrayMeta
     meta: RwLock<ArrayMeta>,
     xmd: PfsFile,
     xta: PfsFile,
@@ -61,10 +62,36 @@ struct Session {
     handles: HashMap<u32, Arc<ArrayState>>,
 }
 
+// The canonical DRX lock-order DAG (DESIGN.md §9): a thread may only
+// acquire downward along these declared edges, and `drx-analyze` fails the
+// build on any observed nesting that is not listed here.
+//
+// lock-order: ServerArrays -> PfsMeta
+// lock-order: ServerArrays -> PfsFiles
+// lock-order: ServerArrays -> PfsStats
+// lock-order: ServerArrays -> PfsBacking
+// lock-order: ServerArrays -> PfsFault
+// lock-order: ArrayMeta -> LockTable
+// lock-order: ArrayMeta -> CacheQueue
+// lock-order: ArrayMeta -> ChunkPool
+// lock-order: ArrayMeta -> PfsMeta
+// lock-order: ArrayMeta -> PfsFiles
+// lock-order: ArrayMeta -> PfsStats
+// lock-order: ArrayMeta -> PfsBacking
+// lock-order: ArrayMeta -> PfsFault
+// lock-order: LockTable -> CacheQueue
+// lock-order: CacheQueue -> ChunkPool
+// lock-order: ChunkPool -> PfsMeta
+// lock-order: ChunkPool -> PfsFiles
+// lock-order: ChunkPool -> PfsStats
+// lock-order: ChunkPool -> PfsBacking
+// lock-order: ChunkPool -> PfsFault
 struct Inner {
     pfs: Pfs,
     config: ServerConfig,
+    // lock-class: arrays => ServerArrays
     arrays: Mutex<HashMap<String, Arc<ArrayState>>>,
+    // lock-class: inner.sessions => ServerSessions
     sessions: Mutex<HashMap<u64, Session>>,
     next_session: AtomicU64,
     next_handle: AtomicU32,
@@ -120,6 +147,7 @@ impl Server {
     pub fn close_session(&self, session: u64) {
         let Some(state) = self.inner.sessions.lock().remove(&session) else { return };
         for array in state.handles.values() {
+            // allow-discard: teardown flush is best-effort; session is going away
             let _ = array.cache.flush();
             array.cache.drop_session(session);
         }
@@ -242,14 +270,26 @@ impl Server {
     }
 
     fn stat(&self, array: &ArrayState, session: u64) -> StatReply {
-        let meta = array.meta.read();
+        // Snapshot the metadata fields and release the read guard before
+        // querying the cache, lock and PFS layers: stat is a diagnostic
+        // and must not nest ArrayMeta over the stats locks.
+        let (dtype, bounds, chunk_shape, total_chunks, payload_bytes) = {
+            let meta = array.meta.read();
+            (
+                meta.dtype().code(),
+                to_u64_dims(meta.element_bounds()),
+                to_u64_dims(meta.chunking().shape()),
+                meta.total_chunks(),
+                meta.payload_bytes(),
+            )
+        };
         let pfs_stats = self.inner.pfs.stats();
         StatReply {
-            dtype: meta.dtype().code(),
-            bounds: to_u64_dims(meta.element_bounds()),
-            chunk_shape: to_u64_dims(meta.chunking().shape()),
-            total_chunks: meta.total_chunks(),
-            payload_bytes: meta.payload_bytes(),
+            dtype,
+            bounds,
+            chunk_shape,
+            total_chunks,
+            payload_bytes,
             session_cache: array.cache.session_stats(session),
             global_cache: array.cache.global_stats(),
             pfs_requests: pfs_stats.total_requests(),
@@ -385,7 +425,12 @@ fn write_region(
         let mut bytes = if full[i] {
             vec![0u8; cb]
         } else {
-            partial.remove(addr).expect("partial chunk was fetched")
+            partial.remove(addr).ok_or_else(|| {
+                ServerError::new(
+                    ErrorCode::Internal,
+                    format!("partial chunk {addr} missing from fetch batch"),
+                )
+            })?
         };
         index::for_each_offset_pair(
             &valid,
@@ -427,9 +472,15 @@ fn extend(array: &ArrayState, dim: u32, by: u64) -> Result<Vec<u64>> {
 
 impl std::fmt::Debug for Server {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let arrays = self.inner.arrays.lock();
+        // Collect the names and drop the arrays guard before touching the
+        // sessions lock: Debug must not nest ServerArrays over
+        // ServerSessions.
+        let names = {
+            let arrays = self.inner.arrays.lock();
+            arrays.values().map(|a| a.name.clone()).collect::<Vec<_>>()
+        };
         f.debug_struct("Server")
-            .field("arrays", &arrays.values().map(|a| a.name.clone()).collect::<Vec<_>>())
+            .field("arrays", &names)
             .field("sessions", &self.session_count())
             .finish()
     }

@@ -35,9 +35,11 @@ impl ServeHandle {
         self.stop.store(true, Ordering::SeqCst);
         // Each blocked accept needs one wake-up connection.
         for _ in 0..self.workers.len() {
+            // allow-discard: wake-up connection; failure means the worker already exited
             let _ = TcpStream::connect(self.addr);
         }
         for w in self.workers.drain(..) {
+            // allow-discard: a panicked worker is already dead; shutdown proceeds
             let _ = w.join();
         }
     }
@@ -53,6 +55,7 @@ impl Drop for ServeHandle {
     fn drop(&mut self) {
         if !self.workers.is_empty() {
             self.stop_workers();
+            // allow-discard: Drop cannot propagate; explicit shutdown paths report flush errors
             let _ = self.server.flush_all();
         }
     }
@@ -85,6 +88,7 @@ fn worker_loop(listener: TcpListener, server: Server, stop: Arc<AtomicBool>) {
                 if stop.load(Ordering::SeqCst) {
                     return;
                 }
+                // allow-discard: per-connection errors are isolated; keep accepting
                 let _ = serve_connection(&server, stream);
             }
             Err(_) => {
@@ -122,6 +126,7 @@ fn connection_loop(
             Err(e) => {
                 // Report, then drop the connection: after a framing error
                 // the stream position is unreliable.
+                // allow-discard: best-effort error report on an already-broken stream
                 let _ = write_frame(writer, &encode_response(&error_response(&e)));
                 return Err(e);
             }

@@ -8,6 +8,9 @@
 #   2. the test suite (quiet)
 #   3. rustfmt --check
 #   4. clippy with warnings denied
+#   5. drx-analyze: lock-order / panic-ratchet / proto / unsafe / discard lints
+#   6. drx-sched: exhaustive bounded schedule exploration of the lock + cache
+#      layer (separate target dir so the cfg flip does not thrash the cache)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,5 +25,13 @@ cargo fmt --all --check
 
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> drx-analyze (workspace invariant lints)"
+cargo test -q -p drx-analyze
+cargo run -q --release -p drx-analyze -- check
+
+echo "==> drx-sched (bounded schedule exploration)"
+RUSTFLAGS="--cfg drx_sched" CARGO_TARGET_DIR=target/sched \
+    cargo test -q -p drx-server --test sched_explore
 
 echo "==> CI green"

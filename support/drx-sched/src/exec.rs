@@ -1,0 +1,432 @@
+//! The cooperative executor and DFS schedule enumeration.
+//!
+//! One OS thread is spawned per logical thread, but the controller grants
+//! `Running` to exactly one at a time; everyone else parks on a shared
+//! condvar. A thread gives control back at each *yield point* (mutex
+//! acquisition, condvar wait) or when it finishes. The controller records
+//! `(chosen, alternatives)` at every decision; depth-first search replays
+//! a decision prefix and bumps the deepest incrementable choice to visit
+//! the next schedule. Identical prefixes replay identically because the
+//! scheduler fully serializes execution.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// Panic payload used to unwind parked threads when a run is torn down
+/// (deadlock detected or depth cap hit). Never surfaced to the user.
+const ABORT_SENTINEL: &str = "drx-sched abort";
+
+/// One observable event in a run's trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// The controller granted the slice to this thread.
+    Schedule(usize),
+    /// A thread passed [`probe`] with this label.
+    Probe(usize, &'static str),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Ready,
+    Running,
+    BlockedMutex(usize),
+    BlockedCond(usize),
+    Finished,
+}
+
+struct ExecInner {
+    statuses: Vec<Status>,
+    /// Virtual mutex ownership: mutex id (object address) → tid.
+    owners: HashMap<usize, usize>,
+    trace: Vec<Event>,
+    panic_msg: Option<String>,
+}
+
+/// Shared state between the controller and the managed threads.
+pub(crate) struct ExecShared {
+    inner: StdMutex<ExecInner>,
+    cv: StdCondvar,
+    abort: AtomicBool,
+}
+
+impl ExecShared {
+    fn new(n: usize) -> ExecShared {
+        ExecShared {
+            inner: StdMutex::new(ExecInner {
+                statuses: vec![Status::Ready; n],
+                owners: HashMap::new(),
+                trace: Vec::new(),
+                panic_msg: None,
+            }),
+            cv: StdCondvar::new(),
+            abort: AtomicBool::new(false),
+        }
+    }
+
+    fn lock_inner(&self) -> StdMutexGuard<'_, ExecInner> {
+        // Poisoning is expected during abort teardown; the state stays
+        // coherent because every mutation is a complete transition.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn aborting(&self) -> bool {
+        self.abort.load(Ordering::SeqCst)
+    }
+
+    /// Unwind this thread out of the run. Must not be called while the
+    /// thread is already panicking (that would abort the process).
+    fn bail(&self) -> ! {
+        std::panic::panic_any(ABORT_SENTINEL)
+    }
+
+    /// Abort-aware exit from a parked state: plain return while already
+    /// unwinding (so guard Drops stay panic-free), sentinel otherwise.
+    fn bail_or_return(&self) -> bool {
+        if std::thread::panicking() {
+            return true; // caller degrades to direct std behavior
+        }
+        self.bail()
+    }
+
+    /// Park until granted `Running`. Returns false if the run aborted.
+    fn wait_for_running(&self, tid: usize) -> bool {
+        let mut g = self.lock_inner();
+        loop {
+            if self.aborting() {
+                return false;
+            }
+            if g.statuses[tid] == Status::Running {
+                return true;
+            }
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Scheduling decision point: hand the slice back and park.
+    pub(crate) fn yield_point(&self, tid: usize) {
+        if self.aborting() {
+            self.bail_or_return();
+            return;
+        }
+        {
+            let mut g = self.lock_inner();
+            g.statuses[tid] = Status::Ready;
+            self.cv.notify_all();
+        }
+        if !self.wait_for_running(tid) {
+            self.bail_or_return();
+        }
+    }
+
+    /// Virtually acquire mutex `id`, blocking (and re-yielding) while it
+    /// is owned. The yield before the attempt is the decision point.
+    pub(crate) fn acquire_mutex(&self, id: usize, tid: usize) {
+        self.yield_point(tid);
+        loop {
+            if self.aborting() {
+                self.bail_or_return();
+                return;
+            }
+            {
+                let mut g = self.lock_inner();
+                if let Entry::Vacant(e) = g.owners.entry(id) {
+                    e.insert(tid);
+                    return;
+                }
+                g.statuses[tid] = Status::BlockedMutex(id);
+                self.cv.notify_all();
+            }
+            if !self.wait_for_running(tid) {
+                self.bail_or_return();
+                return;
+            }
+        }
+    }
+
+    pub(crate) fn release_mutex(&self, id: usize, tid: usize) {
+        let mut g = self.lock_inner();
+        if g.owners.get(&id) == Some(&tid) {
+            g.owners.remove(&id);
+        }
+        for s in g.statuses.iter_mut() {
+            if *s == Status::BlockedMutex(id) {
+                *s = Status::Ready;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Virtual `Condvar::wait`: register as blocked and release the mutex
+    /// in one step under the executor lock (the current thread is the only
+    /// one running, so no wakeup can be lost), park until notified, then
+    /// re-acquire the mutex.
+    pub(crate) fn cond_wait(&self, cv_id: usize, mutex_id: usize, tid: usize) {
+        if self.aborting() {
+            self.bail_or_return();
+            return;
+        }
+        {
+            let mut g = self.lock_inner();
+            g.statuses[tid] = Status::BlockedCond(cv_id);
+            if g.owners.get(&mutex_id) == Some(&tid) {
+                g.owners.remove(&mutex_id);
+            }
+            for s in g.statuses.iter_mut() {
+                if *s == Status::BlockedMutex(mutex_id) {
+                    *s = Status::Ready;
+                }
+            }
+            self.cv.notify_all();
+        }
+        if !self.wait_for_running(tid) {
+            self.bail_or_return();
+            return;
+        }
+        loop {
+            if self.aborting() {
+                self.bail_or_return();
+                return;
+            }
+            {
+                let mut g = self.lock_inner();
+                if let Entry::Vacant(e) = g.owners.entry(mutex_id) {
+                    e.insert(tid);
+                    return;
+                }
+                g.statuses[tid] = Status::BlockedMutex(mutex_id);
+                self.cv.notify_all();
+            }
+            if !self.wait_for_running(tid) {
+                self.bail_or_return();
+                return;
+            }
+        }
+    }
+
+    /// Wake every virtual waiter of condvar `cv_id` (non-yielding).
+    pub(crate) fn notify_virtual(&self, cv_id: usize, all: bool) {
+        let mut g = self.lock_inner();
+        for s in g.statuses.iter_mut() {
+            if *s == Status::BlockedCond(cv_id) {
+                *s = Status::Ready;
+                if !all {
+                    break;
+                }
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    fn push_probe(&self, tid: usize, label: &'static str) {
+        self.lock_inner().trace.push(Event::Probe(tid, label));
+    }
+}
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<(Arc<ExecShared>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+pub(crate) fn current() -> Option<(Arc<ExecShared>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+fn set_current(v: Option<(Arc<ExecShared>, usize)>) {
+    CTX.with(|c| *c.borrow_mut() = v);
+}
+
+/// Record a labeled event in the current run's trace. A no-op (and free
+/// of any locking) on threads not managed by an explorer.
+pub fn probe(label: &'static str) {
+    if let Some((exec, tid)) = current() {
+        if !exec.aborting() {
+            exec.push_probe(tid, label);
+        }
+    }
+}
+
+/// Exploration bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Stop after this many runs (sets `Stats::truncated`).
+    pub max_runs: usize,
+    /// Per-run scheduling-decision cap; deeper runs are aborted.
+    pub max_depth: usize,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options { max_runs: 50_000, max_depth: 128 }
+    }
+}
+
+/// Aggregate results of an exploration.
+#[derive(Debug, Default, Clone)]
+pub struct Stats {
+    pub runs: usize,
+    /// Runs where every thread finished.
+    pub complete: usize,
+    /// Runs that ended with all unfinished threads blocked.
+    pub deadlocks: usize,
+    /// True if `max_runs` or `max_depth` cut the search short.
+    pub truncated: bool,
+}
+
+/// What one run observed.
+#[derive(Debug)]
+pub struct RunTrace {
+    /// Schedule grants and probes, in execution order.
+    pub events: Vec<Event>,
+    pub deadlock: bool,
+    /// First non-sentinel panic message from any thread, if one panicked.
+    pub panic: Option<String>,
+    /// The tid granted at each decision, for printing schedules.
+    pub schedule: Vec<usize>,
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic>".to_string()
+    }
+}
+
+struct RunOutcome {
+    decisions: Vec<(usize, usize)>,
+    trace: RunTrace,
+    depth_exceeded: bool,
+}
+
+fn run_once(
+    threads: Vec<Box<dyn FnOnce() + Send + 'static>>,
+    prefix: &[usize],
+    max_depth: usize,
+) -> RunOutcome {
+    let shared = Arc::new(ExecShared::new(threads.len()));
+    let mut handles = Vec::new();
+    for (tid, f) in threads.into_iter().enumerate() {
+        let sh = Arc::clone(&shared);
+        handles.push(std::thread::spawn(move || {
+            set_current(Some((Arc::clone(&sh), tid)));
+            let granted = sh.wait_for_running(tid);
+            let result = if granted { catch_unwind(AssertUnwindSafe(f)) } else { Ok(()) };
+            {
+                let mut g = sh.lock_inner();
+                g.statuses[tid] = Status::Finished;
+                if let Err(p) = result {
+                    let msg = panic_message(p.as_ref());
+                    if msg != ABORT_SENTINEL && g.panic_msg.is_none() {
+                        g.panic_msg = Some(msg);
+                    }
+                }
+                sh.cv.notify_all();
+            }
+            set_current(None);
+        }));
+    }
+
+    let mut decisions: Vec<(usize, usize)> = Vec::new();
+    let mut schedule: Vec<usize> = Vec::new();
+    let mut deadlock = false;
+    let mut depth_exceeded = false;
+    loop {
+        let mut g = shared.lock_inner();
+        while g.statuses.contains(&Status::Running) {
+            g = shared.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        if g.statuses.iter().all(|s| *s == Status::Finished) {
+            break;
+        }
+        let runnable: Vec<usize> = g
+            .statuses
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == Status::Ready)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            deadlock = true;
+        } else if decisions.len() >= max_depth {
+            depth_exceeded = true;
+        } else {
+            let choice = prefix.get(decisions.len()).copied().unwrap_or(0).min(runnable.len() - 1);
+            decisions.push((choice, runnable.len()));
+            let tid = runnable[choice];
+            g.statuses[tid] = Status::Running;
+            g.trace.push(Event::Schedule(tid));
+            schedule.push(tid);
+            shared.cv.notify_all();
+            drop(g);
+            continue;
+        }
+        // Tear the run down: wake every parked thread into the sentinel.
+        drop(g);
+        shared.abort.store(true, Ordering::SeqCst);
+        let _g = shared.lock_inner();
+        shared.cv.notify_all();
+        break;
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    let inner = shared.lock_inner();
+    RunOutcome {
+        decisions,
+        trace: RunTrace {
+            events: inner.trace.clone(),
+            deadlock,
+            panic: inner.panic_msg.clone(),
+            schedule,
+        },
+        depth_exceeded,
+    }
+}
+
+/// Enumerate every schedule of the threads produced by `mk`, invoking
+/// `on_run` with each run's trace. `mk` is called once per run and must
+/// build fresh state; determinism requires the closures to branch only on
+/// that state.
+pub fn explore<F>(opts: Options, mk: F, mut on_run: impl FnMut(&RunTrace)) -> Stats
+where
+    F: Fn() -> Vec<Box<dyn FnOnce() + Send + 'static>>,
+{
+    let mut stats = Stats::default();
+    let mut prefix: Vec<usize> = Vec::new();
+    loop {
+        if stats.runs >= opts.max_runs {
+            stats.truncated = true;
+            break;
+        }
+        let outcome = run_once(mk(), &prefix, opts.max_depth);
+        stats.runs += 1;
+        if outcome.depth_exceeded {
+            stats.truncated = true;
+        } else if outcome.trace.deadlock {
+            stats.deadlocks += 1;
+        } else {
+            stats.complete += 1;
+        }
+        on_run(&outcome.trace);
+        let mut next = None;
+        for i in (0..outcome.decisions.len()).rev() {
+            let (chosen, alts) = outcome.decisions[i];
+            if chosen + 1 < alts {
+                let mut p: Vec<usize> = outcome.decisions[..i].iter().map(|d| d.0).collect();
+                p.push(chosen + 1);
+                next = Some(p);
+                break;
+            }
+        }
+        match next {
+            Some(p) => prefix = p,
+            None => break,
+        }
+    }
+    stats
+}

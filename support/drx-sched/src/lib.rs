@@ -1,0 +1,24 @@
+//! drx-sched — a deterministic schedule explorer for the DRX locking
+//! layer, in the spirit of `loom` but vendored and dependency-free.
+//!
+//! Test code hands [`explore`] a factory of thread closures. The explorer
+//! runs them under a cooperative scheduler: exactly one thread executes at
+//! a time, every [`sync::Mutex`] acquisition is a scheduling decision
+//! point, and depth-first search over the decision tree enumerates every
+//! bounded interleaving. Deadlocks (all unfinished threads blocked) are
+//! detected and reported per run rather than hanging the test.
+//!
+//! [`sync::Mutex`] and [`sync::Condvar`] mirror the `parking_lot` shim
+//! API. On threads not managed by an explorer they degrade to plain std
+//! behavior, so a crate can link them unconditionally and only the
+//! `--cfg drx_sched` test binaries pay for virtualization.
+//!
+//! The explorer relies on the workspace lock-order DAG (DESIGN.md §9):
+//! locks *outside* the instrumented set must be leaves — never held
+//! across an instrumented acquisition — or a parked thread could hold a
+//! real lock and stall a running one.
+
+pub mod exec;
+pub mod sync;
+
+pub use exec::{explore, probe, Event, Options, RunTrace, Stats};

@@ -1,0 +1,145 @@
+//! Drop-in `Mutex` / `Condvar` mirroring the `parking_lot` shim API.
+//!
+//! On a thread managed by an [`crate::exec`] explorer, acquisition and
+//! condvar waits go through the virtual scheduling protocol; elsewhere
+//! they are plain std synchronization (poison-transparent), so the whole
+//! test binary can link this crate while only explorer-driven tests pay
+//! for it.
+
+use crate::exec::{self, ExecShared};
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex { inner: std::sync::Mutex::new(value) }
+    }
+
+    /// Identity for the virtual ownership table: the object address.
+    fn id(&self) -> usize {
+        self as *const Mutex<T> as usize
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let ctx = exec::current();
+        if let Some((ex, tid)) = &ctx {
+            ex.acquire_mutex(self.id(), *tid);
+        }
+        let g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        MutexGuard { mx: self, inner: Some(g), ctx }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+pub struct MutexGuard<'a, T> {
+    mx: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    ctx: Option<(Arc<ExecShared>, usize)>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_deref().unwrap_or_else(|| unreachable_guard())
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_deref_mut().unwrap_or_else(|| unreachable_guard())
+    }
+}
+
+/// The real guard is absent only transiently inside `Condvar::wait`,
+/// where no user deref can occur; reaching this is a drx-sched bug.
+fn unreachable_guard() -> ! {
+    unreachable!("drx-sched guard dereferenced without its std guard")
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock before the virtual one so the next owner
+        // can take the std mutex without contention.
+        self.inner = None;
+        if let Some((ex, tid)) = &self.ctx {
+            ex.release_mutex(self.mx.id(), *tid);
+        }
+    }
+}
+
+#[derive(Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Condvar {
+        Condvar { inner: std::sync::Condvar::new() }
+    }
+
+    fn id(&self) -> usize {
+        self as *const Condvar as usize
+    }
+
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        match guard.ctx.clone() {
+            Some((ex, tid)) => {
+                let mid = guard.mx.id();
+                // Drop the real guard first; the executor then atomically
+                // registers the wait and releases the virtual mutex — no
+                // other thread runs in between, so no wakeup is lost.
+                guard.inner = None;
+                ex.cond_wait(self.id(), mid, tid);
+                guard.inner = Some(guard.mx.inner.lock().unwrap_or_else(|e| e.into_inner()));
+            }
+            None => {
+                if let Some(g) = guard.inner.take() {
+                    guard.inner = Some(self.inner.wait(g).unwrap_or_else(|e| e.into_inner()));
+                }
+            }
+        }
+    }
+
+    pub fn notify_all(&self) {
+        if let Some((ex, _)) = exec::current() {
+            ex.notify_virtual(self.id(), true);
+        }
+        self.inner.notify_all();
+    }
+
+    pub fn notify_one(&self) {
+        if let Some((ex, _)) = exec::current() {
+            ex.notify_virtual(self.id(), false);
+        }
+        self.inner.notify_one();
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}

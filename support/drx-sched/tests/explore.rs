@@ -1,0 +1,163 @@
+//! Explorer self-tests: exhaustive enumeration on a known-size case,
+//! mutual exclusion under the virtual mutex, and detection of a seeded
+//! AB-BA deadlock.
+
+use drx_sched::sync::Mutex;
+use drx_sched::{explore, probe, Event, Options};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Two lock-free threads, one probe each: exactly two schedules exist and
+/// both must be visited.
+#[test]
+fn exhaustive_two_thread_orders() {
+    let mut orders: BTreeSet<Vec<usize>> = BTreeSet::new();
+    let stats = explore(
+        Options::default(),
+        || {
+            vec![
+                Box::new(|| probe("a")) as Box<dyn FnOnce() + Send>,
+                Box::new(|| probe("b")) as Box<dyn FnOnce() + Send>,
+            ]
+        },
+        |trace| {
+            assert!(trace.panic.is_none(), "panic: {:?}", trace.panic);
+            assert!(!trace.deadlock);
+            let probes: Vec<usize> = trace
+                .events
+                .iter()
+                .filter_map(|e| match e {
+                    Event::Probe(tid, _) => Some(*tid),
+                    Event::Schedule(_) => None,
+                })
+                .collect();
+            orders.insert(probes);
+        },
+    );
+    assert_eq!(stats.runs, 2, "{stats:?}");
+    assert_eq!(stats.complete, 2, "{stats:?}");
+    assert_eq!(stats.deadlocks, 0, "{stats:?}");
+    assert!(!stats.truncated);
+    assert_eq!(orders.len(), 2, "both probe orders must be observed: {orders:?}");
+}
+
+/// Critical sections guarded by one mutex never interleave, across every
+/// schedule.
+#[test]
+fn mutex_provides_mutual_exclusion() {
+    let stats = explore(
+        Options::default(),
+        || {
+            let m = Arc::new(Mutex::new(0u32));
+            (0..2)
+                .map(|_| {
+                    let m = Arc::clone(&m);
+                    Box::new(move || {
+                        for _ in 0..2 {
+                            let mut g = m.lock();
+                            probe("enter");
+                            *g += 1;
+                            probe("exit");
+                        }
+                    }) as Box<dyn FnOnce() + Send>
+                })
+                .collect()
+        },
+        |trace| {
+            assert!(trace.panic.is_none(), "panic: {:?}", trace.panic);
+            assert!(!trace.deadlock, "schedule {:?} deadlocked", trace.schedule);
+            let mut inside: Option<usize> = None;
+            for e in &trace.events {
+                match e {
+                    Event::Probe(tid, "enter") => {
+                        assert!(
+                            inside.is_none(),
+                            "thread {tid} entered while {inside:?} held the lock"
+                        );
+                        inside = Some(*tid);
+                    }
+                    Event::Probe(tid, "exit") => {
+                        assert_eq!(inside, Some(*tid));
+                        inside = None;
+                    }
+                    _ => {}
+                }
+            }
+        },
+    );
+    assert!(stats.runs > 1, "{stats:?}");
+    assert_eq!(stats.complete, stats.runs, "{stats:?}");
+    assert!(!stats.truncated);
+}
+
+/// Classic AB-BA ordering violation: the explorer must find at least one
+/// deadlocking schedule and at least one completing schedule.
+#[test]
+fn abba_deadlock_is_detected() {
+    let stats = explore(
+        Options::default(),
+        || {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            vec![
+                Box::new(move || {
+                    let _ga = a.lock();
+                    let _gb = b.lock();
+                }) as Box<dyn FnOnce() + Send>,
+                Box::new(move || {
+                    let _gb = b2.lock();
+                    let _ga = a2.lock();
+                }) as Box<dyn FnOnce() + Send>,
+            ]
+        },
+        |_| {},
+    );
+    assert!(stats.deadlocks >= 1, "AB-BA must deadlock somewhere: {stats:?}");
+    assert!(stats.complete >= 1, "AB-BA also has safe schedules: {stats:?}");
+    assert_eq!(stats.complete + stats.deadlocks, stats.runs);
+    assert!(!stats.truncated);
+}
+
+/// A condvar handoff: the waiter must always observe the flag set by the
+/// notifier, in every schedule, with no lost wakeups.
+#[test]
+fn condvar_handoff_completes() {
+    use drx_sched::sync::Condvar;
+    struct Cell {
+        m: Mutex<bool>,
+        cv: Condvar,
+    }
+    let stats = explore(
+        Options::default(),
+        || {
+            let c = Arc::new(Cell { m: Mutex::new(false), cv: Condvar::new() });
+            let c2 = Arc::clone(&c);
+            vec![
+                Box::new(move || {
+                    let mut g = c.m.lock();
+                    while !*g {
+                        c.cv.wait(&mut g);
+                    }
+                    probe("observed");
+                }) as Box<dyn FnOnce() + Send>,
+                Box::new(move || {
+                    let mut g = c2.m.lock();
+                    *g = true;
+                    drop(g);
+                    c2.cv.notify_all();
+                }) as Box<dyn FnOnce() + Send>,
+            ]
+        },
+        |trace| {
+            assert!(trace.panic.is_none(), "panic: {:?}", trace.panic);
+            assert!(!trace.deadlock, "lost wakeup in schedule {:?}", trace.schedule);
+            assert!(
+                trace.events.contains(&Event::Probe(0, "observed")),
+                "waiter never observed the flag"
+            );
+        },
+    );
+    assert!(stats.runs >= 2, "{stats:?}");
+    assert_eq!(stats.complete, stats.runs, "{stats:?}");
+}
