@@ -4,6 +4,13 @@
 //! error channel of a fallible operation. Each such statement in non-test
 //! code must carry an `// allow-discard: <reason>` comment (same line or
 //! the line above) acknowledging that the error is intentionally dropped.
+//!
+//! One class of discard is never allowed, with or without an annotation:
+//! an RHS that mentions `retry` or `RetryPolicy`. A retry loop exists to
+//! convert transient faults into either success or a typed error — if its
+//! result is dropped, every fault the policy was installed for is silently
+//! swallowed after burning the full backoff budget, which is strictly
+//! worse than no retry at all.
 
 use crate::facts::Facts;
 use crate::lexer::TokKind;
@@ -29,8 +36,12 @@ pub fn check(f: &SourceFile, facts: &Facts, report: &mut Report) {
         let mut depth = 0i32;
         let mut has_call = false;
         let mut has_try = false;
+        let mut mentions_retry = false;
         while j < f.sig_len() {
             let t = f.sig_tok(j);
+            if t.kind == TokKind::Ident && (t.text == "retry" || t.text == "RetryPolicy") {
+                mentions_retry = true;
+            }
             if t.kind == TokKind::Punct {
                 match t.text.as_str() {
                     "(" | "[" | "{" => {
@@ -47,7 +58,18 @@ pub fn check(f: &SourceFile, facts: &Facts, report: &mut Report) {
             }
             j += 1;
         }
-        if has_call && !has_try && !facts.discard_allowed(&path, line) {
+        if has_call && !has_try && mentions_retry {
+            // Retry outcomes are the whole point of a RetryPolicy; no
+            // annotation can make discarding one acceptable.
+            report.push(
+                Lint::DiscardedResult,
+                &path,
+                line,
+                "`let _ =` discards a RetryPolicy result; retry outcomes must be \
+                 propagated or handled (`// allow-discard` does not apply here)"
+                    .to_string(),
+            );
+        } else if has_call && !has_try && !facts.discard_allowed(&path, line) {
             report.push(
                 Lint::DiscardedResult,
                 &path,
@@ -109,6 +131,22 @@ mod tests {
     #[test]
     fn test_code_exempt() {
         let r = run("#[test]\nfn t() { let _ = go(); }");
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn retry_result_discard_flags_even_when_annotated() {
+        let r = run(
+            "fn a() {\n    // allow-discard: best effort\n    let _ = self.retry.run(|| go());\n}",
+        );
+        assert_eq!(r.count(Lint::DiscardedResult), 1, "{}", r.render());
+        let r = run("fn a() { let _ = RetryPolicy::default().run(op); }");
+        assert_eq!(r.count(Lint::DiscardedResult), 1, "{}", r.render());
+    }
+
+    #[test]
+    fn retry_result_propagated_with_try_passes() {
+        let r = run("fn a() -> R { let _ = self.retry.run(|| go())?; Ok(()) }");
         assert!(r.is_clean(), "{}", r.render());
     }
 }

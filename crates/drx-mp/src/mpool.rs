@@ -161,7 +161,6 @@ impl ChunkPool {
             self.touch(addr);
             return Ok(());
         }
-        self.stats.misses += 1;
         if self.frames.len() >= self.capacity {
             // Evict the least recently used frame.
             let victim = self
@@ -174,6 +173,9 @@ impl ChunkPool {
         }
         let off = addr * self.chunk_bytes as u64;
         let data = self.file.read_vec(off, self.chunk_bytes)?;
+        // The miss is recorded only once the fetch succeeded: a faulted
+        // read leaves the counters describing work that actually happened.
+        self.stats.misses += 1;
         self.clock += 1;
         self.frames.insert(addr, Frame { data, dirty: false, last_used: self.clock });
         Ok(())
@@ -183,13 +185,17 @@ impl ChunkPool {
         // Trace hook for the drx-sched schedule explorer (no-op otherwise).
         #[cfg(drx_sched)]
         drx_sched::probe("mpool:evict");
-        if let Some(frame) = self.frames.remove(&addr) {
-            self.stats.evictions += 1;
-            if frame.dirty {
-                self.stats.writebacks += 1;
-                self.file.write_at(addr * self.chunk_bytes as u64, &frame.data)?;
-            }
+        // Write back *before* removing the frame: if the write-back fails
+        // (transient PFS fault, down stripe server) the dirty data must
+        // stay in the pool so a later flush or retried eviction can still
+        // persist it. Remove-first silently lost the chunk on error.
+        let Some(frame) = self.frames.get(&addr) else { return Ok(()) };
+        if frame.dirty {
+            self.file.write_at(addr * self.chunk_bytes as u64, &frame.data)?;
+            self.stats.writebacks += 1;
         }
+        self.frames.remove(&addr);
+        self.stats.evictions += 1;
         Ok(())
     }
 
@@ -508,6 +514,41 @@ mod tests {
         assert!(pool.read(0, 0, &mut buf).is_err());
         assert!(pool.write(0, 60, &[0; 8]).is_err());
         assert!(ChunkPool::new(fs.create("q").unwrap(), 0, 2).is_err());
+    }
+
+    #[test]
+    fn failed_eviction_writeback_keeps_the_dirty_frame() {
+        let fs = pfs();
+        let f = fs.create("p").unwrap();
+        f.set_len(64 * 8).unwrap();
+        let mut pool = ChunkPool::new(f.clone(), 64, 2).unwrap();
+        pool.write(0, 0, &[7; 4]).unwrap(); // dirty chunk 0
+        let mut buf = [0u8; 4];
+        pool.read(1, 0, &mut buf).unwrap();
+        // Fail the next request on server 0 (where chunk 0 lives).
+        fs.inject_fault(0, 0).unwrap();
+        // Faulting in chunk 2 tries to evict chunk 0 (LRU, dirty); the
+        // write-back fails, and the dirty frame must survive.
+        assert!(pool.read(2, 0, &mut buf).is_err());
+        pool.read(0, 0, &mut buf).unwrap();
+        assert_eq!(buf, [7; 4], "dirty data lost by failed eviction");
+        // Once the fault clears, flush persists it.
+        pool.flush().unwrap();
+        assert_eq!(f.read_vec(0, 4).unwrap(), vec![7; 4]);
+    }
+
+    #[test]
+    fn failed_fetch_counts_no_miss() {
+        let fs = pfs();
+        let f = fs.create("p").unwrap();
+        f.set_len(64 * 4).unwrap();
+        let mut pool = ChunkPool::new(f, 64, 4).unwrap();
+        fs.inject_fault(0, 0).unwrap();
+        let mut buf = [0u8; 4];
+        assert!(pool.read(0, 0, &mut buf).is_err());
+        assert_eq!(pool.stats().misses, 0, "failed fetch must not count as a miss");
+        pool.read(0, 0, &mut buf).unwrap();
+        assert_eq!(pool.stats().misses, 1);
     }
 
     #[test]

@@ -120,12 +120,17 @@ impl<T: Element> DrxFile<T> {
     }
 
     /// Persist the metadata (called automatically by [`DrxFile::extend`]).
+    /// The `.xmd` image is fsynced: extend-commit is the durability point
+    /// after which the new bounds — and every chunk address they imply —
+    /// must survive a crash, or payload written into the extended region
+    /// would be unaddressable on reopen.
     pub fn sync_meta(&self) -> Result<()> {
         let name = format!("{}{XMD_SUFFIX}", self.base);
         let xmd = self.pfs.open(&name)?;
         let bytes = self.meta.encode();
         xmd.write_at(0, &bytes)?;
         xmd.set_len(bytes.len() as u64)?;
+        xmd.sync()?;
         Ok(())
     }
 

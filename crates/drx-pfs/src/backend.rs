@@ -5,10 +5,12 @@
 //! written length yield zeros — holes are legal at the local level; logical
 //! end-of-file policing happens in [`crate::file::PfsFile`].
 
-use crate::error::Result;
+use crate::error::{PfsError, Result};
+use drx_fault::{CrashFile, Decision, Injector, Op};
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
 use std::path::Path;
+use std::sync::Arc;
 
 /// Byte-addressed storage for one (file, server) pair.
 ///
@@ -25,6 +27,10 @@ pub trait Storage: Send + Sync {
     fn len(&self) -> Result<u64>;
     /// Truncate or zero-extend to `len` bytes.
     fn set_len(&self, len: u64) -> Result<()>;
+    /// Force written bytes to durable storage (fsync). Volatile backends
+    /// treat this as a durability barrier in their crash model; for
+    /// [`MemBackend`] (no crash model) it is a no-op.
+    fn sync(&self) -> Result<()>;
 }
 
 /// In-memory backend — the default for tests and benchmarks (deterministic,
@@ -69,6 +75,10 @@ impl Storage for MemBackend {
         self.data.lock().resize(len as usize, 0);
         Ok(())
     }
+
+    fn sync(&self) -> Result<()> {
+        Ok(())
+    }
 }
 
 /// Real-file backend: stores the server-local stream in one file on the host
@@ -89,21 +99,46 @@ impl FileBackend {
 impl Storage for FileBackend {
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
         use std::os::unix::fs::FileExt;
-        // Zero-fill semantics: read what exists, zero the rest.
+        // Zero-fill semantics: read what exists, zero the rest. The loop
+        // absorbs `EINTR` and short reads itself instead of surfacing them
+        // — positioned reads may legally return early.
         let flen = self.file.metadata()?.len();
         if offset >= flen {
             buf.fill(0);
             return Ok(());
         }
         let avail = ((flen - offset) as usize).min(buf.len());
-        self.file.read_exact_at(&mut buf[..avail], offset)?;
-        buf[avail..].fill(0);
+        let mut done = 0usize;
+        while done < avail {
+            match self.file.read_at(&mut buf[done..avail], offset + done as u64) {
+                Ok(0) => break, // concurrent truncation: the rest is a hole
+                Ok(n) => done += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        buf[done..].fill(0);
         Ok(())
     }
 
     fn write_at(&self, offset: u64, data: &[u8]) -> Result<()> {
         use std::os::unix::fs::FileExt;
-        self.file.write_all_at(data, offset)?;
+        // Same contract as reads: `EINTR` and partial writes are retried
+        // here, not surfaced to the striping layer.
+        let mut done = 0usize;
+        while done < data.len() {
+            match self.file.write_at(&data[done..], offset + done as u64) {
+                Ok(0) => {
+                    return Err(PfsError::Io(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "write_at returned 0 bytes",
+                    )))
+                }
+                Ok(n) => done += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
         Ok(())
     }
 
@@ -114,6 +149,138 @@ impl Storage for FileBackend {
     fn set_len(&self, len: u64) -> Result<()> {
         self.file.set_len(len)?;
         Ok(())
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.file.sync_all()?;
+        Ok(())
+    }
+}
+
+/// Crash-model backend: the server-local stream lives in a
+/// [`drx_fault::CrashFile`] with an explicit volatile/durable split.
+/// `sync` is the durability barrier; [`drx_fault::CrashRegistry::crash_all`]
+/// simulates power loss, and a file system rebuilt over the same registry
+/// sees exactly what was synced.
+pub struct CrashBackend {
+    file: Arc<CrashFile>,
+}
+
+impl CrashBackend {
+    pub fn new(file: Arc<CrashFile>) -> CrashBackend {
+        CrashBackend { file }
+    }
+}
+
+impl Storage for CrashBackend {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        self.file.read_at(offset, buf);
+        Ok(())
+    }
+
+    fn write_at(&self, offset: u64, data: &[u8]) -> Result<()> {
+        self.file.write_at(offset, data);
+        Ok(())
+    }
+
+    fn len(&self) -> Result<u64> {
+        Ok(self.file.len())
+    }
+
+    fn set_len(&self, len: u64) -> Result<()> {
+        self.file.set_len(len);
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.file.sync();
+        Ok(())
+    }
+}
+
+/// Fault-injecting decorator: consults a shared [`drx_fault::Injector`]
+/// before every operation and maps its decisions onto typed [`PfsError`]s.
+/// Wraps any inner backend; composed over [`CrashBackend`] the injected
+/// torn writes leave exactly the bytes a real crash would.
+pub struct FaultyBackend {
+    inner: Box<dyn Storage>,
+    injector: Arc<Injector>,
+    /// Fault domain: the owning server's id.
+    domain: usize,
+}
+
+impl FaultyBackend {
+    pub fn new(inner: Box<dyn Storage>, injector: Arc<Injector>, domain: usize) -> FaultyBackend {
+        FaultyBackend { inner, injector, domain }
+    }
+
+    fn interrupted(&self) -> PfsError {
+        PfsError::Io(std::io::Error::new(std::io::ErrorKind::Interrupted, "injected EINTR"))
+    }
+}
+
+impl Storage for FaultyBackend {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        match self.injector.decide(self.domain, Op::Read, buf.len()) {
+            Decision::Pass | Decision::TornWrite { .. } => self.inner.read_at(offset, buf),
+            Decision::Interrupt => Err(self.interrupted()),
+            Decision::Unavailable => Err(PfsError::Unavailable { server: self.domain }),
+            Decision::ShortRead { keep } => {
+                let keep = keep.min(buf.len());
+                self.inner.read_at(offset, &mut buf[..keep])?;
+                Err(PfsError::ShortIo { server: self.domain, expected: buf.len(), got: keep })
+            }
+            Decision::Delay { micros } => {
+                std::thread::sleep(std::time::Duration::from_micros(micros));
+                self.inner.read_at(offset, buf)
+            }
+        }
+    }
+
+    fn write_at(&self, offset: u64, data: &[u8]) -> Result<()> {
+        match self.injector.decide(self.domain, Op::Write, data.len()) {
+            Decision::Pass | Decision::ShortRead { .. } => self.inner.write_at(offset, data),
+            Decision::Interrupt => Err(self.interrupted()),
+            Decision::Unavailable => Err(PfsError::Unavailable { server: self.domain }),
+            Decision::TornWrite { keep } => {
+                let keep = keep.min(data.len());
+                self.inner.write_at(offset, &data[..keep])?;
+                Err(PfsError::Torn { server: self.domain, written: keep })
+            }
+            Decision::Delay { micros } => {
+                std::thread::sleep(std::time::Duration::from_micros(micros));
+                self.inner.write_at(offset, data)
+            }
+        }
+    }
+
+    fn len(&self) -> Result<u64> {
+        // Length queries are metadata lookups, not scripted operations.
+        self.inner.len()
+    }
+
+    fn set_len(&self, len: u64) -> Result<()> {
+        match self.injector.decide(self.domain, Op::SetLen, 0) {
+            Decision::Interrupt => Err(self.interrupted()),
+            Decision::Unavailable => Err(PfsError::Unavailable { server: self.domain }),
+            Decision::Delay { micros } => {
+                std::thread::sleep(std::time::Duration::from_micros(micros));
+                self.inner.set_len(len)
+            }
+            _ => self.inner.set_len(len),
+        }
+    }
+
+    fn sync(&self) -> Result<()> {
+        match self.injector.decide(self.domain, Op::Sync, 0) {
+            Decision::Interrupt => Err(self.interrupted()),
+            Decision::Unavailable => Err(PfsError::Unavailable { server: self.domain }),
+            Decision::Delay { micros } => {
+                std::thread::sleep(std::time::Duration::from_micros(micros));
+                self.inner.sync()
+            }
+            _ => self.inner.sync(),
+        }
     }
 }
 
@@ -171,5 +338,82 @@ mod tests {
         let mut buf = [0u8; 4];
         b.read_at(0, &mut buf).unwrap();
         assert_eq!(&buf, b"aabb");
+    }
+
+    #[test]
+    fn crash_backend_semantics() {
+        exercise(&CrashBackend::new(Arc::new(CrashFile::default())));
+    }
+
+    #[test]
+    fn crash_backend_loses_unsynced_writes() {
+        let file = Arc::new(CrashFile::default());
+        let b = CrashBackend::new(Arc::clone(&file));
+        b.write_at(0, b"durable!").unwrap();
+        b.sync().unwrap();
+        b.write_at(0, b"volatile").unwrap();
+        file.crash();
+        let mut buf = [0u8; 8];
+        b.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"durable!");
+    }
+
+    #[test]
+    fn faulty_backend_inert_passes_through() {
+        let inj = Arc::new(Injector::inert());
+        exercise(&FaultyBackend::new(Box::new(MemBackend::new()), inj, 0));
+    }
+
+    #[test]
+    fn faulty_backend_maps_decisions_to_typed_errors() {
+        use drx_fault::{Event, FaultKind, Script};
+        // Script: op 0 short read, op 1 EINTR, op 2 torn write, op 3 down.
+        let script = Script {
+            seed: 0,
+            events: vec![
+                Event { at_op: 0, domain: None, op: Some(Op::Read), kind: FaultKind::ShortRead },
+                Event { at_op: 1, domain: None, op: Some(Op::Read), kind: FaultKind::Interrupted },
+                Event { at_op: 2, domain: None, op: Some(Op::Write), kind: FaultKind::TornWrite },
+                Event { at_op: 3, domain: Some(0), op: None, kind: FaultKind::Down },
+            ],
+        };
+        let inj = Arc::new(Injector::new(script));
+        let b = FaultyBackend::new(Box::new(MemBackend::new()), inj, 0);
+        let mut buf = [0u8; 8];
+        assert!(matches!(
+            b.read_at(0, &mut buf),
+            Err(PfsError::ShortIo { server: 0, expected: 8, got: 4 })
+        ));
+        match b.read_at(0, &mut buf) {
+            Err(PfsError::Io(e)) => assert_eq!(e.kind(), std::io::ErrorKind::Interrupted),
+            other => panic!("expected injected EINTR, got {other:?}"),
+        }
+        assert!(matches!(
+            b.write_at(0, b"abcdefgh"),
+            Err(PfsError::Torn { server: 0, written: 4 })
+        ));
+        // Fourth op arms Down: everything afterwards is Unavailable.
+        assert!(matches!(b.read_at(0, &mut buf), Err(PfsError::Unavailable { server: 0 })));
+        assert!(matches!(b.sync(), Err(PfsError::Unavailable { server: 0 })));
+    }
+
+    #[test]
+    fn faulty_backend_torn_write_persists_prefix_only() {
+        use drx_fault::{Event, FaultKind, Script};
+        let script = Script {
+            seed: 0,
+            events: vec![Event {
+                at_op: 0,
+                domain: None,
+                op: Some(Op::Write),
+                kind: FaultKind::TornWrite,
+            }],
+        };
+        let inj = Arc::new(Injector::new(script));
+        let b = FaultyBackend::new(Box::new(MemBackend::new()), inj, 0);
+        assert!(matches!(b.write_at(0, b"abcdefgh"), Err(PfsError::Torn { written: 4, .. })));
+        let mut buf = [0u8; 8];
+        b.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"abcd\0\0\0\0");
     }
 }

@@ -17,6 +17,15 @@ pub enum PfsError {
     Config(String),
     /// A fault injected by a test plan fired.
     Injected { server: usize, detail: String },
+    /// The I/O server holding part of the range is down. Not transient:
+    /// callers surface it (degraded mode) rather than spin on retries.
+    Unavailable { server: usize },
+    /// A read or write moved fewer bytes than requested (transient — the
+    /// retry policy re-issues the full request).
+    ShortIo { server: usize, expected: usize, got: usize },
+    /// A write persisted only a prefix before the server failed — the
+    /// simulated crash point. Not transient: retrying cannot un-tear it.
+    Torn { server: usize, written: usize },
 }
 
 impl fmt::Display for PfsError {
@@ -32,6 +41,28 @@ impl fmt::Display for PfsError {
             PfsError::Injected { server, detail } => {
                 write!(f, "injected fault on server {server}: {detail}")
             }
+            PfsError::Unavailable { server } => {
+                write!(f, "I/O server {server} is unavailable")
+            }
+            PfsError::ShortIo { server, expected, got } => {
+                write!(f, "short I/O on server {server}: {got} of {expected} bytes")
+            }
+            PfsError::Torn { server, written } => {
+                write!(f, "torn write on server {server}: only {written} bytes persisted")
+            }
+        }
+    }
+}
+
+impl PfsError {
+    /// Whether a retry can plausibly succeed: `EINTR` and short transfers
+    /// are re-issuable; everything else (bad config, down server, torn
+    /// write, out-of-range) is surfaced to the caller immediately.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            PfsError::Io(e) => e.kind() == std::io::ErrorKind::Interrupted,
+            PfsError::ShortIo { .. } => true,
+            _ => false,
         }
     }
 }
@@ -66,5 +97,22 @@ mod tests {
         assert!(PfsError::Injected { server: 3, detail: "boom".into() }
             .to_string()
             .contains("server 3"));
+        assert!(PfsError::Unavailable { server: 1 }.to_string().contains("unavailable"));
+        assert!(PfsError::ShortIo { server: 0, expected: 8, got: 4 }
+            .to_string()
+            .contains("4 of 8"));
+        assert!(PfsError::Torn { server: 2, written: 5 }.to_string().contains("torn"));
+    }
+
+    #[test]
+    fn transience_classification() {
+        let eintr = std::io::Error::new(std::io::ErrorKind::Interrupted, "EINTR");
+        assert!(PfsError::Io(eintr).is_transient());
+        assert!(PfsError::ShortIo { server: 0, expected: 8, got: 4 }.is_transient());
+        let other = std::io::Error::new(std::io::ErrorKind::PermissionDenied, "no");
+        assert!(!PfsError::Io(other).is_transient());
+        assert!(!PfsError::Unavailable { server: 0 }.is_transient());
+        assert!(!PfsError::Torn { server: 0, written: 1 }.is_transient());
+        assert!(!PfsError::NoSuchFile("x".into()).is_transient());
     }
 }

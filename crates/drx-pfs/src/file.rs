@@ -2,15 +2,17 @@
 //! I/O servers.
 
 use crate::error::{PfsError, Result};
+use crate::retry::RetryPolicy;
 use crate::server::{Backing, FaultPlan, IoServer};
 use crate::stats::{CostModel, PfsStats};
 use crate::striping::StripeMap;
+use drx_fault::Injector;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Configuration of a simulated parallel file system.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct PfsConfig {
     /// Number of I/O servers data is striped over.
     pub n_servers: usize,
@@ -18,8 +20,26 @@ pub struct PfsConfig {
     pub stripe_size: u64,
     /// Per-server cost model for the simulated clock.
     pub cost: CostModel,
-    /// Memory or real-disk backing.
+    /// Memory, real-disk, or crash-model backing.
     pub backing: Backing,
+    /// Retry schedule for transient per-fragment storage errors.
+    pub retry: RetryPolicy,
+    /// Scripted fault injector wrapped around every server's storage
+    /// (`None` = no injection).
+    pub injector: Option<Arc<Injector>>,
+}
+
+impl std::fmt::Debug for PfsConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PfsConfig")
+            .field("n_servers", &self.n_servers)
+            .field("stripe_size", &self.stripe_size)
+            .field("cost", &self.cost)
+            .field("backing", &self.backing)
+            .field("retry", &self.retry)
+            .field("injector", &self.injector.as_ref().map(|_| "Injector"))
+            .finish()
+    }
 }
 
 impl Default for PfsConfig {
@@ -29,6 +49,8 @@ impl Default for PfsConfig {
             stripe_size: 64 * 1024,
             cost: CostModel::default(),
             backing: Backing::Memory,
+            retry: RetryPolicy::default(),
+            injector: None,
         }
     }
 }
@@ -36,6 +58,7 @@ impl Default for PfsConfig {
 struct PfsInner {
     servers: Vec<Arc<IoServer>>,
     map: StripeMap,
+    retry: RetryPolicy,
     /// Logical lengths of the named files.
     // lock-class: inner.meta => PfsMeta
     meta: Mutex<HashMap<String, u64>>,
@@ -54,9 +77,23 @@ impl Pfs {
     pub fn new(config: PfsConfig) -> Result<Self> {
         let map = StripeMap::new(config.n_servers, config.stripe_size)?;
         let servers = (0..config.n_servers)
-            .map(|id| IoServer::new(id, config.backing.clone(), config.cost))
+            .map(|id| {
+                IoServer::with_injector(
+                    id,
+                    config.backing.clone(),
+                    config.cost,
+                    config.injector.clone(),
+                )
+            })
             .collect::<Result<Vec<_>>>()?;
-        Ok(Pfs { inner: Arc::new(PfsInner { servers, map, meta: Mutex::new(HashMap::new()) }) })
+        Ok(Pfs {
+            inner: Arc::new(PfsInner {
+                servers,
+                map,
+                retry: config.retry,
+                meta: Mutex::new(HashMap::new()),
+            }),
+        })
     }
 
     /// Memory-backed file system with the default cost model.
@@ -140,6 +177,23 @@ impl Pfs {
             .inject_fault(FaultPlan { after_requests });
         Ok(())
     }
+
+    /// Adopt a file whose server-local streams already exist — crash
+    /// recovery over a [`Backing::Crash`] registry (or a `Disk` directory)
+    /// that survived the previous instance. The logical length is rebuilt
+    /// as the largest global offset any surviving local stream implies;
+    /// callers holding richer metadata (array headers) should correct it
+    /// with [`PfsFile::set_len`] afterwards.
+    pub fn recover(&self, name: &str) -> Result<PfsFile> {
+        let mut flen = 0u64;
+        for s in &self.inner.servers {
+            s.ensure_file(name)?;
+            let local = s.local_len(name)?;
+            flen = flen.max(self.inner.map.global_end(s.id(), local));
+        }
+        self.inner.meta.lock().insert(name.to_string(), flen);
+        Ok(PfsFile { inner: Arc::clone(&self.inner), name: name.to_string() })
+    }
 }
 
 /// Handle to one logical striped file. Cloneable and shareable across
@@ -175,11 +229,10 @@ impl PfsFile {
         for frag in self.inner.map.split(offset, len) {
             let start = (frag.global_offset - offset) as usize;
             let end = start + frag.len as usize;
-            self.inner.servers[frag.server].read(
-                &self.name,
-                frag.local_offset,
-                &mut buf[start..end],
-            )?;
+            let slice = &mut buf[start..end];
+            self.inner.retry.run(|| {
+                self.inner.servers[frag.server].read(&self.name, frag.local_offset, slice)
+            })?;
         }
         Ok(())
     }
@@ -197,11 +250,13 @@ impl PfsFile {
         for frag in self.inner.map.split(offset, data.len() as u64) {
             let start = (frag.global_offset - offset) as usize;
             let end = start + frag.len as usize;
-            self.inner.servers[frag.server].write(
-                &self.name,
-                frag.local_offset,
-                &data[start..end],
-            )?;
+            self.inner.retry.run(|| {
+                self.inner.servers[frag.server].write(
+                    &self.name,
+                    frag.local_offset,
+                    &data[start..end],
+                )
+            })?;
         }
         let mut meta = self.inner.meta.lock();
         let entry =
@@ -232,6 +287,16 @@ impl PfsFile {
     /// Number of server requests a read/write of this byte range generates.
     pub fn request_count(&self, offset: u64, len: u64) -> usize {
         self.inner.map.request_count(offset, len)
+    }
+
+    /// Durability barrier: fsync this file's stream on every server. After
+    /// `sync` returns `Ok`, a crash (power loss) cannot lose the file's
+    /// current contents.
+    pub fn sync(&self) -> Result<()> {
+        for s in &self.inner.servers {
+            self.inner.retry.run(|| s.sync(&self.name))?;
+        }
+        Ok(())
     }
 }
 
@@ -331,6 +396,78 @@ mod tests {
         assert!(matches!(err, PfsError::Injected { server: 0, .. }));
         // After the one-shot fault, the same write succeeds.
         f.write_at(0, &[0u8; 64]).unwrap();
+    }
+
+    #[test]
+    fn transient_injected_faults_are_retried_away() {
+        use drx_fault::{Event, FaultKind, Injector, Script};
+        // Two EINTRs early in the run: the retry policy absorbs both.
+        let script = Script {
+            seed: 0,
+            events: vec![
+                Event { at_op: 0, domain: None, op: None, kind: FaultKind::Interrupted },
+                Event { at_op: 1, domain: None, op: None, kind: FaultKind::Interrupted },
+            ],
+        };
+        let fs = Pfs::new(PfsConfig {
+            n_servers: 2,
+            stripe_size: 16,
+            injector: Some(Arc::new(Injector::new(script))),
+            retry: RetryPolicy { base_delay_us: 1, max_delay_us: 10, ..RetryPolicy::default() },
+            ..PfsConfig::default()
+        })
+        .unwrap();
+        let f = fs.create("f").unwrap();
+        f.write_at(0, &[7u8; 64]).unwrap();
+        assert_eq!(f.read_vec(0, 64).unwrap(), vec![7u8; 64]);
+    }
+
+    #[test]
+    fn down_server_surfaces_unavailable_not_hang() {
+        use drx_fault::{Injector, Script};
+        let inj = Arc::new(Injector::new(Script::empty()));
+        let fs = Pfs::new(PfsConfig {
+            n_servers: 2,
+            stripe_size: 16,
+            injector: Some(Arc::clone(&inj)),
+            retry: RetryPolicy { base_delay_us: 1, max_delay_us: 10, ..RetryPolicy::default() },
+            ..PfsConfig::default()
+        })
+        .unwrap();
+        let f = fs.create("f").unwrap();
+        f.write_at(0, &[1u8; 64]).unwrap();
+        inj.set_down(1, true);
+        // A range entirely on server 0 still works (degraded mode)...
+        assert_eq!(f.read_vec(0, 16).unwrap(), vec![1u8; 16]);
+        // ...but touching server 1 is a typed error, immediately.
+        assert!(matches!(f.read_at(16, &mut [0u8; 16]), Err(PfsError::Unavailable { server: 1 })));
+        inj.set_down(1, false);
+        assert_eq!(f.read_vec(16, 16).unwrap(), vec![1u8; 16]);
+    }
+
+    #[test]
+    fn crash_recovery_rebuilds_logical_length() {
+        use drx_fault::CrashRegistry;
+        let reg = CrashRegistry::new();
+        let config = PfsConfig {
+            n_servers: 2,
+            stripe_size: 16,
+            backing: Backing::Crash(Arc::clone(&reg)),
+            ..PfsConfig::default()
+        };
+        {
+            let fs = Pfs::new(config.clone()).unwrap();
+            let f = fs.create("f").unwrap();
+            f.write_at(0, &[5u8; 100]).unwrap();
+            f.sync().unwrap();
+            f.write_at(100, &[6u8; 50]).unwrap(); // never synced
+        }
+        reg.crash_all(); // power loss; the old Pfs instance is gone
+        let fs = Pfs::new(config).unwrap();
+        assert!(!fs.exists("f")); // logical metadata did not survive
+        let f = fs.recover("f").unwrap();
+        assert_eq!(f.len(), 100, "only synced bytes survive the crash");
+        assert_eq!(f.read_vec(0, 100).unwrap(), vec![5u8; 100]);
     }
 
     #[test]

@@ -23,16 +23,22 @@
 //! assert_eq!(f.read_vec(1000, 100).unwrap(), vec![42u8; 100]);
 //! ```
 
+/// Re-export of the deterministic fault-injection toolkit (`drx-fault`):
+/// scripts, the injector, and the crash-consistency file model.
+pub use drx_fault as fault;
+
 pub mod backend;
 pub mod error;
 pub mod file;
+pub mod retry;
 pub mod server;
 pub mod stats;
 pub mod striping;
 
-pub use backend::{FileBackend, MemBackend, Storage};
+pub use backend::{CrashBackend, FaultyBackend, FileBackend, MemBackend, Storage};
 pub use error::{PfsError, Result};
 pub use file::{Pfs, PfsConfig, PfsFile};
+pub use retry::RetryPolicy;
 pub use server::{Backing, FaultPlan, IoServer};
 pub use stats::{CostModel, PfsStats, ServerStats, SIZE_BUCKETS, SIZE_BUCKET_LABELS};
 pub use striping::{Fragment, StripeMap};

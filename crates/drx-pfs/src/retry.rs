@@ -1,0 +1,154 @@
+//! Bounded retry with exponential backoff and deterministic jitter for
+//! transient storage errors.
+//!
+//! Only errors [`PfsError::is_transient`] classifies as re-issuable are
+//! retried (`EINTR`, short transfers); permanent failures — a down stripe
+//! server, a torn write, out-of-range — surface immediately. Jitter is
+//! seeded so a run's timing-independent behavior (attempt counts, which
+//! attempt succeeds) replays exactly under `drx-fault` scripts.
+
+use crate::error::Result;
+use drx_fault::SplitMix64;
+use std::time::Duration;
+
+/// Retry schedule: `max_attempts` total tries; the delay before attempt
+/// `k+1` is `base_delay_us * 2^k`, capped at `max_delay_us`, with up to
+/// 50% deterministic jitter added.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 = no retry).
+    pub max_attempts: u32,
+    /// Backoff base in microseconds.
+    pub base_delay_us: u64,
+    /// Backoff ceiling in microseconds.
+    pub max_delay_us: u64,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 4, base_delay_us: 50, max_delay_us: 5_000, seed: 0x5EED }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (every error surfaces at once).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy { max_attempts: 1, ..RetryPolicy::default() }
+    }
+
+    /// Run `op`, retrying transient errors per the schedule. Returns the
+    /// first success, the first permanent error, or — attempts exhausted —
+    /// the last transient error.
+    pub fn run<T>(&self, mut op: impl FnMut() -> Result<T>) -> Result<T> {
+        let mut rng = SplitMix64::new(self.seed);
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_transient() && attempt + 1 < self.max_attempts.max(1) => {
+                    let exp = self.base_delay_us.saturating_shl(attempt.min(32));
+                    let cap = exp.min(self.max_delay_us);
+                    let jitter = rng.below(cap / 2 + 1);
+                    std::thread::sleep(Duration::from_micros(cap + jitter));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// `u64::checked_shl`-with-saturation helper (not in std for u64 ops with
+/// overflow-to-max semantics).
+trait SaturatingShl {
+    fn saturating_shl(self, shift: u32) -> u64;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, shift: u32) -> u64 {
+        if self == 0 {
+            0
+        } else if shift >= self.leading_zeros() {
+            u64::MAX
+        } else {
+            self << shift
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::PfsError;
+    use std::cell::Cell;
+
+    fn eintr() -> PfsError {
+        PfsError::Io(std::io::Error::new(std::io::ErrorKind::Interrupted, "EINTR"))
+    }
+
+    #[test]
+    fn transient_errors_are_retried_to_success() {
+        let policy = RetryPolicy { base_delay_us: 1, max_delay_us: 10, ..RetryPolicy::default() };
+        let calls = Cell::new(0u32);
+        let out = policy.run(|| {
+            calls.set(calls.get() + 1);
+            if calls.get() < 3 {
+                Err(eintr())
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(out.unwrap(), 42);
+        assert_eq!(calls.get(), 3);
+    }
+
+    #[test]
+    fn permanent_errors_surface_immediately() {
+        let policy = RetryPolicy::default();
+        let calls = Cell::new(0u32);
+        let out: Result<()> = policy.run(|| {
+            calls.set(calls.get() + 1);
+            Err(PfsError::Unavailable { server: 2 })
+        });
+        assert!(matches!(out, Err(PfsError::Unavailable { server: 2 })));
+        assert_eq!(calls.get(), 1);
+    }
+
+    #[test]
+    fn attempts_are_bounded() {
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_delay_us: 1,
+            max_delay_us: 5,
+            ..RetryPolicy::default()
+        };
+        let calls = Cell::new(0u32);
+        let out: Result<()> = policy.run(|| {
+            calls.set(calls.get() + 1);
+            Err(eintr())
+        });
+        assert!(out.is_err());
+        assert_eq!(calls.get(), 3);
+    }
+
+    #[test]
+    fn none_policy_never_retries() {
+        let calls = Cell::new(0u32);
+        let out: Result<()> = RetryPolicy::none().run(|| {
+            calls.set(calls.get() + 1);
+            Err(eintr())
+        });
+        assert!(out.is_err());
+        assert_eq!(calls.get(), 1);
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_overflowing() {
+        assert_eq!(0u64.saturating_shl(40), 0);
+        assert_eq!(1u64.saturating_shl(3), 8);
+        assert_eq!(u64::MAX.saturating_shl(1), u64::MAX);
+        assert_eq!((1u64 << 60).saturating_shl(10), u64::MAX);
+    }
+}

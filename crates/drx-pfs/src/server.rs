@@ -1,21 +1,36 @@
 //! A simulated I/O server: a namespace of per-file storage streams plus
 //! request accounting and optional fault injection.
 
-use crate::backend::{FileBackend, MemBackend, Storage};
+use crate::backend::{CrashBackend, FaultyBackend, FileBackend, MemBackend, Storage};
 use crate::error::{PfsError, Result};
 use crate::stats::{CostModel, ServerStats};
+use drx_fault::{CrashRegistry, Injector};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Arc;
 
 /// How a server materializes its local streams.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub enum Backing {
     /// Volatile in-memory buffers (default; deterministic).
     Memory,
     /// Real files under the given directory (one subdirectory per server).
     Disk(PathBuf),
+    /// Crash-model buffers in a shared [`CrashRegistry`]: `sync` is the
+    /// durability barrier, and the registry outlives the file system so a
+    /// rebuilt instance models a post-crash reboot.
+    Crash(Arc<CrashRegistry>),
+}
+
+impl std::fmt::Debug for Backing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Backing::Memory => write!(f, "Memory"),
+            Backing::Disk(dir) => f.debug_tuple("Disk").field(dir).finish(),
+            Backing::Crash(_) => write!(f, "Crash(..)"),
+        }
+    }
 }
 
 /// One-shot fault plan: the request after `after_requests` more requests
@@ -46,10 +61,25 @@ pub struct IoServer {
     stats: Mutex<ServerStats>,
     // lock-class: fault => PfsFault
     fault: Mutex<Option<FaultPlan>>,
+    /// Scripted fault injector shared across all servers of a file system;
+    /// `None` means storage operations run unwrapped.
+    injector: Option<Arc<Injector>>,
 }
 
 impl IoServer {
     pub fn new(id: usize, backing: Backing, cost: CostModel) -> Result<Arc<Self>> {
+        IoServer::with_injector(id, backing, cost, None)
+    }
+
+    /// Like [`IoServer::new`], but every storage stream this server creates
+    /// is wrapped in a [`FaultyBackend`] consulting `injector` (the server
+    /// id is the fault domain).
+    pub fn with_injector(
+        id: usize,
+        backing: Backing,
+        cost: CostModel,
+        injector: Option<Arc<Injector>>,
+    ) -> Result<Arc<Self>> {
         if let Backing::Disk(dir) = &backing {
             std::fs::create_dir_all(dir.join(format!("server{id}")))?;
         }
@@ -60,6 +90,7 @@ impl IoServer {
             files: Mutex::new(HashMap::new()),
             stats: Mutex::new(ServerStats::default()),
             fault: Mutex::new(None),
+            injector,
         }))
     }
 
@@ -68,7 +99,7 @@ impl IoServer {
     }
 
     fn make_storage(&self, name: &str) -> Result<Box<dyn Storage>> {
-        Ok(match &self.backing {
+        let inner: Box<dyn Storage> = match &self.backing {
             Backing::Memory => Box::new(MemBackend::new()),
             Backing::Disk(dir) => {
                 let safe: String = name
@@ -83,6 +114,13 @@ impl IoServer {
                     .collect();
                 Box::new(FileBackend::open(&dir.join(format!("server{}", self.id)).join(safe))?)
             }
+            Backing::Crash(registry) => {
+                Box::new(CrashBackend::new(registry.open(&format!("server{}/{name}", self.id))))
+            }
+        };
+        Ok(match &self.injector {
+            Some(inj) => Box::new(FaultyBackend::new(inner, Arc::clone(inj), self.id)),
+            None => inner,
         })
     }
 
@@ -158,6 +196,16 @@ impl IoServer {
     /// Truncate/extend a file's local stream (not charged to the cost model).
     pub fn set_len(&self, name: &str, len: u64) -> Result<()> {
         self.with_entry(name, |entry| entry.storage.set_len(len))
+    }
+
+    /// Force a file's local stream to durable storage (fsync barrier).
+    pub fn sync(&self, name: &str) -> Result<()> {
+        self.with_entry(name, |entry| entry.storage.sync())
+    }
+
+    /// Locally written length of a file's stream in bytes.
+    pub fn local_len(&self, name: &str) -> Result<u64> {
+        self.with_entry(name, |entry| entry.storage.len())
     }
 
     /// Snapshot of this server's counters.

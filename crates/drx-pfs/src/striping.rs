@@ -91,6 +91,27 @@ impl StripeMap {
     pub fn request_count(&self, offset: u64, len: u64) -> usize {
         self.split(offset, len).len()
     }
+
+    /// Inverse of [`StripeMap::locate`]: the logical offset of local byte
+    /// `local_offset` on `server`.
+    pub fn global_offset(&self, server: usize, local_offset: u64) -> u64 {
+        let local_stripe = local_offset / self.stripe_size;
+        let within = local_offset % self.stripe_size;
+        let stripe = local_stripe * self.n_servers as u64 + server as u64;
+        stripe * self.stripe_size + within
+    }
+
+    /// The logical length implied by `server` holding `local_len` local
+    /// bytes: one past the global offset of its last local byte. Used by
+    /// crash recovery to rebuild logical file lengths from the surviving
+    /// server-local streams.
+    pub fn global_end(&self, server: usize, local_len: u64) -> u64 {
+        if local_len == 0 {
+            0
+        } else {
+            self.global_offset(server, local_len - 1) + 1
+        }
+    }
 }
 
 #[cfg(test)]
@@ -159,6 +180,41 @@ mod tests {
         let m = StripeMap::new(4, 4096).unwrap();
         assert_eq!(m.request_count(4096 * 3, 4096), 1);
         assert_eq!(m.request_count(4096 * 3 + 100, 4096), 2);
+    }
+
+    #[test]
+    fn global_offset_inverts_locate() {
+        let m = StripeMap::new(3, 37).unwrap();
+        for offset in (0..2000u64).step_by(13) {
+            let (server, local) = m.locate(offset);
+            assert_eq!(m.global_offset(server, local), offset);
+        }
+    }
+
+    #[test]
+    fn global_end_recovers_logical_length() {
+        let m = StripeMap::new(4, 100).unwrap();
+        assert_eq!(m.global_end(0, 0), 0);
+        // Server 0 holding 100 local bytes = logical stripe 0 complete.
+        assert_eq!(m.global_end(0, 100), 100);
+        // Server 2 holding 50 bytes: last byte is logical offset 249.
+        assert_eq!(m.global_end(2, 50), 250);
+        // A file of logical length L: max over servers reconstructs L.
+        for flen in [1u64, 99, 100, 101, 399, 400, 401, 1234] {
+            let recovered = (0..4)
+                .map(|s| {
+                    // Local length of server s for a dense file of length flen.
+                    let local = (0..flen)
+                        .filter(|&g| m.locate(g).0 == s)
+                        .map(|g| m.locate(g).1 + 1)
+                        .max()
+                        .unwrap_or(0);
+                    m.global_end(s, local)
+                })
+                .max()
+                .unwrap_or(0);
+            assert_eq!(recovered, flen, "flen {flen}");
+        }
     }
 
     #[test]

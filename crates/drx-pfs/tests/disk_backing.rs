@@ -12,6 +12,7 @@ fn disk_pfs(tag: &str) -> (Pfs, std::path::PathBuf) {
         stripe_size: 128,
         cost: CostModel::flat(10, 1.0),
         backing: Backing::Disk(dir.clone()),
+        ..PfsConfig::default()
     })
     .unwrap();
     (pfs, dir)

@@ -40,12 +40,14 @@ impl Drop for Local {
 pub struct Tcp {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    /// Negotiated frame-body cap: `min(ours, server's)`.
+    limit: usize,
 }
 
 impl Transport for Tcp {
     fn call(&mut self, req: Request) -> Result<Response> {
-        proto::write_frame(&mut self.writer, &encode_request(&req))?;
-        let body = proto::read_frame(&mut self.reader)?
+        proto::write_frame(&mut self.writer, &encode_request(&req), self.limit)?;
+        let body = proto::read_frame(&mut self.reader, self.limit)?
             .ok_or_else(|| ServerError::protocol("server closed the connection"))?;
         proto::decode_response(&body)
     }
@@ -73,15 +75,23 @@ impl Client {
 }
 
 impl TcpClient {
-    /// Connect and handshake with a TCP server.
+    /// Connect and handshake with a TCP server, accepting frames up to the
+    /// protocol default ([`proto::MAX_FRAME`]).
     pub fn connect(addr: impl ToSocketAddrs) -> Result<TcpClient> {
+        Self::connect_with_max_frame(addr, proto::MAX_FRAME)
+    }
+
+    /// Connect advertising a custom frame cap; the effective limit for
+    /// both directions is `min(max_frame, server's advertised limit)`.
+    pub fn connect_with_max_frame(addr: impl ToSocketAddrs, max_frame: usize) -> Result<TcpClient> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
         let mut writer = BufWriter::new(stream.try_clone()?);
         let mut reader = BufReader::new(stream);
-        proto::write_handshake(&mut writer)?;
-        proto::read_handshake(&mut reader)?;
-        Ok(Conn { transport: Tcp { reader, writer } })
+        proto::write_handshake(&mut writer, max_frame.min(u32::MAX as usize) as u32)?;
+        let theirs = proto::read_handshake(&mut reader)?;
+        let limit = max_frame.min(theirs as usize);
+        Ok(Conn { transport: Tcp { reader, writer, limit } })
     }
 }
 

@@ -21,6 +21,13 @@ pub enum ErrorCode {
     BadRequest = 5,
     /// Underlying storage or metadata failure.
     Internal = 6,
+    /// Part of the requested range lives on a stripe server that is down;
+    /// retry later or read a range the surviving servers hold (degraded
+    /// mode).
+    Unavailable = 7,
+    /// The frame body exceeds the negotiated frame-size limit; the frame
+    /// was never sent (nothing is truncated on the wire).
+    FrameTooLarge = 8,
 }
 
 impl ErrorCode {
@@ -32,6 +39,8 @@ impl ErrorCode {
             4 => ErrorCode::OutOfBounds,
             5 => ErrorCode::BadRequest,
             6 => ErrorCode::Internal,
+            7 => ErrorCode::Unavailable,
+            8 => ErrorCode::FrameTooLarge,
             _ => return None,
         })
     }
@@ -55,6 +64,13 @@ impl ServerError {
 
     pub fn bad_request(message: impl Into<String>) -> Self {
         Self::new(ErrorCode::BadRequest, message)
+    }
+
+    pub fn frame_too_large(len: usize, limit: usize) -> Self {
+        Self::new(
+            ErrorCode::FrameTooLarge,
+            format!("frame body of {len} bytes exceeds the negotiated limit {limit}"),
+        )
     }
 }
 
@@ -82,6 +98,7 @@ impl From<drx_pfs::PfsError> for ServerError {
     fn from(e: drx_pfs::PfsError) -> Self {
         let code = match &e {
             drx_pfs::PfsError::NoSuchFile(_) => ErrorCode::NoSuchArray,
+            drx_pfs::PfsError::Unavailable { .. } => ErrorCode::Unavailable,
             _ => ErrorCode::Internal,
         };
         ServerError::new(code, e.to_string())
@@ -90,7 +107,15 @@ impl From<drx_pfs::PfsError> for ServerError {
 
 impl From<drx_mp::MpError> for ServerError {
     fn from(e: drx_mp::MpError) -> Self {
-        ServerError::new(ErrorCode::Internal, e.to_string())
+        // A down stripe server keeps its typed code through the MpError
+        // wrapper so remote clients can distinguish degraded-mode misses
+        // from genuine storage corruption.
+        let code = match &e {
+            drx_mp::MpError::Pfs(drx_pfs::PfsError::Unavailable { .. }) => ErrorCode::Unavailable,
+            drx_mp::MpError::Pfs(drx_pfs::PfsError::NoSuchFile(_)) => ErrorCode::NoSuchArray,
+            _ => ErrorCode::Internal,
+        };
+        ServerError::new(code, e.to_string())
     }
 }
 

@@ -65,4 +65,4 @@ pub use error::{ErrorCode, Result, ServerError};
 pub use lock::{LockMode, RangeGuard, RangeLockManager};
 pub use proto::{ArrayInfo, Request, Response, StatReply};
 pub use server::{Server, ServerConfig};
-pub use tcp::{serve, ServeHandle};
+pub use tcp::{serve, serve_with, ServeConfig, ServeHandle};

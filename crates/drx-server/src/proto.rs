@@ -1,7 +1,10 @@
 //! Versioned binary wire protocol for the DRX array service.
 //!
-//! A connection starts with a 6-byte handshake in each direction — the
-//! magic `b"DRXS"` followed by the little-endian `u16` protocol version.
+//! A connection starts with a 10-byte handshake in each direction — the
+//! magic `b"DRXS"`, the little-endian `u16` protocol version, and the
+//! little-endian `u32` largest frame body the sender will accept. Each
+//! side uses the *minimum* of the two advertised limits for everything it
+//! sends, so neither peer can be made to allocate more than it offered.
 //! After the handshake, each direction carries *frames*: a little-endian
 //! `u32` body length followed by the body. A request body is an opcode
 //! byte plus fields; a response body is a status byte plus fields. All
@@ -9,7 +12,8 @@
 //!
 //! The format is versioned through [`PROTO_VERSION`]: a server refuses a
 //! handshake carrying a version it does not speak, and opcode/error-code
-//! values are append-only.
+//! values are append-only. Version 2 added the max-frame field to the
+//! handshake (a v1 handshake is 6 bytes and is rejected).
 
 use crate::error::{ErrorCode, Result, ServerError};
 use drx_mp::PoolStats;
@@ -18,9 +22,10 @@ use std::io::{Read, Write};
 /// Connection magic, sent by both sides before any frame.
 pub const PROTO_MAGIC: [u8; 4] = *b"DRXS";
 /// Current protocol version.
-pub const PROTO_VERSION: u16 = 1;
-/// Upper bound on a frame body; larger length prefixes are rejected as
-/// protocol errors rather than allocated.
+pub const PROTO_VERSION: u16 = 2;
+/// Default upper bound on a frame body, advertised in the handshake;
+/// length prefixes above the negotiated limit are rejected as protocol
+/// errors rather than allocated.
 pub const MAX_FRAME: usize = 1 << 30;
 
 const OP_OPEN: u8 = 1;
@@ -375,16 +380,20 @@ pub fn decode_response(body: &[u8]) -> Result<Response> {
 // Framing and handshake over a byte stream
 // ---------------------------------------------------------------------------
 
-/// Write the handshake preamble (magic + version).
-pub fn write_handshake(w: &mut impl Write) -> std::io::Result<()> {
+/// Write the handshake preamble: magic + version + the largest frame body
+/// this side will accept.
+pub fn write_handshake(w: &mut impl Write, max_frame: u32) -> std::io::Result<()> {
     w.write_all(&PROTO_MAGIC)?;
     w.write_all(&PROTO_VERSION.to_le_bytes())?;
+    w.write_all(&max_frame.to_le_bytes())?;
     w.flush()
 }
 
-/// Read and validate the peer's handshake preamble.
-pub fn read_handshake(r: &mut impl Read) -> Result<()> {
-    let mut buf = [0u8; 6];
+/// Read and validate the peer's handshake preamble; returns the peer's
+/// advertised frame limit. The caller must cap everything it *sends* at
+/// `min(own limit, returned limit)`.
+pub fn read_handshake(r: &mut impl Read) -> Result<u32> {
+    let mut buf = [0u8; 10];
     r.read_exact(&mut buf).map_err(|e| ServerError::protocol(format!("handshake: {e}")))?;
     if buf[..4] != PROTO_MAGIC {
         return Err(ServerError::protocol("bad magic in handshake"));
@@ -395,19 +404,29 @@ pub fn read_handshake(r: &mut impl Read) -> Result<()> {
             "protocol version {version} not supported (expected {PROTO_VERSION})"
         )));
     }
+    Ok(u32::from_le_bytes([buf[6], buf[7], buf[8], buf[9]]))
+}
+
+/// Write one length-prefixed frame. Bodies longer than `limit` (the
+/// negotiated frame cap) fail with [`ErrorCode::FrameTooLarge`] before any
+/// bytes hit the wire — in particular a body of 4 GiB or more, whose
+/// length a `u32` prefix cannot represent, can never be silently
+/// truncated.
+pub fn write_frame(w: &mut impl Write, body: &[u8], limit: usize) -> Result<()> {
+    if body.len() > limit || u32::try_from(body.len()).is_err() {
+        return Err(ServerError::frame_too_large(body.len(), limit));
+    }
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()?;
     Ok(())
 }
 
-/// Write one length-prefixed frame.
-pub fn write_frame(w: &mut impl Write, body: &[u8]) -> std::io::Result<()> {
-    w.write_all(&(body.len() as u32).to_le_bytes())?;
-    w.write_all(body)?;
-    w.flush()
-}
-
-/// Read one length-prefixed frame. Returns `Ok(None)` on clean EOF at a
-/// frame boundary.
-pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>> {
+/// Read one length-prefixed frame, rejecting length prefixes above the
+/// negotiated `limit` *before* allocating the body buffer (the length
+/// field is untrusted input). Returns `Ok(None)` on clean EOF at a frame
+/// boundary.
+pub fn read_frame(r: &mut impl Read, limit: usize) -> Result<Option<Vec<u8>>> {
     let mut len = [0u8; 4];
     match r.read_exact(&mut len) {
         Ok(()) => {}
@@ -415,8 +434,8 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>> {
         Err(e) => return Err(ServerError::protocol(format!("frame header: {e}"))),
     }
     let n = u32::from_le_bytes(len) as usize;
-    if n > MAX_FRAME {
-        return Err(ServerError::protocol(format!("frame of {n} bytes exceeds limit")));
+    if n > limit {
+        return Err(ServerError::protocol(format!("frame of {n} bytes exceeds limit {limit}")));
     }
     let mut body = vec![0u8; n];
     r.read_exact(&mut body).map_err(|e| ServerError::protocol(format!("frame body: {e}")))?;
@@ -508,30 +527,56 @@ mod tests {
     #[test]
     fn framing_roundtrip_and_eof() {
         let mut buf = Vec::new();
-        write_handshake(&mut buf).unwrap();
-        write_frame(&mut buf, b"hello").unwrap();
-        write_frame(&mut buf, b"").unwrap();
+        write_handshake(&mut buf, MAX_FRAME as u32).unwrap();
+        write_frame(&mut buf, b"hello", MAX_FRAME).unwrap();
+        write_frame(&mut buf, b"", MAX_FRAME).unwrap();
         let mut r = &buf[..];
-        read_handshake(&mut r).unwrap();
-        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
-        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
-        assert!(read_frame(&mut r).unwrap().is_none());
+        assert_eq!(read_handshake(&mut r).unwrap(), MAX_FRAME as u32);
+        assert_eq!(read_frame(&mut r, MAX_FRAME).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r, MAX_FRAME).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r, MAX_FRAME).unwrap().is_none());
     }
 
     #[test]
     fn handshake_rejects_bad_magic_and_version() {
-        let mut r: &[u8] = b"NOPE\x01\x00";
+        let mut r: &[u8] = b"NOPE\x01\x00\0\0\0\x01";
         assert!(read_handshake(&mut r).is_err());
-        let mut r: &[u8] = &[b'D', b'R', b'X', b'S', 0xEE, 0xEE];
+        let mut r: &[u8] = &[b'D', b'R', b'X', b'S', 0xEE, 0xEE, 0, 0, 0, 1];
+        assert!(read_handshake(&mut r).is_err());
+        // A v1 (6-byte) handshake truncates and is rejected.
+        let mut r: &[u8] = &[b'D', b'R', b'X', b'S', 1, 0];
         assert!(read_handshake(&mut r).is_err());
         let mut r: &[u8] = b"D";
         assert!(read_handshake(&mut r).is_err());
     }
 
     #[test]
-    fn oversized_frame_is_rejected() {
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        // Regression: a hostile length prefix must not drive `vec![0; n]`.
+        // With the cap checked first, even `u32::MAX` never allocates.
         let mut buf = Vec::new();
         buf.extend_from_slice(&(u32::MAX).to_le_bytes());
-        assert!(read_frame(&mut &buf[..]).is_err());
+        let err = read_frame(&mut &buf[..], MAX_FRAME).unwrap_err();
+        assert_eq!(err.code, ErrorCode::Protocol);
+        // The negotiated limit, not the compile-time default, is enforced.
+        let mut small = Vec::new();
+        write_frame(&mut small, &[0u8; 64], MAX_FRAME).unwrap();
+        assert!(read_frame(&mut &small[..], 16).is_err());
+        assert!(read_frame(&mut &small[..], 64).unwrap().is_some());
+    }
+
+    #[test]
+    fn frame_too_large_is_a_typed_error_not_truncation() {
+        // Regression: `body.len() as u32` used to truncate silently for
+        // bodies of 4 GiB and more; now any body over the negotiated limit
+        // is refused with a typed error and nothing is written.
+        let mut out = Vec::new();
+        let err = write_frame(&mut out, &[0u8; 100], 64).unwrap_err();
+        assert_eq!(err.code, ErrorCode::FrameTooLarge);
+        assert!(err.message.contains("100"));
+        assert!(out.is_empty(), "no partial frame may reach the wire");
+        // At the limit is fine.
+        write_frame(&mut out, &[0u8; 64], 64).unwrap();
+        assert_eq!(read_frame(&mut &out[..], 64).unwrap().unwrap().len(), 64);
     }
 }

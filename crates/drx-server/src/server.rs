@@ -467,6 +467,10 @@ fn extend(array: &ArrayState, dim: u32, by: u64) -> Result<Vec<u64>> {
     let bytes = meta.encode();
     array.xmd.write_at(0, &bytes)?;
     array.xmd.set_len(bytes.len() as u64)?;
+    // Extend-commit durability barrier: the axial vectors must be on disk
+    // before any payload lands in the extended region, otherwise a crash
+    // leaves `.xta` bytes that no `.xmd` mapping can address.
+    array.xmd.sync()?;
     Ok(to_u64_dims(meta.element_bounds()))
 }
 

@@ -7,7 +7,7 @@
 use crate::error::{Result, ServerError};
 use crate::proto::{
     decode_request, encode_response, error_response, read_frame, read_handshake, write_frame,
-    write_handshake,
+    write_handshake, MAX_FRAME,
 };
 use crate::server::Server;
 use std::io::{BufReader, BufWriter};
@@ -15,6 +15,29 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Transport tuning for [`serve_with`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Acceptor/worker threads (one connection is served by one worker).
+    pub threads: usize,
+    /// Socket read/write deadline. A connection that neither completes a
+    /// frame nor drains our writes within this window is dropped, freeing
+    /// its worker — a wedged or dead client cannot stall the pool forever.
+    /// `None` disables deadlines (a worker then trusts the peer's TCP
+    /// stack to report disconnects).
+    pub io_timeout: Option<Duration>,
+    /// Largest frame body this server accepts, advertised in the
+    /// handshake.
+    pub max_frame: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { threads: 4, io_timeout: Some(Duration::from_secs(30)), max_frame: MAX_FRAME }
+    }
+}
 
 /// A running TCP server. Dropping the handle (or calling
 /// [`ServeHandle::shutdown`]) stops the workers and flushes the server.
@@ -61,27 +84,38 @@ impl Drop for ServeHandle {
     }
 }
 
-/// Serve `server` on `addr` with `threads` acceptor/worker threads.
+/// Serve `server` on `addr` with `threads` acceptor/worker threads and the
+/// default transport tuning.
 pub fn serve(server: &Server, addr: impl ToSocketAddrs, threads: usize) -> Result<ServeHandle> {
+    serve_with(server, addr, ServeConfig { threads, ..ServeConfig::default() })
+}
+
+/// Serve `server` on `addr` with explicit transport tuning.
+pub fn serve_with(
+    server: &Server,
+    addr: impl ToSocketAddrs,
+    config: ServeConfig,
+) -> Result<ServeHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
-    let threads = threads.max(1);
+    let threads = config.threads.max(1);
     let mut workers = Vec::with_capacity(threads);
     for i in 0..threads {
         let listener = listener.try_clone()?;
         let server = server.clone();
         let stop = Arc::clone(&stop);
+        let config = config.clone();
         let worker = std::thread::Builder::new()
             .name(format!("drx-server-{i}"))
-            .spawn(move || worker_loop(listener, server, stop))
+            .spawn(move || worker_loop(listener, server, stop, config))
             .map_err(ServerError::from)?;
         workers.push(worker);
     }
     Ok(ServeHandle { addr, stop, workers, server: server.clone() })
 }
 
-fn worker_loop(listener: TcpListener, server: Server, stop: Arc<AtomicBool>) {
+fn worker_loop(listener: TcpListener, server: Server, stop: Arc<AtomicBool>, config: ServeConfig) {
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
@@ -89,7 +123,7 @@ fn worker_loop(listener: TcpListener, server: Server, stop: Arc<AtomicBool>) {
                     return;
                 }
                 // allow-discard: per-connection errors are isolated; keep accepting
-                let _ = serve_connection(&server, stream);
+                let _ = serve_connection(&server, stream, &config);
             }
             Err(_) => {
                 if stop.load(Ordering::SeqCst) {
@@ -101,14 +135,19 @@ fn worker_loop(listener: TcpListener, server: Server, stop: Arc<AtomicBool>) {
 }
 
 /// Run one connection's handshake and frame loop to completion.
-fn serve_connection(server: &Server, stream: TcpStream) -> Result<()> {
+fn serve_connection(server: &Server, stream: TcpStream, config: &ServeConfig) -> Result<()> {
     stream.set_nodelay(true).ok();
+    // Deadlines cover the handshake too: a client that connects and then
+    // never speaks cannot pin this worker.
+    stream.set_read_timeout(config.io_timeout)?;
+    stream.set_write_timeout(config.io_timeout)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
-    read_handshake(&mut reader)?;
-    write_handshake(&mut writer)?;
+    let theirs = read_handshake(&mut reader)?;
+    write_handshake(&mut writer, config.max_frame.min(u32::MAX as usize) as u32)?;
+    let limit = config.max_frame.min(theirs as usize);
     let session = server.open_session();
-    let result = connection_loop(server, session, &mut reader, &mut writer);
+    let result = connection_loop(server, session, &mut reader, &mut writer, limit);
     server.close_session(session);
     result
 }
@@ -118,16 +157,18 @@ fn connection_loop(
     session: u64,
     reader: &mut BufReader<TcpStream>,
     writer: &mut BufWriter<TcpStream>,
+    limit: usize,
 ) -> Result<()> {
     loop {
-        let body = match read_frame(reader) {
+        let body = match read_frame(reader, limit) {
             Ok(Some(body)) => body,
             Ok(None) => return Ok(()), // clean disconnect
             Err(e) => {
                 // Report, then drop the connection: after a framing error
-                // the stream position is unreliable.
+                // (or a read deadline expiring mid-frame) the stream
+                // position is unreliable.
                 // allow-discard: best-effort error report on an already-broken stream
-                let _ = write_frame(writer, &encode_response(&error_response(&e)));
+                let _ = write_frame(writer, &encode_response(&error_response(&e)), limit);
                 return Err(e);
             }
         };
@@ -135,6 +176,15 @@ fn connection_loop(
             Ok(req) => server.handle(session, req),
             Err(e) => error_response(&e),
         };
-        write_frame(writer, &encode_response(&resp))?;
+        match write_frame(writer, &encode_response(&resp), limit) {
+            Ok(()) => {}
+            Err(e) if e.code == crate::error::ErrorCode::FrameTooLarge => {
+                // The *response* outgrew the negotiated limit (e.g. a huge
+                // region read over a small client cap): report the typed
+                // error in-band and keep the connection alive.
+                write_frame(writer, &encode_response(&error_response(&e)), limit)?;
+            }
+            Err(e) => return Err(e),
+        }
     }
 }

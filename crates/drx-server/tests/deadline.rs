@@ -1,0 +1,71 @@
+//! Socket-deadline eviction: a wedged client — connected but never
+//! completing a handshake or frame — must be dropped when the configured
+//! `io_timeout` expires, freeing its worker for healthy clients. Without
+//! deadlines a handful of silent connections pins the whole worker pool
+//! forever.
+
+use drx_mp::DrxFile;
+use drx_pfs::Pfs;
+use drx_server::{serve_with, ServeConfig, Server, ServerConfig, TcpClient};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+#[test]
+fn wedged_clients_are_evicted_and_workers_freed() {
+    let pfs = Pfs::memory(2, 1024).expect("pfs");
+    DrxFile::<f64>::create(&pfs, "grid", &[2, 2], &[4, 4]).expect("create array");
+    let server = Server::new(pfs, ServerConfig::default());
+    let timeout = Duration::from_millis(250);
+    let handle = serve_with(
+        &server,
+        "127.0.0.1:0",
+        ServeConfig { threads: 2, io_timeout: Some(timeout), ..ServeConfig::default() },
+    )
+    .expect("serve");
+    let addr = handle.addr();
+
+    // Wedge the entire worker pool: one connection that says nothing at
+    // all, one that stalls mid-handshake. Both hold their sockets open.
+    let silent = TcpStream::connect(addr).expect("wedge 1 connects");
+    let mut partial = TcpStream::connect(addr).expect("wedge 2 connects");
+    partial.write_all(b"DR").expect("partial handshake bytes");
+    partial.flush().expect("flush");
+
+    // A healthy client must still get service: its connection sits in the
+    // accept backlog until a deadline fires and frees a worker, which must
+    // happen within ~io_timeout — not hang indefinitely.
+    let t0 = Instant::now();
+    let mut client = TcpClient::connect(addr).expect("healthy client served after eviction");
+    let (h, info) = client.open("grid").expect("open");
+    assert_eq!(info.bounds, vec![4, 4]);
+    client.write_region_from::<f64>(h, &[0, 0], &[1, 2], &[1.5, 2.5]).expect("write");
+    assert_eq!(client.read_region_as::<f64>(h, &[0, 0], &[1, 2]).expect("read"), vec![1.5, 2.5]);
+    client.close(h).expect("close");
+    let waited = t0.elapsed();
+    assert!(
+        waited < timeout * 20,
+        "healthy client waited {waited:?}; wedged clients were not evicted"
+    );
+
+    // The wedged sockets must have been closed by the server (EOF / reset),
+    // proving eviction rather than a lucky third worker.
+    for (name, mut sock) in [("silent", silent), ("partial", partial)] {
+        sock.set_read_timeout(Some(timeout * 20)).expect("read timeout");
+        let mut buf = [0u8; 16];
+        match sock.read(&mut buf) {
+            Ok(0) => {} // clean EOF: dropped
+            Err(e) if e.kind() == std::io::ErrorKind::ConnectionReset => {}
+            Ok(n) => panic!("{name} wedge received {n} unexpected bytes"),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                panic!("{name} wedge still open after deadline — not evicted")
+            }
+            Err(e) => panic!("{name} wedge read failed oddly: {e}"),
+        }
+    }
+
+    handle.shutdown().expect("shutdown");
+}

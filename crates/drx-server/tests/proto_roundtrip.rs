@@ -161,17 +161,17 @@ fn every_variant_roundtrips() {
 fn truncated_frames_are_rejected() {
     let body = encode_request(&Request::Open { name: "payload".into() });
     let mut stream = Vec::new();
-    write_frame(&mut stream, &body).unwrap();
+    write_frame(&mut stream, &body, drx_server::proto::MAX_FRAME).unwrap();
     assert_eq!(stream.len(), 4 + body.len());
 
     // Complete stream: one frame, then clean EOF.
     let mut r = &stream[..];
-    assert_eq!(read_frame(&mut r).unwrap(), Some(body.clone()));
-    assert_eq!(read_frame(&mut r).unwrap(), None);
+    assert_eq!(read_frame(&mut r, drx_server::proto::MAX_FRAME).unwrap(), Some(body.clone()));
+    assert_eq!(read_frame(&mut r, drx_server::proto::MAX_FRAME).unwrap(), None);
 
     for cut in 0..stream.len() {
         let mut r = &stream[..cut];
-        let got = read_frame(&mut r);
+        let got = read_frame(&mut r, drx_server::proto::MAX_FRAME);
         if cut < 4 {
             // Inside the length header: indistinguishable from EOF at a
             // frame boundary (cut 0) or reported as an error — but never a

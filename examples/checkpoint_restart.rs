@@ -28,6 +28,7 @@ fn open_pfs(dir: &std::path::Path) -> Result<Pfs, Box<dyn std::error::Error>> {
         stripe_size: 4096,
         cost: CostModel::flat(1000, 1.0),
         backing: Backing::Disk(dir.to_path_buf()),
+        ..PfsConfig::default()
     })?)
 }
 

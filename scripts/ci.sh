@@ -11,6 +11,9 @@
 #   5. drx-analyze: lock-order / panic-ratchet / proto / unsafe / discard lints
 #   6. drx-sched: exhaustive bounded schedule exploration of the lock + cache
 #      layer (separate target dir so the cfg flip does not thrash the cache)
+#   7. fault matrix: the seeded fault-injection sweep under three fixed
+#      seeds plus one randomized seed, echoed so any failure is replayable
+#      with DRX_FAULT_SEED=<seed>
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,5 +36,14 @@ cargo run -q --release -p drx-analyze -- check
 echo "==> drx-sched (bounded schedule exploration)"
 RUSTFLAGS="--cfg drx_sched" CARGO_TARGET_DIR=target/sched \
     cargo test -q -p drx-server --test sched_explore
+
+echo "==> fault matrix (fixed seeds 1 2 3 + one randomized)"
+for seed in 1 2 3; do
+    echo "--- fault seed $seed"
+    DRX_FAULT_SEED=$seed cargo test -q --test fault_matrix
+done
+rand_seed=$(( (RANDOM << 15) | RANDOM ))
+echo "--- randomized fault seed $rand_seed (replay: DRX_FAULT_SEED=$rand_seed cargo test --test fault_matrix)"
+DRX_FAULT_SEED=$rand_seed cargo test -q --test fault_matrix
 
 echo "==> CI green"

@@ -19,12 +19,17 @@
 //! `serve` exposes every array in the directory over the drx-server TCP
 //! protocol; `client` talks to such a server.
 //!
+//! Any command that opens the PFS accepts `--fault-script seed:N` (generate
+//! a deterministic schedule from seed `N`) or `--fault-script FILE` (replay
+//! a saved schedule). The armed schedule is echoed to stderr so every run
+//! can be replayed exactly.
+//!
 //! The tool stores the PFS geometry in `<dir>/pfs.conf` so later invocations
 //! reopen the same striping.
 
 use drx::serial::DrxFile;
 use drx::server::{Server, ServerConfig, TcpClient};
-use drx::{Backing, CostModel, DType, Pfs, PfsConfig};
+use drx::{fault, Backing, CostModel, DType, Pfs, PfsConfig};
 use std::path::{Path, PathBuf};
 use std::process::exit;
 
@@ -36,7 +41,8 @@ fn usage() -> ! {
          options: --dtype f64|i64  --chunk AxB[xC…]  --bounds AxB[xC…]\n\
                   --servers N  --stripe BYTES  --dim D  --by N\n\
                   --index AxB[xC…]  --value V  --lo AxB[xC…]  --hi AxB[xC…]\n\
-                  --addr HOST:PORT  --threads N  --cache CHUNKS"
+                  --addr HOST:PORT  --threads N  --cache CHUNKS\n\
+                  --fault-script seed:N|FILE   (deterministic fault injection)"
     );
     exit(2);
 }
@@ -57,6 +63,7 @@ struct Opts {
     addr: String,
     threads: usize,
     cache: usize,
+    fault_script: String,
 }
 
 fn parse_dims(s: &str) -> Vec<usize> {
@@ -80,6 +87,7 @@ fn parse_opts(args: &[String]) -> Opts {
         addr: String::new(),
         threads: 4,
         cache: 64,
+        fault_script: String::new(),
     };
     let mut i = 0;
     while i < args.len() {
@@ -101,6 +109,7 @@ fn parse_opts(args: &[String]) -> Opts {
             "--addr" => o.addr = val,
             "--threads" => o.threads = val.parse().unwrap_or_else(|_| usage()),
             "--cache" => o.cache = val.parse().unwrap_or_else(|_| usage()),
+            "--fault-script" => o.fault_script = val,
             _ => usage(),
         }
         i += 2;
@@ -131,8 +140,33 @@ fn pfs_for(dir: &Path, opts: &Opts, create: bool) -> Result<Pfs, Box<dyn std::er
         stripe_size: stripe,
         cost: CostModel::default(),
         backing: Backing::Disk(dir.to_path_buf()),
+        injector: injector_for(opts, servers)?,
+        ..PfsConfig::default()
     })?;
     Ok(pfs)
+}
+
+/// Build the fault injector requested by `--fault-script`, if any. The
+/// armed schedule is echoed to stderr in its replayable text form, so a
+/// failure seen under `seed:N` can be reproduced from the printed script
+/// alone.
+fn injector_for(
+    opts: &Opts,
+    servers: usize,
+) -> Result<Option<std::sync::Arc<fault::Injector>>, Box<dyn std::error::Error>> {
+    if opts.fault_script.is_empty() {
+        return Ok(None);
+    }
+    let script = if let Some(seed) = opts.fault_script.strip_prefix("seed:") {
+        let seed: u64 = seed.parse().map_err(|_| format!("bad seed in '{}'", opts.fault_script))?;
+        fault::Script::from_seed(seed, 8, servers)
+    } else {
+        let text = std::fs::read_to_string(&opts.fault_script)?;
+        fault::Script::parse(&text).map_err(|e| format!("bad fault script: {e}"))?
+    };
+    eprintln!("drxtool: fault injection armed; replayable schedule:");
+    eprint!("{script}");
+    Ok(Some(std::sync::Arc::new(fault::Injector::new(script))))
 }
 
 /// Register the file pair with the (fresh) PFS namespace: the in-memory

@@ -34,7 +34,9 @@ pub use drx_core::{
     InitialLayout, Layout, Region, SegmentRef, MAX_RANK,
 };
 
-pub use drx_pfs::{Backing, CostModel, Pfs, PfsConfig, PfsError, PfsFile, PfsStats, StripeMap};
+pub use drx_pfs::{
+    fault, Backing, CostModel, Pfs, PfsConfig, PfsError, PfsFile, PfsStats, RetryPolicy, StripeMap,
+};
 
 pub use drx_msg::{run_spmd, Comm, Datatype, MsgError, MsgFile, ReduceOp, Window};
 
@@ -57,9 +59,9 @@ pub mod parallel {
 /// cache, in-process and TCP transports).
 pub mod server {
     pub use drx_server::{
-        proto, serve, ArrayInfo, Client, Conn, ErrorCode, LockMode, RangeGuard, RangeLockManager,
-        Request, Response, ServeHandle, Server, ServerConfig, ServerError, SharedChunkCache,
-        StatReply, TcpClient, Transport,
+        proto, serve, serve_with, ArrayInfo, Client, Conn, ErrorCode, LockMode, RangeGuard,
+        RangeLockManager, Request, Response, ServeConfig, ServeHandle, Server, ServerConfig,
+        ServerError, SharedChunkCache, StatReply, TcpClient, Transport,
     };
 }
 

@@ -1,0 +1,188 @@
+//! Crash-consistency substrate: byte stores with an explicit
+//! volatile/durable split.
+//!
+//! A [`CrashFile`] models one server-local stream the way a kernel page
+//! cache does: writes land in the volatile image, `sync` flushes it to the
+//! durable image, and `crash` throws the volatile image away — exactly
+//! what power loss leaves behind. A [`CrashRegistry`] names a set of
+//! `CrashFile`s so they outlive the file-system instance built over them:
+//! "reboot" is dropping the old instance and opening a new one against the
+//! same registry.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+#[derive(Default)]
+struct Images {
+    volatile: Vec<u8>,
+    durable: Vec<u8>,
+}
+
+/// One byte stream with separate volatile and durable images.
+#[derive(Default)]
+pub struct CrashFile {
+    images: Mutex<Images>,
+}
+
+fn lock(m: &Mutex<Images>) -> MutexGuard<'_, Images> {
+    // Both images are plain byte vectors, valid at every intermediate
+    // step, so a poisoned lock (panic elsewhere) is safe to enter.
+    match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+impl CrashFile {
+    pub fn new() -> CrashFile {
+        CrashFile::default()
+    }
+
+    /// Read from the volatile image; bytes past its length read as zero.
+    pub fn read_at(&self, offset: u64, buf: &mut [u8]) {
+        let img = lock(&self.images);
+        let off = offset as usize;
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = img.volatile.get(off + i).copied().unwrap_or(0);
+        }
+    }
+
+    /// Write into the volatile image, extending it as needed. Returns the
+    /// number of bytes applied (always `data.len()`; the torn-write path
+    /// uses [`CrashFile::write_prefix_at`]).
+    pub fn write_at(&self, offset: u64, data: &[u8]) {
+        self.write_prefix_at(offset, data, data.len());
+    }
+
+    /// Apply only the first `keep` bytes of `data` — a torn write.
+    pub fn write_prefix_at(&self, offset: u64, data: &[u8], keep: usize) {
+        let keep = keep.min(data.len());
+        let mut img = lock(&self.images);
+        let end = offset as usize + keep;
+        if img.volatile.len() < end {
+            img.volatile.resize(end, 0);
+        }
+        img.volatile[offset as usize..end].copy_from_slice(&data[..keep]);
+    }
+
+    /// Volatile length in bytes.
+    pub fn len(&self) -> u64 {
+        lock(&self.images).volatile.len() as u64
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Truncate or zero-extend the volatile image.
+    pub fn set_len(&self, len: u64) {
+        lock(&self.images).volatile.resize(len as usize, 0);
+    }
+
+    /// Make the volatile image durable (fsync).
+    pub fn sync(&self) {
+        let mut img = lock(&self.images);
+        img.durable = img.volatile.clone();
+    }
+
+    /// Discard everything since the last `sync` (power loss).
+    pub fn crash(&self) {
+        let mut img = lock(&self.images);
+        img.volatile = img.durable.clone();
+    }
+
+    /// Bytes of the durable image (what a reboot would find).
+    pub fn durable_len(&self) -> u64 {
+        lock(&self.images).durable.len() as u64
+    }
+}
+
+/// A named set of [`CrashFile`]s shared across file-system instances.
+#[derive(Default)]
+pub struct CrashRegistry {
+    files: Mutex<HashMap<String, Arc<CrashFile>>>,
+}
+
+impl CrashRegistry {
+    pub fn new() -> Arc<CrashRegistry> {
+        Arc::new(CrashRegistry::default())
+    }
+
+    fn files(&self) -> MutexGuard<'_, HashMap<String, Arc<CrashFile>>> {
+        match self.files.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Open (creating if absent) the stream named `name`.
+    pub fn open(&self, name: &str) -> Arc<CrashFile> {
+        Arc::clone(self.files().entry(name.to_string()).or_default())
+    }
+
+    /// Drop the stream named `name`.
+    pub fn remove(&self, name: &str) {
+        self.files().remove(name);
+    }
+
+    /// Names currently registered, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.files().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Power-loss across every stream at once.
+    pub fn crash_all(&self) {
+        for f in self.files().values() {
+            f.crash();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sync_then_crash_preserves_only_synced_bytes() {
+        let f = CrashFile::new();
+        f.write_at(0, b"durable!");
+        f.sync();
+        f.write_at(8, b" volatile");
+        assert_eq!(f.len(), 17);
+        f.crash();
+        assert_eq!(f.len(), 8);
+        let mut buf = [0u8; 8];
+        f.read_at(0, &mut buf);
+        assert_eq!(&buf, b"durable!");
+    }
+
+    #[test]
+    fn torn_write_applies_only_a_prefix() {
+        let f = CrashFile::new();
+        f.write_prefix_at(0, b"abcdef", 3);
+        assert_eq!(f.len(), 3);
+        let mut buf = [9u8; 6];
+        f.read_at(0, &mut buf);
+        assert_eq!(&buf, b"abc\0\0\0");
+    }
+
+    #[test]
+    fn registry_shares_streams_across_instances() {
+        let reg = CrashRegistry::new();
+        reg.open("a").write_at(0, b"xyz");
+        reg.open("a").sync();
+        let again = reg.open("a");
+        let mut buf = [0u8; 3];
+        again.read_at(0, &mut buf);
+        assert_eq!(&buf, b"xyz");
+        assert_eq!(reg.names(), vec!["a".to_string()]);
+        reg.open("b").write_at(0, b"v");
+        reg.crash_all();
+        assert_eq!(reg.open("a").len(), 3); // synced survives
+        assert_eq!(reg.open("b").len(), 0); // unsynced lost
+        reg.remove("a");
+        assert_eq!(reg.open("a").len(), 0);
+    }
+}

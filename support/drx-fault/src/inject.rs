@@ -1,0 +1,232 @@
+//! The injector: a thread-safe state machine that turns a [`Script`] into
+//! per-operation decisions, with a fired-event log for replay comparison.
+
+use crate::script::{Event, FaultKind, Op, Script};
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+/// What the wrapped operation should do. The storage adapter (in
+/// `drx-pfs`) maps these onto its own typed errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Proceed normally.
+    Pass,
+    /// Fail with `EINTR` before touching storage (transient).
+    Interrupt,
+    /// The domain is unreachable; fail without touching storage.
+    Unavailable,
+    /// Deliver only the first `keep` bytes of the read, then fail
+    /// (transient: the retry re-issues the full read).
+    ShortRead { keep: usize },
+    /// Persist only the first `keep` bytes of the write, then fail — the
+    /// simulated crash point (not transient).
+    TornWrite { keep: usize },
+    /// Sleep `micros`, then proceed normally.
+    Delay { micros: u64 },
+}
+
+struct State {
+    /// Global operation counter (every `decide` call counts one).
+    ops: u64,
+    /// Script events not yet armed, sorted by `at_op` (indices into
+    /// `events`).
+    pending: Vec<usize>,
+    /// Armed one-shot faults waiting for a matching operation.
+    armed: Vec<usize>,
+    /// Fault domains currently down.
+    down: BTreeSet<usize>,
+    /// Log of fired events as `(op_index, event)` for replay comparison.
+    fired: Vec<(u64, Event)>,
+}
+
+/// Thread-safe fault decision point. One injector is shared by all fault
+/// domains (stripe servers) of a file system, so `at_op` counts are global
+/// across the run — matching how a fault script describes "the 40th
+/// storage operation of this workload".
+pub struct Injector {
+    events: Vec<Event>,
+    state: Mutex<State>,
+}
+
+impl Injector {
+    pub fn new(script: Script) -> Injector {
+        let events = script.events;
+        let mut pending: Vec<usize> = (0..events.len()).collect();
+        pending.sort_by_key(|&i| events[i].at_op);
+        pending.reverse(); // pop() yields the earliest
+        Injector {
+            events,
+            state: Mutex::new(State {
+                ops: 0,
+                pending,
+                armed: Vec::new(),
+                down: BTreeSet::new(),
+                fired: Vec::new(),
+            }),
+        }
+    }
+
+    /// An injector that never faults (still counts operations).
+    pub fn inert() -> Injector {
+        Injector::new(Script::empty())
+    }
+
+    /// Operations decided so far.
+    pub fn ops(&self) -> u64 {
+        self.lock().ops
+    }
+
+    /// Whether `domain` is currently down.
+    pub fn is_down(&self, domain: usize) -> bool {
+        self.lock().down.contains(&domain)
+    }
+
+    /// Force a domain down/up outside the script (test hook).
+    pub fn set_down(&self, domain: usize, down: bool) {
+        let mut st = self.lock();
+        if down {
+            st.down.insert(domain);
+        } else {
+            st.down.remove(&domain);
+        }
+    }
+
+    /// The fired-event log: `(operation index, event)` pairs, in firing
+    /// order. Two runs of the same workload under the same script produce
+    /// identical logs — the replayability contract.
+    pub fn fired(&self) -> Vec<(u64, Event)> {
+        self.lock().fired.clone()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        // A poisoned injector lock means a panic mid-decision; the state
+        // is a counter + sets, all valid at every step, so continuing is
+        // sound (and test asserts about fault behavior still run).
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Decide the fate of one operation of class `op` against `domain`,
+    /// transferring `len` bytes. Counts the operation, arms/fires events,
+    /// and applies down-domain state.
+    pub fn decide(&self, domain: usize, op: Op, len: usize) -> Decision {
+        let mut st = self.lock();
+        let this_op = st.ops;
+        st.ops += 1;
+
+        // Arm every event whose op count has arrived; Down/Up apply
+        // immediately (they are state transitions, not per-op faults).
+        while let Some(&i) = st.pending.last() {
+            if self.events[i].at_op > this_op {
+                break;
+            }
+            st.pending.pop();
+            let ev = self.events[i];
+            match ev.kind {
+                FaultKind::Down => {
+                    if let Some(d) = ev.domain {
+                        st.down.insert(d);
+                        st.fired.push((this_op, ev));
+                    }
+                }
+                FaultKind::Up => {
+                    if let Some(d) = ev.domain {
+                        st.down.remove(&d);
+                        st.fired.push((this_op, ev));
+                    }
+                }
+                _ => st.armed.push(i),
+            }
+        }
+
+        // Down domains fail every operation until their Up event.
+        if st.down.contains(&domain) {
+            return Decision::Unavailable;
+        }
+
+        // Fire the first armed event matching this operation.
+        let hit = st.armed.iter().position(|&i| {
+            let e = &self.events[i];
+            e.domain.is_none_or(|d| d == domain) && e.op.is_none_or(|o| o == op)
+        });
+        let Some(pos) = hit else { return Decision::Pass };
+        let ev = self.events[st.armed.remove(pos)];
+        st.fired.push((this_op, ev));
+        match ev.kind {
+            FaultKind::ShortRead => Decision::ShortRead { keep: len / 2 },
+            FaultKind::Interrupted => Decision::Interrupt,
+            FaultKind::TornWrite => Decision::TornWrite { keep: len / 2 },
+            FaultKind::Delay { micros } => Decision::Delay { micros },
+            // Down/Up never reach `armed`.
+            FaultKind::Down | FaultKind::Up => Decision::Pass,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at_op: u64, kind: FaultKind) -> Event {
+        Event { at_op, domain: None, op: None, kind }
+    }
+
+    #[test]
+    fn events_fire_at_their_op_counts() {
+        let inj = Injector::new(Script { seed: 0, events: vec![ev(2, FaultKind::Interrupted)] });
+        assert_eq!(inj.decide(0, Op::Read, 10), Decision::Pass);
+        assert_eq!(inj.decide(0, Op::Read, 10), Decision::Pass);
+        assert_eq!(inj.decide(0, Op::Read, 10), Decision::Interrupt);
+        assert_eq!(inj.decide(0, Op::Read, 10), Decision::Pass);
+        assert_eq!(inj.ops(), 4);
+    }
+
+    #[test]
+    fn filters_defer_until_a_matching_op() {
+        let mut e = ev(0, FaultKind::TornWrite);
+        e.op = Some(Op::Write);
+        let inj = Injector::new(Script { seed: 0, events: vec![e] });
+        // Reads pass the armed write fault by.
+        assert_eq!(inj.decide(0, Op::Read, 8), Decision::Pass);
+        assert_eq!(inj.decide(0, Op::Write, 8), Decision::TornWrite { keep: 4 });
+    }
+
+    #[test]
+    fn down_blankets_a_domain_until_up() {
+        let mut down = ev(1, FaultKind::Down);
+        down.domain = Some(1);
+        let mut up = ev(3, FaultKind::Up);
+        up.domain = Some(1);
+        let inj = Injector::new(Script { seed: 0, events: vec![down, up] });
+        assert_eq!(inj.decide(1, Op::Read, 4), Decision::Pass); // op 0
+        assert_eq!(inj.decide(1, Op::Read, 4), Decision::Unavailable); // op 1: down
+        assert_eq!(inj.decide(0, Op::Read, 4), Decision::Pass); // other domain fine
+        assert!(inj.is_down(1));
+        assert_eq!(inj.decide(1, Op::Read, 4), Decision::Pass); // op 3: up again
+        assert!(!inj.is_down(1));
+    }
+
+    #[test]
+    fn fired_log_is_replayable() {
+        let script = Script::from_seed(99, 10, 3);
+        let run = |script: Script| {
+            let inj = Injector::new(script);
+            for i in 0..400usize {
+                let op = match i % 4 {
+                    0 => Op::Read,
+                    1 => Op::Write,
+                    2 => Op::SetLen,
+                    _ => Op::Sync,
+                };
+                let _: Decision = inj.decide(i % 3, op, 64);
+            }
+            inj.fired()
+        };
+        let a = run(script.clone());
+        let b = run(script);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+}

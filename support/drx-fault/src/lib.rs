@@ -1,0 +1,37 @@
+//! # drx-fault — deterministic fault injection for the DRX stack
+//!
+//! The paper's value proposition — an array that grows without ever
+//! rewriting committed data — is only demonstrable if the committed data
+//! *survives* faults. This crate provides the machinery to prove it:
+//!
+//! * [`Script`]: a replayable schedule of fault events, either parsed from
+//!   text (`drxtool --fault-script`) or generated deterministically from a
+//!   seed. The same seed always yields the same schedule.
+//! * [`Injector`]: a thread-safe state machine consulted before every
+//!   storage or transport operation. It counts operations globally, fires
+//!   scripted events at their operation counts, tracks which fault domains
+//!   (stripe servers) are down, and logs every fired event so a run can be
+//!   compared against its replay.
+//! * [`CrashFile`] / [`CrashRegistry`]: a byte store with an explicit
+//!   volatile/durable split. Writes land in the volatile image; `sync`
+//!   makes them durable; `crash` discards everything since the last sync.
+//!   This is what lets a test kill a write mid-flight and observe exactly
+//!   what a real power loss would leave on disk.
+//! * [`FaultyStream`]: a `Read + Write` wrapper injecting short reads,
+//!   `EINTR` and delays into a byte stream, for exercising the wire
+//!   protocol's framing layer.
+//!
+//! The crate is dependency-free and knows nothing about `drx-pfs` or
+//! `drx-server`; those crates adapt [`Decision`]s into their own typed
+//! errors (dependency direction: storage depends on the fault layer, never
+//! the reverse).
+
+mod crash;
+mod inject;
+mod script;
+mod stream;
+
+pub use crash::{CrashFile, CrashRegistry};
+pub use inject::{Decision, Injector};
+pub use script::{Event, FaultKind, Op, Script, SplitMix64};
+pub use stream::FaultyStream;

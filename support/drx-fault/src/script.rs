@@ -1,0 +1,304 @@
+//! Fault schedules: the event vocabulary, the text format, and the
+//! seed-driven generator. Every schedule is replayable — from its text, or
+//! from the seed that generated it.
+
+use std::fmt;
+
+/// The operation classes the injector distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    Read,
+    Write,
+    SetLen,
+    Sync,
+}
+
+impl Op {
+    fn name(self) -> &'static str {
+        match self {
+            Op::Read => "read",
+            Op::Write => "write",
+            Op::SetLen => "setlen",
+            Op::Sync => "sync",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Op, String> {
+        Ok(match s {
+            "read" => Op::Read,
+            "write" => Op::Write,
+            "setlen" => Op::SetLen,
+            "sync" => Op::Sync,
+            other => return Err(format!("unknown op '{other}'")),
+        })
+    }
+}
+
+/// What an event does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A read delivers only a prefix of the requested bytes.
+    ShortRead,
+    /// The operation fails with `EINTR` (transient; a retry succeeds).
+    Interrupted,
+    /// A write persists only a prefix, then fails — the on-storage image a
+    /// crash mid-write leaves behind.
+    TornWrite,
+    /// The operation completes, but only after a delay.
+    Delay { micros: u64 },
+    /// The fault domain (stripe server) stops answering until `Up`.
+    Down,
+    /// The fault domain comes back.
+    Up,
+}
+
+/// One scheduled event. `at_op` is the global operation count at which the
+/// event *arms*; `Down`/`Up` apply immediately when armed, the other kinds
+/// fire at the first subsequent operation matching `domain` and `op`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    pub at_op: u64,
+    /// Restrict to one fault domain (stripe server); `None` matches any.
+    pub domain: Option<usize>,
+    /// Restrict to one operation class; `None` matches any.
+    pub op: Option<Op>,
+    pub kind: FaultKind,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.at_op)?;
+        if let Some(d) = self.domain {
+            write!(f, " server={d}")?;
+        }
+        if let Some(op) = self.op {
+            write!(f, " op={}", op.name())?;
+        }
+        match self.kind {
+            FaultKind::ShortRead => write!(f, " short-read"),
+            FaultKind::Interrupted => write!(f, " interrupt"),
+            FaultKind::TornWrite => write!(f, " torn-write"),
+            FaultKind::Delay { micros } => write!(f, " delay={micros}"),
+            FaultKind::Down => write!(f, " down"),
+            FaultKind::Up => write!(f, " up"),
+        }
+    }
+}
+
+/// A replayable fault schedule.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Script {
+    /// The seed the schedule was generated from (0 for hand-written
+    /// scripts) — carried so logs can name the replay command.
+    pub seed: u64,
+    pub events: Vec<Event>,
+}
+
+impl Script {
+    /// A schedule with no events (the injector still counts operations).
+    pub fn empty() -> Script {
+        Script::default()
+    }
+
+    /// Deterministically generate `n_events` events spread over the first
+    /// ~`20 * n_events` operations of a run against `n_domains` fault
+    /// domains. The same `(seed, n_events, n_domains)` always produces the
+    /// same schedule, and every generated `Down` is paired with an `Up` a
+    /// few operations later so runs always regain full service.
+    pub fn from_seed(seed: u64, n_events: usize, n_domains: usize) -> Script {
+        let mut rng = SplitMix64::new(seed);
+        let mut events = Vec::with_capacity(n_events);
+        let mut at = 0u64;
+        for _ in 0..n_events {
+            at += 1 + rng.below(20);
+            let domain = if n_domains > 0 && rng.below(2) == 0 {
+                Some(rng.below(n_domains as u64) as usize)
+            } else {
+                None
+            };
+            match rng.below(5) {
+                0 => events.push(Event {
+                    at_op: at,
+                    domain,
+                    op: Some(Op::Read),
+                    kind: FaultKind::ShortRead,
+                }),
+                1 => {
+                    events.push(Event { at_op: at, domain, op: None, kind: FaultKind::Interrupted })
+                }
+                2 => events.push(Event {
+                    at_op: at,
+                    domain,
+                    op: Some(Op::Write),
+                    kind: FaultKind::TornWrite,
+                }),
+                3 => events.push(Event {
+                    at_op: at,
+                    domain,
+                    op: None,
+                    kind: FaultKind::Delay { micros: 50 + rng.below(200) },
+                }),
+                _ => {
+                    let d = if n_domains > 0 { rng.below(n_domains as u64) as usize } else { 0 };
+                    events.push(Event {
+                        at_op: at,
+                        domain: Some(d),
+                        op: None,
+                        kind: FaultKind::Down,
+                    });
+                    let up_at = at + 2 + rng.below(10);
+                    events.push(Event {
+                        at_op: up_at,
+                        domain: Some(d),
+                        op: None,
+                        kind: FaultKind::Up,
+                    });
+                }
+            }
+        }
+        events.sort_by_key(|e| e.at_op);
+        Script { seed, events }
+    }
+
+    /// Parse the text format ([`Script::to_string`] round-trips through
+    /// this). Blank lines and `#` comments are ignored.
+    ///
+    /// ```text
+    /// @12 server=1 op=read short-read
+    /// @30 op=write torn-write
+    /// @45 server=0 down
+    /// @60 server=0 up
+    /// @70 interrupt
+    /// @80 delay=250
+    /// ```
+    pub fn parse(text: &str) -> Result<Script, String> {
+        let mut events = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut at_op = None;
+            let mut domain = None;
+            let mut op = None;
+            let mut kind = None;
+            for word in line.split_whitespace() {
+                if let Some(n) = word.strip_prefix('@') {
+                    at_op = Some(
+                        n.parse::<u64>()
+                            .map_err(|_| format!("line {}: bad op count '{word}'", lineno + 1))?,
+                    );
+                } else if let Some(n) = word.strip_prefix("server=") {
+                    domain = Some(
+                        n.parse::<usize>()
+                            .map_err(|_| format!("line {}: bad server '{word}'", lineno + 1))?,
+                    );
+                } else if let Some(n) = word.strip_prefix("op=") {
+                    op = Some(Op::parse(n).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+                } else if let Some(n) = word.strip_prefix("delay=") {
+                    let micros = n
+                        .parse::<u64>()
+                        .map_err(|_| format!("line {}: bad delay '{word}'", lineno + 1))?;
+                    kind = Some(FaultKind::Delay { micros });
+                } else {
+                    kind = Some(match word {
+                        "short-read" => FaultKind::ShortRead,
+                        "interrupt" => FaultKind::Interrupted,
+                        "torn-write" => FaultKind::TornWrite,
+                        "down" => FaultKind::Down,
+                        "up" => FaultKind::Up,
+                        other => {
+                            return Err(format!("line {}: unknown fault '{other}'", lineno + 1))
+                        }
+                    });
+                }
+            }
+            let at_op = at_op.ok_or_else(|| format!("line {}: missing @<op-count>", lineno + 1))?;
+            let kind = kind.ok_or_else(|| format!("line {}: missing fault kind", lineno + 1))?;
+            events.push(Event { at_op, domain, op, kind });
+        }
+        events.sort_by_key(|e| e.at_op);
+        Ok(Script { seed: 0, events })
+    }
+}
+
+impl fmt::Display for Script {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# drx-fault script (seed {})", self.seed)?;
+        for e in &self.events {
+            writeln!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+/// SplitMix64 — the standard tiny deterministic generator; good enough for
+/// schedule generation and backoff jitter, and trivially reproducible.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; returns 0 when `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_generation_is_deterministic() {
+        let a = Script::from_seed(42, 8, 4);
+        let b = Script::from_seed(42, 8, 4);
+        assert_eq!(a, b);
+        let c = Script::from_seed(43, 8, 4);
+        assert_ne!(a, c);
+        // Every Down has a later Up on the same domain.
+        for e in a.events.iter().filter(|e| e.kind == FaultKind::Down) {
+            assert!(a
+                .events
+                .iter()
+                .any(|u| u.kind == FaultKind::Up && u.domain == e.domain && u.at_op > e.at_op));
+        }
+    }
+
+    #[test]
+    fn text_format_round_trips() {
+        let script = Script::from_seed(7, 6, 2);
+        let text = script.to_string();
+        let back = Script::parse(&text).unwrap();
+        assert_eq!(back.events, script.events);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Script::parse("@5 exploded").is_err());
+        assert!(Script::parse("server=1 down").is_err());
+        assert!(Script::parse("@5 server=x down").is_err());
+        assert!(Script::parse("@5 op=frobnicate interrupt").is_err());
+        assert!(Script::parse("@9 server=0").is_err());
+        // Comments and blanks are fine.
+        let s = Script::parse("# nothing\n\n@3 interrupt\n").unwrap();
+        assert_eq!(s.events.len(), 1);
+    }
+}

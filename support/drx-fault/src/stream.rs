@@ -1,0 +1,123 @@
+//! Transport-level injection: a `Read + Write` wrapper that subjects a
+//! byte stream to the injector's decisions. Short reads and `EINTR` are
+//! *legal* stream behaviors that robust framing code must already handle —
+//! this wrapper makes tests prove it.
+
+use crate::inject::{Decision, Injector};
+use crate::script::Op;
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+
+/// A fault-injecting wrapper around any byte stream. All operations are
+/// charged to fault domain `domain` of the shared injector.
+pub struct FaultyStream<S> {
+    inner: S,
+    injector: Arc<Injector>,
+    domain: usize,
+}
+
+impl<S> FaultyStream<S> {
+    pub fn new(inner: S, injector: Arc<Injector>, domain: usize) -> FaultyStream<S> {
+        FaultyStream { inner, injector, domain }
+    }
+
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: Read> Read for FaultyStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self.injector.decide(self.domain, Op::Read, buf.len()) {
+            Decision::Pass => self.inner.read(buf),
+            Decision::Interrupt => {
+                Err(io::Error::new(io::ErrorKind::Interrupted, "injected EINTR"))
+            }
+            Decision::Unavailable => {
+                Err(io::Error::new(io::ErrorKind::ConnectionReset, "injected: peer down"))
+            }
+            Decision::ShortRead { keep } => {
+                // A short read is normal `Read` behavior: deliver fewer
+                // bytes than asked and let the caller loop.
+                let keep = keep.max(1).min(buf.len());
+                self.inner.read(&mut buf[..keep])
+            }
+            Decision::TornWrite { .. } => self.inner.read(buf),
+            Decision::Delay { micros } => {
+                std::thread::sleep(std::time::Duration::from_micros(micros));
+                self.inner.read(buf)
+            }
+        }
+    }
+}
+
+impl<S: Write> Write for FaultyStream<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self.injector.decide(self.domain, Op::Write, buf.len()) {
+            Decision::Pass => self.inner.write(buf),
+            Decision::Interrupt => {
+                Err(io::Error::new(io::ErrorKind::Interrupted, "injected EINTR"))
+            }
+            Decision::Unavailable => {
+                Err(io::Error::new(io::ErrorKind::BrokenPipe, "injected: peer down"))
+            }
+            Decision::TornWrite { keep } => {
+                // Persist a prefix, then fail the connection: the bytes
+                // that escaped are on the wire, the rest are gone.
+                let keep = keep.min(buf.len());
+                if keep > 0 {
+                    self.inner.write_all(&buf[..keep])?;
+                }
+                Err(io::Error::new(io::ErrorKind::BrokenPipe, "injected: torn write"))
+            }
+            Decision::ShortRead { keep } => {
+                // Partial write: fewer bytes accepted than offered.
+                let keep = keep.max(1).min(buf.len());
+                self.inner.write(&buf[..keep])
+            }
+            Decision::Delay { micros } => {
+                std::thread::sleep(std::time::Duration::from_micros(micros));
+                self.inner.write(buf)
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::script::{Event, FaultKind, Script};
+
+    #[test]
+    fn short_reads_and_eintr_are_survivable_by_read_exact() {
+        // Faults on every early op: read_exact must still assemble the
+        // payload because short reads and EINTR are retried by contract.
+        let events = vec![
+            Event { at_op: 0, domain: None, op: Some(Op::Read), kind: FaultKind::ShortRead },
+            Event { at_op: 1, domain: None, op: Some(Op::Read), kind: FaultKind::Interrupted },
+            Event { at_op: 2, domain: None, op: Some(Op::Read), kind: FaultKind::ShortRead },
+        ];
+        let inj = Arc::new(Injector::new(Script { seed: 0, events }));
+        let data: Vec<u8> = (0..64u8).collect();
+        let mut s = FaultyStream::new(&data[..], inj, 0);
+        let mut buf = [0u8; 64];
+        s.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf[..], &data[..]);
+    }
+
+    #[test]
+    fn torn_write_persists_a_prefix_then_fails() {
+        let events =
+            vec![Event { at_op: 0, domain: None, op: Some(Op::Write), kind: FaultKind::TornWrite }];
+        let inj = Arc::new(Injector::new(Script { seed: 0, events }));
+        let mut out = Vec::new();
+        let mut s = FaultyStream::new(&mut out, inj, 0);
+        let err = s.write_all(&[7u8; 10]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        assert_eq!(out, vec![7u8; 5]); // half the frame escaped
+    }
+}
