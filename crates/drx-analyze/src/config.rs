@@ -14,6 +14,7 @@ pub const L1_FILES: &[&str] = &[
     "crates/drx-pfs/src/file.rs",
     "crates/drx-pfs/src/server.rs",
     "crates/drx-pfs/src/backend.rs",
+    "crates/drx-pfs/src/par.rs",
 ];
 
 /// Method / function names that participate in L1 call-summary

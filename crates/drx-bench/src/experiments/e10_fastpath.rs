@@ -1,0 +1,295 @@
+//! **E10 — fast-path access pipeline** (run-coalesced planning, memcpy
+//! scatter kernels, parallel extent I/O).
+//!
+//! Three claims, one per pipeline layer:
+//!
+//! 1. **Planning**: turning a region into a ready-to-issue request list
+//!    via [`ChunkRun`]s (`region_runs` + flat entry sort + merged byte
+//!    extents) beats the pre-kernel pipeline (`region_addresses` + sort +
+//!    per-chunk indexed filetype) because the owner lookup is paid per
+//!    *run*, not per chunk, and the request list is built from merged
+//!    extents instead of one displacement per chunk.
+//! 2. **Scatter**: the memcpy row kernel moves same-order (C→C) chunk
+//!    data at copy bandwidth, versus one little-endian decode per element.
+//! 3. **Parallel extent I/O**: a cold whole-file read speeds up with
+//!    `io_workers`, because fragments on distinct stripe servers are
+//!    issued concurrently. The memory backend emulates a per-request
+//!    server service latency (`PfsConfig::request_latency`) so the read is
+//!    latency-bound — the remote-I/O-server regime the paper assumes —
+//!    rather than bound by single-core memcpy bandwidth.
+//!
+//! `harness --json [PATH]` serializes the measurements (BENCH_PR4.json).
+//!
+//! [`ChunkRun`]: drx_core::plan::ChunkRun
+
+use super::time_per_op;
+use crate::table::Table;
+use drx_core::{Element, ExtendibleShape, Layout, Region};
+use drx_pfs::{Pfs, PfsConfig};
+use std::hint::black_box;
+
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Cyclic single-dim extensions applied to the planning shape (more
+    /// extensions → more axial records → more expensive per-chunk `F*`).
+    pub plan_extensions: usize,
+    /// Timed iterations of each planning variant.
+    pub plan_iters: usize,
+    /// Chunk side (f64 elements) for the scatter kernels.
+    pub scatter_side: usize,
+    /// Timed iterations of each scatter variant.
+    pub scatter_iters: usize,
+    /// Cold-read payload in MiB.
+    pub io_mib: usize,
+    /// Emulated per-request server service latency in microseconds.
+    pub io_latency_us: u64,
+    /// Worker counts to sweep.
+    pub io_workers: Vec<usize>,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            plan_extensions: 40,
+            plan_iters: 20,
+            scatter_side: 128,
+            scatter_iters: 512,
+            io_mib: 8,
+            io_latency_us: 500,
+            io_workers: vec![1, 2, 4, 8],
+        }
+    }
+}
+
+/// Reduced-size parameters for smoke runs.
+pub fn quick_params() -> Params {
+    Params {
+        plan_extensions: 20,
+        plan_iters: 5,
+        scatter_side: 64,
+        scatter_iters: 100,
+        io_mib: 2,
+        io_latency_us: 150,
+        io_workers: vec![1, 2],
+    }
+}
+
+/// The measurements, plus their JSON serialization.
+pub struct Report {
+    pub table: Table,
+    pub json: String,
+}
+
+/// Per-element reference scatter (the pre-kernel access path): one
+/// little-endian decode per element.
+fn scatter_reference(
+    bytes: &[u8],
+    chunk_strides: &[u64],
+    out: &mut [f64],
+    out_strides: &[u64],
+    region: &Region,
+) {
+    let zero = vec![0usize; region.rank()];
+    drx_core::index::for_each_offset_pair(
+        region,
+        &zero,
+        chunk_strides,
+        &zero,
+        out_strides,
+        |src, dst| {
+            let sb = src as usize * 8;
+            out[dst as usize] = f64::read_le(&bytes[sb..sb + 8]);
+        },
+    );
+}
+
+pub fn run(p: Params) -> Report {
+    // --- 1. Planning: per-chunk F* vs run-coalesced --------------------
+    let mut shape = ExtendibleShape::new(&[4, 4]).expect("valid");
+    for i in 0..p.plan_extensions {
+        shape.extend(i % 2, 8).expect("extend");
+    }
+    let region = shape.full_region();
+    let chunks = region.volume();
+    // Both variants are measured plan-to-request-list: the work a read pays
+    // between "here is a region" and "issue the I/O". Chunk payload size
+    // only scales the displacement math, not the comparison.
+    let chunk_bytes = 8 * 1024u64;
+    let base_ty = drx_msg::Datatype::contiguous(chunk_bytes);
+    let base_plan_ns = time_per_op(p.plan_iters, || {
+        let mut pairs = shape.region_addresses(&region).expect("plan");
+        pairs.sort_by_key(|&(_, a)| a);
+        // The pre-kernel fetch path viewed the file through an indexed
+        // filetype with one displacement per chunk.
+        let displs: Vec<usize> = pairs.iter().map(|&(_, a)| a as usize).collect();
+        let lens = vec![1usize; displs.len()];
+        let ft = drx_msg::Datatype::indexed(&lens, &displs, &base_ty).expect("filetype");
+        black_box((&pairs, &ft));
+    });
+    // The run variant pays the full ChunkPlan cost: run decomposition, the
+    // address-sorted flat entry list, and the merged byte extents the
+    // vectored I/O layer consumes.
+    let runs_plan_ns = time_per_op(p.plan_iters, || {
+        let runs = shape.region_runs(&region).expect("plan");
+        let entries = drx_core::sorted_run_entries(&runs);
+        let mut extents: Vec<(u64, u64)> = Vec::new();
+        for &(a, _, _) in &entries {
+            let start = a * chunk_bytes;
+            match extents.last_mut() {
+                Some((s, l)) if *s + *l == start => *l += chunk_bytes,
+                _ => extents.push((start, chunk_bytes)),
+            }
+        }
+        black_box((&entries, &extents));
+    });
+    let base_ns_chunk = base_plan_ns as f64 / chunks as f64;
+    let runs_ns_chunk = runs_plan_ns as f64 / chunks as f64;
+    let plan_speedup = base_ns_chunk / runs_ns_chunk.max(1e-9);
+
+    // --- 2. Scatter: per-element decode vs memcpy rows -----------------
+    let side = p.scatter_side;
+    let chunk_strides = Layout::C.strides(&[side, side]);
+    let out_strides = Layout::C.strides(&[side, side]);
+    let scatter_region = Region::new(vec![0, 0], vec![side, side]).expect("region");
+    let vals: Vec<f64> = (0..side * side).map(|i| i as f64 * 0.5).collect();
+    let bytes = drx_core::dtype::encode_slice(&vals);
+    let mut out = vec![0f64; side * side];
+    let per_iter_bytes = (side * side * 8) as u64;
+    let base_scatter_ns = time_per_op(p.scatter_iters, || {
+        scatter_reference(&bytes, &chunk_strides, &mut out, &out_strides, &scatter_region);
+        black_box(&out);
+    });
+    assert_eq!(out, vals, "reference scatter must reproduce the data");
+    out.fill(0.0);
+    let before = drx_mp::kernel_stats();
+    let kern_scatter_ns = time_per_op(p.scatter_iters, || {
+        drx_mp::scatter_chunk(
+            &bytes,
+            &[0, 0],
+            &chunk_strides,
+            &mut out,
+            &[0, 0],
+            &out_strides,
+            &scatter_region,
+        );
+        black_box(&out);
+    });
+    assert_eq!(out, vals, "kernel scatter must reproduce the data");
+    let kd = drx_mp::kernel_stats().delta_since(&before);
+    let gbps = |ns: u64| per_iter_bytes as f64 / ns.max(1) as f64; // bytes/ns == GB/s
+    let scatter_speedup = gbps(kern_scatter_ns) / gbps(base_scatter_ns).max(1e-9);
+
+    // --- 3. Parallel extent I/O: cold read vs io_workers ---------------
+    let total = p.io_mib << 20;
+    let servers = 8;
+    let stripe: u64 = 128 * 1024;
+    let mut io_rows: Vec<(usize, f64)> = Vec::new();
+    for &w in &p.io_workers {
+        let pfs = Pfs::new(PfsConfig {
+            n_servers: servers,
+            stripe_size: stripe,
+            io_workers: w,
+            request_latency: Some(std::time::Duration::from_micros(p.io_latency_us)),
+            ..PfsConfig::default()
+        })
+        .expect("pfs");
+        let f = pfs.create("cold").expect("create");
+        let mib = vec![0xA5u8; 1 << 20];
+        for i in 0..p.io_mib {
+            f.write_at((i as u64) << 20, &mib).expect("populate");
+        }
+        let mut buf = vec![0u8; total];
+        let mut best = u64::MAX;
+        for _ in 0..5 {
+            let t = std::time::Instant::now();
+            f.read_at(0, &mut buf).expect("cold read");
+            best = best.min(t.elapsed().as_nanos() as u64);
+        }
+        assert!(buf.iter().all(|&b| b == 0xA5), "read back wrong data");
+        let mbps = total as f64 / (best.max(1) as f64 / 1e9) / (1u64 << 20) as f64;
+        io_rows.push((w, mbps));
+    }
+
+    // --- Report --------------------------------------------------------
+    let mut table = Table::new(
+        "E10: fast-path pipeline (planning ns/chunk, scatter GB/s, cold read MiB/s)",
+        &["measure", "baseline", "fast path", "speedup"],
+    );
+    table.row(vec![
+        format!("plan {} chunks (ns/chunk)", chunks),
+        format!("{base_ns_chunk:.1}"),
+        format!("{runs_ns_chunk:.1}"),
+        format!("{plan_speedup:.1}x"),
+    ]);
+    table.row(vec![
+        format!("scatter {side}x{side} f64 (GB/s)"),
+        format!("{:.2}", gbps(base_scatter_ns)),
+        format!("{:.2}", gbps(kern_scatter_ns)),
+        format!("{scatter_speedup:.1}x"),
+    ]);
+    let w0 = io_rows.first().map(|&(_, m)| m).unwrap_or(1.0);
+    for &(w, mbps) in &io_rows {
+        table.row(vec![
+            format!("cold read {} MiB, {} workers (MiB/s)", p.io_mib, w),
+            format!("{w0:.0}"),
+            format!("{mbps:.0}"),
+            format!("{:.2}x", mbps / w0.max(1e-9)),
+        ]);
+    }
+
+    let io_json: Vec<String> = io_rows
+        .iter()
+        .map(|&(w, mbps)| format!("    {{ \"workers\": {w}, \"mib_per_s\": {mbps:.1} }}"))
+        .collect();
+    let json = format!(
+        "{{\n\
+         \x20 \"bench\": \"pr4_fastpath\",\n\
+         \x20 \"planning\": {{\n\
+         \x20   \"chunks\": {chunks},\n\
+         \x20   \"baseline_ns_per_chunk\": {base_ns_chunk:.2},\n\
+         \x20   \"runs_ns_per_chunk\": {runs_ns_chunk:.2},\n\
+         \x20   \"speedup\": {plan_speedup:.2}\n\
+         \x20 }},\n\
+         \x20 \"scatter\": {{\n\
+         \x20   \"chunk\": [{side}, {side}],\n\
+         \x20   \"bytes_per_iter\": {per_iter_bytes},\n\
+         \x20   \"baseline_gb_per_s\": {base_gb:.3},\n\
+         \x20   \"kernel_gb_per_s\": {kern_gb:.3},\n\
+         \x20   \"speedup\": {scatter_speedup:.2},\n\
+         \x20   \"memcpy_calls\": {memcpy_calls},\n\
+         \x20   \"memcpy_bytes\": {memcpy_bytes}\n\
+         \x20 }},\n\
+         \x20 \"parallel_io\": {{\n\
+         \x20   \"servers\": {servers},\n\
+         \x20   \"stripe_kib\": {stripe_kib},\n\
+         \x20   \"request_latency_us\": {latency_us},\n\
+         \x20   \"total_mib\": {io_mib},\n\
+         \x20   \"cold_read\": [\n{io_list}\n\x20   ]\n\
+         \x20 }}\n\
+         }}\n",
+        base_gb = gbps(base_scatter_ns),
+        kern_gb = gbps(kern_scatter_ns),
+        memcpy_calls = kd.memcpy_calls,
+        memcpy_bytes = kd.memcpy_bytes,
+        stripe_kib = stripe / 1024,
+        latency_us = p.io_latency_us,
+        io_mib = p.io_mib,
+        io_list = io_json.join(",\n"),
+    );
+    Report { table, json }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_consistent_report() {
+        let r = run(quick_params());
+        assert!(r.table.rows.len() >= 4);
+        assert!(r.json.contains("\"bench\": \"pr4_fastpath\""));
+        // The same-order scatter must have gone through the memcpy kernel.
+        assert!(r.json.contains("\"memcpy_calls\""));
+        assert!(!r.json.contains("\"memcpy_calls\": 0,"));
+    }
+}

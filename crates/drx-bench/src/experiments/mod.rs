@@ -6,6 +6,7 @@
 //! can record paper-claim vs measured-shape. Criterion benches in
 //! `benches/` wrap the same kernels for wall-clock numbers.
 
+pub mod e10_fastpath;
 pub mod e1_mapping;
 pub mod e2_extension;
 pub mod e3_access_order;
@@ -30,6 +31,7 @@ pub fn all_tables() -> Vec<Table> {
         e7_ablation::run(e7_ablation::Params::default()),
         e8_cache::run(e8_cache::Params::default()),
         e9_balance::run(e9_balance::Params::default()),
+        e10_fastpath::run(e10_fastpath::Params::default()).table,
     ]
 }
 

@@ -70,7 +70,11 @@ impl DType {
 /// Only the operations needed by the library (byte codec, accumulate-add,
 /// equality for tests) are provided; this is a storage type, not a numerics
 /// library.
+/// `repr(C)` so the in-memory layout (`re` then `im`, no padding) matches
+/// the serialized encoding on little-endian hosts — see
+/// [`Element::as_le_bytes`].
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
 pub struct Complex64 {
     pub re: f64,
     pub im: f64,
@@ -113,6 +117,60 @@ pub trait Element: Copy + Default + PartialEq + Send + Sync + std::fmt::Debug + 
     fn read_le(bytes: &[u8]) -> Self;
     /// Element addition, used by `accumulate` (paper: `MPI_Accumulate`).
     fn acc(self, other: Self) -> Self;
+
+    /// View a slice of elements as the raw byte image of its serialized
+    /// little-endian form, when the in-memory representation matches that
+    /// form exactly — true for every built-in element type on a
+    /// little-endian host. Returns `None` when no such view exists (e.g.
+    /// big-endian hosts); callers fall back to the per-element codec.
+    ///
+    /// This is what lets the scatter/gather fast path `copy_from_slice`
+    /// whole rows instead of decoding element by element.
+    fn as_le_bytes(slice: &[Self]) -> Option<&[u8]> {
+        let _ = slice;
+        None
+    }
+
+    /// Mutable variant of [`Element::as_le_bytes`]. Implementations must
+    /// only provide this when every byte pattern is a valid element value,
+    /// so writes through the view cannot create invalid elements.
+    fn as_le_bytes_mut(slice: &mut [Self]) -> Option<&mut [u8]> {
+        let _ = slice;
+        None
+    }
+}
+
+/// Implement the byte-view accessors for a plain-old-data element type
+/// whose in-memory representation on a little-endian host equals its
+/// `write_le` encoding (no padding, every byte pattern valid).
+macro_rules! impl_le_byte_view {
+    () => {
+        #[cfg(target_endian = "little")]
+        fn as_le_bytes(slice: &[Self]) -> Option<&[u8]> {
+            // SAFETY: Self is a padding-free POD type (size == serialized
+            // SIZE, asserted in tests), so this memory is fully initialized
+            // bytes — on a little-endian host the `write_le` encoding.
+            Some(unsafe {
+                std::slice::from_raw_parts(
+                    slice.as_ptr().cast::<u8>(),
+                    std::mem::size_of_val(slice),
+                )
+            })
+        }
+
+        #[cfg(target_endian = "little")]
+        fn as_le_bytes_mut(slice: &mut [Self]) -> Option<&mut [u8]> {
+            // SAFETY: as for `as_le_bytes`; additionally every byte pattern
+            // of these numeric types is a valid value, so arbitrary writes
+            // through the view cannot produce an invalid element.
+            Some(unsafe {
+                std::slice::from_raw_parts_mut(
+                    slice.as_mut_ptr().cast::<u8>(),
+                    std::mem::size_of_val(slice),
+                )
+            })
+        }
+    };
 }
 
 macro_rules! impl_element_numeric {
@@ -134,6 +192,8 @@ macro_rules! impl_element_numeric {
             fn acc(self, other: Self) -> Self {
                 self + other
             }
+
+            impl_le_byte_view!();
         }
     };
 }
@@ -163,10 +223,15 @@ impl Element for Complex64 {
     fn acc(self, other: Self) -> Self {
         self + other
     }
+
+    impl_le_byte_view!();
 }
 
 /// Encode a slice of elements into little-endian bytes.
 pub fn encode_slice<T: Element>(elems: &[T]) -> Vec<u8> {
+    if let Some(bytes) = T::as_le_bytes(elems) {
+        return bytes.to_vec();
+    }
     let mut out = Vec::with_capacity(elems.len() * T::SIZE);
     for e in elems {
         e.write_le(&mut out);
@@ -191,6 +256,10 @@ pub fn decode_slice<T: Element>(bytes: &[u8]) -> Result<Vec<T>> {
 pub fn decode_into<T: Element>(bytes: &[u8], out: &mut [T]) -> Result<()> {
     if bytes.len() != out.len() * T::SIZE {
         return Err(DrxError::BufferSize { expected: out.len() * T::SIZE, got: bytes.len() });
+    }
+    if let Some(view) = T::as_le_bytes_mut(out) {
+        view.copy_from_slice(bytes);
+        return Ok(());
     }
     for (chunk, slot) in bytes.chunks_exact(T::SIZE).zip(out.iter_mut()) {
         *slot = T::read_le(chunk);
@@ -253,5 +322,43 @@ mod tests {
     fn decode_slice_rejects_ragged_input() {
         let bytes = [0u8; 7];
         assert!(decode_slice::<i32>(&bytes).is_err());
+    }
+
+    #[test]
+    fn byte_view_sizes_are_exact() {
+        // The `as_le_bytes` SAFETY argument requires the in-memory size to
+        // equal the serialized size (no padding) for every element type.
+        assert_eq!(std::mem::size_of::<i32>(), <i32 as Element>::SIZE);
+        assert_eq!(std::mem::size_of::<i64>(), <i64 as Element>::SIZE);
+        assert_eq!(std::mem::size_of::<f32>(), <f32 as Element>::SIZE);
+        assert_eq!(std::mem::size_of::<f64>(), <f64 as Element>::SIZE);
+        assert_eq!(std::mem::size_of::<Complex64>(), <Complex64 as Element>::SIZE);
+    }
+
+    fn view_matches_codec<T: Element>(vals: &[T]) {
+        let encoded = {
+            let mut out = Vec::new();
+            for v in vals {
+                v.write_le(&mut out);
+            }
+            out
+        };
+        if let Some(view) = T::as_le_bytes(vals) {
+            assert_eq!(view, &encoded[..]);
+        }
+        let mut decoded = vec![T::default(); vals.len()];
+        if let Some(view) = T::as_le_bytes_mut(&mut decoded) {
+            view.copy_from_slice(&encoded);
+            assert_eq!(decoded, vals);
+        }
+    }
+
+    #[test]
+    fn byte_view_agrees_with_write_le() {
+        view_matches_codec(&[1i32, -7, i32::MAX, i32::MIN]);
+        view_matches_codec(&[1i64, -7, i64::MAX]);
+        view_matches_codec(&[0.5f32, -1.25, f32::MIN_POSITIVE]);
+        view_matches_codec(&[0.5f64, -1.25, 1e300]);
+        view_matches_codec(&[Complex64::new(1.5, -2.5), Complex64::new(0.0, 3.25)]);
     }
 }

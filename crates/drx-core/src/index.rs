@@ -276,6 +276,65 @@ pub fn for_each_offset_pair(
     }
 }
 
+/// Row-granular variant of [`for_each_offset_pair`]: walk the region one
+/// innermost row (all dimensions fixed except the last) at a time, giving
+/// `f` the two frame offsets of the row's first cell plus the row length.
+///
+/// This is the planning loop of the memcpy scatter/gather kernels: when
+/// the last dimension has stride 1 in both frames, each callback is one
+/// contiguous `row_len`-element copy instead of `row_len` closure calls.
+/// Offsets are maintained incrementally; no per-row index vectors.
+///
+/// Requirements (debug-asserted) as for [`for_each_offset_pair`]:
+/// `origin_?[j] ≤ region.lo()[j]` for every dimension.
+pub fn for_each_row_pair(
+    region: &Region,
+    origin_a: &[usize],
+    strides_a: &[u64],
+    origin_b: &[usize],
+    strides_b: &[u64],
+    mut f: impl FnMut(u64, u64, usize),
+) {
+    let k = region.rank();
+    debug_assert_eq!(origin_a.len(), k);
+    debug_assert_eq!(origin_b.len(), k);
+    if region.is_empty() {
+        return;
+    }
+    debug_assert!(region.lo().iter().zip(origin_a).all(|(&l, &o)| l >= o));
+    debug_assert!(region.lo().iter().zip(origin_b).all(|(&l, &o)| l >= o));
+    let row_len = region.hi()[k - 1] - region.lo()[k - 1];
+    let mut idx = region.lo().to_vec();
+    let mut off_a: u64 =
+        idx.iter().zip(origin_a).zip(strides_a).map(|((&i, &o), &s)| (i - o) as u64 * s).sum();
+    let mut off_b: u64 =
+        idx.iter().zip(origin_b).zip(strides_b).map(|((&i, &o), &s)| (i - o) as u64 * s).sum();
+    loop {
+        f(off_a, off_b, row_len);
+        // Odometer over the leading dimensions only.
+        let mut j = k - 1;
+        loop {
+            if j == 0 {
+                return;
+            }
+            j -= 1;
+            idx[j] += 1;
+            off_a += strides_a[j];
+            off_b += strides_b[j];
+            if idx[j] < region.hi()[j] {
+                break;
+            }
+            let span = (region.hi()[j] - region.lo()[j]) as u64;
+            off_a -= strides_a[j] * span;
+            off_b -= strides_b[j] * span;
+            idx[j] = region.lo()[j];
+            if j == 0 {
+                return;
+            }
+        }
+    }
+}
+
 /// Row-major iterator over the cells of a [`Region`].
 pub struct RegionIter {
     region: Region,
@@ -422,6 +481,36 @@ mod tests {
             })
             .collect();
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn row_pair_walk_expands_to_offset_pair_walk() {
+        let region = Region::new(vec![2, 1, 3], vec![4, 4, 7]).unwrap();
+        let origin_a = [2, 0, 3];
+        let strides_a = [40, 8, 1];
+        let origin_b = [2, 1, 3];
+        let strides_b = row_major_strides(&region.extents());
+        let mut by_rows = Vec::new();
+        for_each_row_pair(&region, &origin_a, &strides_a, &origin_b, &strides_b, |a, b, n| {
+            for t in 0..n as u64 {
+                by_rows.push((a + t * strides_a[2], b + t * strides_b[2]));
+            }
+        });
+        let mut by_cells = Vec::new();
+        for_each_offset_pair(&region, &origin_a, &strides_a, &origin_b, &strides_b, |a, b| {
+            by_cells.push((a, b));
+        });
+        assert_eq!(by_rows, by_cells);
+    }
+
+    #[test]
+    fn row_pair_walk_rank_one_is_single_row() {
+        let region = Region::new(vec![3], vec![9]).unwrap();
+        let mut rows = Vec::new();
+        for_each_row_pair(&region, &[1], &[1], &[3], &[1], |a, b, n| rows.push((a, b, n)));
+        assert_eq!(rows, vec![(2, 0, 6)]);
+        let empty = Region::new(vec![3], vec![3]).unwrap();
+        for_each_row_pair(&empty, &[0], &[1], &[0], &[1], |_, _, _| unreachable!());
     }
 
     #[test]

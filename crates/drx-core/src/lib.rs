@@ -45,6 +45,7 @@ pub mod index;
 pub mod mapping;
 pub mod meta;
 pub mod order;
+pub mod plan;
 
 pub use array::ExtendibleArray;
 pub use axial::{AxialRecord, AxialVector};
@@ -55,3 +56,4 @@ pub use index::Region;
 pub use mapping::{ExtendibleShape, SegmentRef};
 pub use meta::{ArrayMeta, ExtendOutcome, InitialLayout};
 pub use order::Layout;
+pub use plan::{sorted_run_entries, ChunkRun, RunCursor};

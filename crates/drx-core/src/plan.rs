@@ -1,0 +1,537 @@
+//! Run-coalesced region planning and the incremental inverse cursor — the
+//! fast path over `F*()`/`F*⁻¹()`.
+//!
+//! [`ExtendibleShape::region_addresses`] evaluates `F*` once per chunk:
+//! `O(k·log E)` binary searches each, plus one index `Vec` per chunk. But
+//! within one axial segment, stepping the fastest-varying (last) chunk
+//! dimension by one advances the linear address by the *constant*
+//! coefficient `C*_{k-1}` of the owning record. A rectilinear region
+//! therefore decomposes into [`ChunkRun`]s — arithmetic progressions of
+//! addresses — with one set of segment lookups per run instead of per
+//! chunk:
+//!
+//! * Fix all but the last dimension (one "row" of the region). The owning
+//!   record of Eq. (1) is the maximum-`start_addr` candidate over all
+//!   dimensions; the candidates of dimensions `0..k-1` are constant along
+//!   the row, so the winner can only change where the axial vector of the
+//!   last dimension has a record boundary.
+//! * Between boundaries the owner is fixed and the address is affine in
+//!   the last index with slope `owner.coeffs[k-1]` — a run.
+//!
+//! The row-major initial allocation yields stride-1 runs (whole file
+//! extents); segments created by extending the last dimension yield
+//! stride-`C*_{k-1} > 1` runs whose addresses interleave with other rows'
+//! runs, which is why consumers sort *chunk entries*, not runs, when they
+//! need address order (see `drx-mp`'s `ChunkPlan`).
+//!
+//! [`RunCursor`] is the inverse-side counterpart: walking `F*⁻¹` for
+//! sequential addresses costs one segment lookup per *segment* plus an
+//! amortized O(1) mixed-radix odometer step per address, instead of
+//! `O(log E + k)` per address via [`ExtendibleShape::index_of`].
+
+use crate::axial::AxialRecord;
+use crate::error::{DrxError, Result};
+use crate::index::Region;
+use crate::mapping::ExtendibleShape;
+
+/// A maximal set of consecutive chunks along the last (fastest-varying)
+/// dimension whose linear addresses form an arithmetic progression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkRun {
+    /// Chunk index of the first chunk of the run.
+    pub start: Vec<usize>,
+    /// `F*(start)`.
+    pub addr: u64,
+    /// Number of chunks in the run (always ≥ 1).
+    pub len: usize,
+    /// Address delta per `+1` step on the last index dimension. `1` for
+    /// segments laid out row-major (the common case); the owning record's
+    /// `C*_{k-1}` in general.
+    pub stride: u64,
+}
+
+impl ChunkRun {
+    /// Address of the `step`-th chunk of the run (`step < len`).
+    pub fn addr_at(&self, step: usize) -> u64 {
+        debug_assert!(step < self.len);
+        self.addr + step as u64 * self.stride
+    }
+
+    /// Chunk index of the `step`-th chunk of the run.
+    pub fn index_at(&self, step: usize) -> Vec<usize> {
+        let mut idx = self.start.clone();
+        *idx.last_mut().expect("runs have rank >= 1") += step;
+        idx
+    }
+
+    /// Write the `step`-th chunk index into a scratch vector (no
+    /// allocation when `scratch` already has capacity).
+    pub fn write_index_at(&self, step: usize, scratch: &mut Vec<usize>) {
+        scratch.clear();
+        scratch.extend_from_slice(&self.start);
+        *scratch.last_mut().expect("runs have rank >= 1") += step;
+    }
+}
+
+/// Flatten `runs` into the address-sorted `(address, run, step)` entry
+/// list consumed by the I/O planners: entry `i` names the `step`-th chunk
+/// of run `run`, and addresses are strictly increasing (`F*` is a
+/// bijection).
+///
+/// Runs are sorted — O(R log R) for R runs — and when their address spans
+/// do not interleave (segments allocated as slabs, the common case) the
+/// flattening is emitted directly without the O(n log n) per-chunk sort.
+pub fn sorted_run_entries(runs: &[ChunkRun]) -> Vec<(u64, u32, u32)> {
+    let mut order: Vec<u32> = (0..runs.len() as u32).collect();
+    order.sort_unstable_by_key(|&r| runs[r as usize].addr);
+    let disjoint = order.windows(2).all(|w| {
+        let a = &runs[w[0] as usize];
+        a.addr_at(a.len - 1) < runs[w[1] as usize].addr
+    });
+    let total = runs.iter().map(|r| r.len).sum();
+    let mut entries: Vec<(u64, u32, u32)> = Vec::with_capacity(total);
+    for &r in &order {
+        let run = &runs[r as usize];
+        entries.extend((0..run.len).map(|t| (run.addr_at(t), r, t as u32)));
+    }
+    if !disjoint {
+        radix_sort_by_addr(&mut entries);
+    }
+    debug_assert!(
+        entries.windows(2).all(|w| w[0].0 < w[1].0),
+        "F* is a bijection: no two chunks share a linear address"
+    );
+    entries
+}
+
+/// LSD radix sort of `(address, run, step)` entries by address. Chunk
+/// addresses are dense small integers (one per allocated chunk), so a few
+/// counting passes beat the comparison sort on the large plans where
+/// sorting matters; small plans use the std sort.
+fn radix_sort_by_addr(entries: &mut Vec<(u64, u32, u32)>) {
+    const BITS: u32 = 11;
+    const BUCKETS: usize = 1 << BITS;
+    if entries.len() < BUCKETS {
+        entries.sort_unstable_by_key(|&(a, _, _)| a);
+        return;
+    }
+    let max = entries.iter().map(|&(a, _, _)| a).max().unwrap_or(0);
+    let mut tmp: Vec<(u64, u32, u32)> = vec![(0, 0, 0); entries.len()];
+    let mut shift = 0u32;
+    loop {
+        let mut counts = [0usize; BUCKETS];
+        for &(a, _, _) in entries.iter() {
+            counts[((a >> shift) as usize) & (BUCKETS - 1)] += 1;
+        }
+        let mut pos = 0;
+        for c in counts.iter_mut() {
+            pos += std::mem::replace(c, pos);
+        }
+        for &e in entries.iter() {
+            let b = ((e.0 >> shift) as usize) & (BUCKETS - 1);
+            tmp[counts[b]] = e;
+            counts[b] += 1;
+        }
+        std::mem::swap(entries, &mut tmp);
+        shift += BITS;
+        if shift >= u64::BITS || (max >> shift) == 0 {
+            return;
+        }
+    }
+}
+
+impl ExtendibleShape {
+    /// Decompose a chunk-index region into [`ChunkRun`]s, in row-major
+    /// index order. Flattening the runs yields exactly the `(index,
+    /// address)` pairs of [`ExtendibleShape::region_addresses`]
+    /// (property-tested), at one owner lookup per run instead of per
+    /// chunk.
+    pub fn region_runs(&self, region: &Region) -> Result<Vec<ChunkRun>> {
+        let k = self.rank();
+        if region.rank() != k {
+            return Err(DrxError::RankMismatch { expected: k, got: region.rank() });
+        }
+        for (j, &h) in region.hi().iter().enumerate() {
+            if h > self.bounds()[j] {
+                return Err(DrxError::IndexOutOfBounds {
+                    index: region.hi().to_vec(),
+                    bounds: self.bounds().to_vec(),
+                });
+            }
+        }
+        let mut runs = Vec::new();
+        if region.is_empty() {
+            return Ok(runs);
+        }
+        let last = k - 1;
+        let lo_l = region.lo()[last];
+        let hi_l = region.hi()[last];
+        let recs = self.axial(last).records();
+        // Record position owning `lo_l` on the last dimension; the last
+        // dimension always holds the initial record at index 0, so the
+        // partition point is ≥ 1.
+        let p0 = recs.partition_point(|r| r.start_index <= lo_l);
+        debug_assert!(p0 >= 1, "last dimension always has a record at index 0");
+        let mut row = region.lo().to_vec();
+        loop {
+            // The best candidate among the fixed dimensions is constant
+            // for the whole row: one binary search per dimension per row.
+            let mut best_other: Option<(usize, &AxialRecord)> = None;
+            for (j, &i) in row.iter().enumerate().take(last) {
+                if let Some(rec) = self.axial(j).search(i) {
+                    match best_other {
+                        Some((_, b)) if b.start_addr >= rec.start_addr => {}
+                        _ => best_other = Some((j, rec)),
+                    }
+                }
+            }
+            // Walk the spans delimited by last-dimension record
+            // boundaries; within each span the owner is fixed. Adjacent
+            // spans whose addresses continue the same arithmetic
+            // progression (e.g. a row owned throughout by a leading-dim
+            // record) merge into one maximal run.
+            let row_first = runs.len();
+            let mut p = p0;
+            let mut i = lo_l;
+            while i < hi_l {
+                let rec_l = &recs[p - 1];
+                let span_end = match recs.get(p) {
+                    Some(next) => hi_l.min(next.start_index),
+                    None => hi_l,
+                };
+                let (wdim, wrec) = match best_other {
+                    Some((j, rec)) if rec.start_addr > rec_l.start_addr => (j, rec),
+                    _ => (last, rec_l),
+                };
+                row[last] = i;
+                let addr = wrec.address(wdim, &row);
+                let stride = wrec.coeffs[last];
+                let same_row = runs.len() > row_first;
+                match runs.last_mut() {
+                    Some(prev)
+                        if same_row
+                            && prev.stride == stride
+                            && prev.addr + prev.len as u64 * stride == addr =>
+                    {
+                        prev.len += span_end - i;
+                    }
+                    _ => {
+                        runs.push(ChunkRun { start: row.clone(), addr, len: span_end - i, stride })
+                    }
+                }
+                i = span_end;
+                p += 1;
+            }
+            // Odometer over the fixed dimensions (row-major order).
+            let mut j = last;
+            loop {
+                if j == 0 {
+                    return Ok(runs);
+                }
+                j -= 1;
+                row[j] += 1;
+                if row[j] < region.hi()[j] {
+                    break;
+                }
+                row[j] = region.lo()[j];
+                if j == 0 {
+                    return Ok(runs);
+                }
+            }
+        }
+    }
+}
+
+/// Incremental `F*⁻¹`: yields chunk indices for sequential linear
+/// addresses in amortized O(1) per address.
+///
+/// Internally the cursor keeps a mixed-radix odometer over the current
+/// segment's division order (the extended dimension most significant,
+/// then the remaining dimensions ascending — exactly the division order
+/// of [`ExtendibleShape::index_of`]); the digit radices are the ratios of
+/// consecutive coefficients, which are always integral. A segment switch
+/// costs one `O(log E)` directory search plus an `O(k)` decode; every
+/// other step is a plain odometer increment.
+pub struct RunCursor<'a> {
+    shape: &'a ExtendibleShape,
+    /// The address the next call to [`RunCursor::next_index`] decodes.
+    next_addr: u64,
+    /// End address (exclusive) of the currently loaded segment; 0 forces
+    /// a load on the first call.
+    seg_end: u64,
+    /// Division order of the dimensions, most significant first.
+    order: Vec<usize>,
+    /// `radix[p] = coeffs[order[p-1]] / coeffs[order[p]]`; `radix[0]` is
+    /// unused (the leading digit is bounded by the segment itself).
+    radix: Vec<u64>,
+    digits: Vec<u64>,
+    index: Vec<usize>,
+}
+
+impl<'a> RunCursor<'a> {
+    /// A cursor positioned at address 0.
+    pub fn new(shape: &'a ExtendibleShape) -> Self {
+        RunCursor::starting_at(shape, 0)
+    }
+
+    /// A cursor positioned at an arbitrary start address.
+    pub fn starting_at(shape: &'a ExtendibleShape, addr: u64) -> Self {
+        RunCursor {
+            shape,
+            next_addr: addr,
+            seg_end: 0,
+            order: Vec::new(),
+            radix: Vec::new(),
+            digits: Vec::new(),
+            index: vec![0; shape.rank()],
+        }
+    }
+
+    /// The address the next call to [`RunCursor::next_index`] will decode.
+    pub fn addr(&self) -> u64 {
+        self.next_addr
+    }
+
+    /// Decode the next sequential address, or `None` past the end of the
+    /// allocated address space. (Not an `Iterator`: the slice borrows the
+    /// cursor's internal index buffer.)
+    pub fn next_index(&mut self) -> Option<&[usize]> {
+        if self.next_addr >= self.shape.total_chunks() {
+            return None;
+        }
+        if self.next_addr >= self.seg_end {
+            self.load_segment();
+        } else {
+            self.advance();
+        }
+        self.next_addr += 1;
+        Some(&self.index)
+    }
+
+    /// Position the odometer on `self.next_addr`'s segment and decode it.
+    fn load_segment(&mut self) {
+        let addr = self.next_addr;
+        let segs = self.shape.segments();
+        let pos = segs.partition_point(|s| s.start_addr <= addr) - 1;
+        self.seg_end = segs.get(pos + 1).map_or(self.shape.total_chunks(), |s| s.start_addr);
+        let seg = &segs[pos];
+        let rec = &self.shape.axial(seg.dim).records()[seg.rec];
+        let k = self.shape.rank();
+        let initial = seg.start_addr == 0;
+        self.order.clear();
+        if initial {
+            self.order.extend(0..k);
+        } else {
+            self.order.push(seg.dim);
+            self.order.extend((0..k).filter(|&j| j != seg.dim));
+        }
+        self.radix.clear();
+        self.radix.push(u64::MAX);
+        for w in 1..k {
+            self.radix.push(rec.coeffs[self.order[w - 1]] / rec.coeffs[self.order[w]]);
+        }
+        self.digits.clear();
+        let mut r = addr - seg.start_addr;
+        for &d in &self.order {
+            self.digits.push(r / rec.coeffs[d]);
+            r %= rec.coeffs[d];
+        }
+        for (p, &d) in self.order.iter().enumerate() {
+            self.index[d] = self.digits[p] as usize;
+        }
+        if !initial {
+            self.index[seg.dim] += rec.start_index;
+        }
+    }
+
+    /// Odometer +1 within the current segment.
+    fn advance(&mut self) {
+        let mut p = self.digits.len() - 1;
+        loop {
+            self.digits[p] += 1;
+            self.index[self.order[p]] += 1;
+            if p == 0 || self.digits[p] < self.radix[p] {
+                return;
+            }
+            self.digits[p] = 0;
+            self.index[self.order[p]] = 0;
+            p -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 3 history (see `mapping.rs` tests).
+    fn figure3() -> ExtendibleShape {
+        let mut s = ExtendibleShape::new(&[4, 3, 1]).unwrap();
+        s.extend(2, 1).unwrap();
+        s.extend(2, 1).unwrap();
+        s.extend(1, 1).unwrap();
+        s.extend(0, 2).unwrap();
+        s.extend(2, 1).unwrap();
+        s
+    }
+
+    /// The Figure 1 5×4 grid.
+    fn figure1() -> ExtendibleShape {
+        let mut s = ExtendibleShape::new(&[1, 1]).unwrap();
+        for (d, b) in [(1, 1), (0, 1), (0, 1), (1, 1), (0, 1), (1, 1), (0, 1)] {
+            s.extend(d, b).unwrap();
+        }
+        s
+    }
+
+    fn flatten(runs: &[ChunkRun]) -> Vec<(Vec<usize>, u64)> {
+        runs.iter().flat_map(|r| (0..r.len).map(move |t| (r.index_at(t), r.addr_at(t)))).collect()
+    }
+
+    #[test]
+    fn sorted_run_entries_matches_per_chunk_sort() {
+        // Disjoint spans (slab case) and interleaved spans (stride 4 vs
+        // start offsets 1/2) must both produce the strictly increasing
+        // per-chunk order.
+        let disjoint = vec![
+            ChunkRun { start: vec![0, 0], addr: 10, len: 3, stride: 1 },
+            ChunkRun { start: vec![1, 0], addr: 0, len: 2, stride: 2 },
+        ];
+        let interleaved = vec![
+            ChunkRun { start: vec![0, 0], addr: 1, len: 3, stride: 4 },
+            ChunkRun { start: vec![1, 0], addr: 2, len: 3, stride: 4 },
+        ];
+        // Large interleaved case: 3000 runs of two chunks each whose spans
+        // all overlap, big enough to take the radix-sort path.
+        let large: Vec<ChunkRun> = (0..3000)
+            .map(|j| ChunkRun { start: vec![j, 0], addr: j as u64, len: 2, stride: 3000 })
+            .collect();
+        for runs in [disjoint, interleaved, large] {
+            let mut expect: Vec<(u64, u32, u32)> = runs
+                .iter()
+                .enumerate()
+                .flat_map(|(r, run)| {
+                    (0..run.len).map(move |t| (run.addr_at(t), r as u32, t as u32))
+                })
+                .collect();
+            expect.sort_unstable_by_key(|&(a, _, _)| a);
+            assert_eq!(sorted_run_entries(&runs), expect);
+        }
+    }
+
+    #[test]
+    fn runs_flatten_to_region_addresses_on_figures() {
+        for s in [figure3(), figure1()] {
+            let region = s.full_region();
+            let runs = s.region_runs(&region).unwrap();
+            assert_eq!(flatten(&runs), s.region_addresses(&region).unwrap());
+        }
+    }
+
+    #[test]
+    fn figure1_full_region_runs_are_maximal() {
+        // Row 0 of Figure 1's grid is 0,1,6,12: the initial 1×1 chunk, the
+        // D1 extension at column 1, the D1 extension at column 2, the D1
+        // extension at column 3 — record boundaries at columns 1, 2, 3
+        // split the row into four runs of one chunk each. Row 4 (the last
+        // D0 extension) is a single stride-1 run 16..=19.
+        let s = figure1();
+        let runs = s.region_runs(&s.full_region()).unwrap();
+        let row4: Vec<&ChunkRun> = runs.iter().filter(|r| r.start[0] == 4).collect();
+        assert_eq!(row4.len(), 1);
+        assert_eq!((row4[0].addr, row4[0].len, row4[0].stride), (16, 4, 1));
+    }
+
+    #[test]
+    fn stride_runs_interleave_but_flatten_correctly() {
+        // Figure 3's Γ2 record {1, 12, (3,1,12)}: rows (0,0,*) and (0,1,*)
+        // interleave in address space (12,24 vs 13,25) — stride 12 runs.
+        let s = figure3();
+        let region = Region::new(vec![0, 0, 1], vec![1, 2, 3]).unwrap();
+        let runs = s.region_runs(&region).unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!((runs[0].addr, runs[0].len, runs[0].stride), (12, 2, 12));
+        assert_eq!((runs[1].addr, runs[1].len, runs[1].stride), (13, 2, 12));
+        assert_eq!(flatten(&runs), s.region_addresses(&region).unwrap());
+    }
+
+    #[test]
+    fn sub_regions_match_region_addresses() {
+        let s = figure3();
+        for region in [
+            Region::new(vec![1, 1, 1], vec![5, 3, 4]).unwrap(),
+            Region::new(vec![0, 0, 0], vec![6, 4, 1]).unwrap(),
+            Region::new(vec![3, 2, 2], vec![4, 3, 3]).unwrap(),
+            Region::new(vec![0, 0, 0], vec![6, 4, 4]).unwrap(),
+        ] {
+            let runs = s.region_runs(&region).unwrap();
+            assert_eq!(flatten(&runs), s.region_addresses(&region).unwrap(), "{region:?}");
+        }
+    }
+
+    #[test]
+    fn empty_region_yields_no_runs() {
+        let s = figure3();
+        let empty = Region::new(vec![2, 2, 2], vec![2, 4, 4]).unwrap();
+        assert!(s.region_runs(&empty).unwrap().is_empty());
+    }
+
+    #[test]
+    fn region_runs_validates_like_region_addresses() {
+        let s = figure3();
+        let too_big = Region::new(vec![0, 0, 0], vec![7, 4, 4]).unwrap();
+        assert!(s.region_runs(&too_big).is_err());
+        let wrong_rank = Region::new(vec![0], vec![1]).unwrap();
+        assert!(s.region_runs(&wrong_rank).is_err());
+    }
+
+    #[test]
+    fn rank_one_is_a_single_maximal_run() {
+        let mut s = ExtendibleShape::new(&[3]).unwrap();
+        s.extend(0, 2).unwrap();
+        s.extend(0, 4).unwrap();
+        let runs = s.region_runs(&s.full_region()).unwrap();
+        // Initial record covers 0..3 and the extension record 3..9, but
+        // the addresses continue the same stride-1 progression, so the
+        // spans merge into one maximal run.
+        assert_eq!(runs.len(), 1);
+        assert_eq!((runs[0].addr, runs[0].len, runs[0].stride), (0, 9, 1));
+        assert_eq!(flatten(&runs), s.region_addresses(&s.full_region()).unwrap());
+    }
+
+    #[test]
+    fn run_cursor_agrees_with_index_of_on_figures() {
+        for s in [figure3(), figure1()] {
+            let mut cur = RunCursor::new(&s);
+            for a in 0..s.total_chunks() {
+                assert_eq!(cur.addr(), a);
+                let idx = cur.next_index().expect("in range").to_vec();
+                assert_eq!(idx, s.index_of(a).unwrap(), "addr {a}");
+            }
+            assert!(cur.next_index().is_none());
+        }
+    }
+
+    #[test]
+    fn run_cursor_can_start_mid_stream() {
+        let s = figure3();
+        for start in [1u64, 12, 35, 71, 72, 95] {
+            let mut cur = RunCursor::starting_at(&s, start);
+            for a in start..s.total_chunks() {
+                assert_eq!(cur.next_index().unwrap(), s.index_of(a).unwrap(), "addr {a}");
+            }
+            assert!(cur.next_index().is_none());
+        }
+        assert!(RunCursor::starting_at(&s, 96).next_index().is_none());
+    }
+
+    #[test]
+    fn chunk_run_index_helpers() {
+        let run = ChunkRun { start: vec![2, 1, 3], addr: 40, len: 3, stride: 12 };
+        assert_eq!(run.addr_at(2), 64);
+        assert_eq!(run.index_at(2), vec![2, 1, 5]);
+        let mut scratch = Vec::new();
+        run.write_index_at(1, &mut scratch);
+        assert_eq!(scratch, vec![2, 1, 4]);
+    }
+}

@@ -7,7 +7,7 @@
 //! 3. extension never changes the address of an existing chunk;
 //! 4. metadata encode/decode round-trips exactly.
 
-use drx_core::{ArrayMeta, DType, ExtendibleShape};
+use drx_core::{ArrayMeta, DType, ExtendibleShape, Region, RunCursor};
 use proptest::prelude::*;
 
 /// A random growth history: initial bounds plus a sequence of extensions,
@@ -145,6 +145,58 @@ proptest! {
         let bytes = m.encode();
         let cut = ((bytes.len() as f64) * cut_frac) as usize;
         prop_assert!(ArrayMeta::decode(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn region_runs_flatten_to_region_addresses(
+        (initial, exts) in history_strategy(4),
+        seeds in prop::collection::vec(0usize..1 << 20, 8),
+    ) {
+        let s = build(&initial, &exts);
+        prop_assume!(s.total_chunks() <= 4096);
+        // A random sub-region derived from the seeds (full region when the
+        // seeds happen to land on the bounds).
+        let k = s.rank();
+        let mut lo = Vec::with_capacity(k);
+        let mut hi = Vec::with_capacity(k);
+        for j in 0..k {
+            let b = s.bounds()[j];
+            let a = seeds[2 * j % seeds.len()] % (b + 1);
+            let c = seeds[(2 * j + 1) % seeds.len()] % (b + 1);
+            lo.push(a.min(c));
+            hi.push(a.max(c));
+        }
+        let region = Region::new(lo, hi).unwrap();
+        let runs = s.region_runs(&region).unwrap();
+        let flat: Vec<(Vec<usize>, u64)> = runs
+            .iter()
+            .flat_map(|r| (0..r.len).map(move |t| (r.index_at(t), r.addr_at(t))))
+            .collect();
+        prop_assert_eq!(flat, s.region_addresses(&region).unwrap());
+        // Runs partition the region: lengths sum to the region volume.
+        let total: usize = runs.iter().map(|r| r.len).sum();
+        prop_assert_eq!(total as u64, region.volume());
+    }
+
+    #[test]
+    fn run_cursor_agrees_with_index_of(
+        (initial, exts) in history_strategy(4),
+        start_frac in 0.0f64..1.0,
+    ) {
+        let s = build(&initial, &exts);
+        prop_assume!(s.total_chunks() <= 4096);
+        let mut cur = RunCursor::new(&s);
+        for a in 0..s.total_chunks() {
+            prop_assert_eq!(cur.next_index().unwrap(), &s.index_of(a).unwrap()[..]);
+        }
+        prop_assert!(cur.next_index().is_none());
+        // Starting mid-stream agrees too.
+        let start = ((s.total_chunks() as f64) * start_frac) as u64;
+        let mut cur = RunCursor::starting_at(&s, start);
+        for a in start..s.total_chunks() {
+            prop_assert_eq!(cur.next_index().unwrap(), &s.index_of(a).unwrap()[..]);
+        }
+        prop_assert!(cur.next_index().is_none());
     }
 
     #[test]

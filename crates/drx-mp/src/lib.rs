@@ -27,6 +27,7 @@ pub mod api;
 pub mod error;
 pub mod ga;
 pub mod handle;
+pub mod kernels;
 pub mod mpool;
 pub mod read;
 pub mod serial;
@@ -40,6 +41,7 @@ pub use api::{
 pub use error::{MpError, Result};
 pub use ga::GaView;
 pub use handle::DrxmpHandle;
+pub use kernels::{gather_chunk, kernel_stats, scatter_chunk, KernelStats};
 pub use mpool::{CachedDrxFile, ChunkPool, PoolStats, PrefetchOutcome};
 pub use serial::{DrxFile, XMD_SUFFIX, XTA_SUFFIX};
 pub use zones::DistSpec;

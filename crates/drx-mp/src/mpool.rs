@@ -10,7 +10,7 @@
 
 use crate::error::{MpError, Result};
 use crate::serial::DrxFile;
-use drx_core::{dtype, Element, Layout, Region};
+use drx_core::{Element, Layout, Region};
 use drx_pfs::PfsFile;
 use std::collections::HashMap;
 
@@ -268,8 +268,10 @@ impl ChunkPool {
     }
 
     /// Fault in a batch of chunks, coalescing runs of *consecutive* missing
-    /// chunk addresses into single file reads. This is what turns N
-    /// per-chunk PFS round trips into one large request per run.
+    /// chunk addresses into single file extents and fetching all of them
+    /// with one vectored request. This is what turns N per-chunk PFS round
+    /// trips into one large request per run (and lets the PFS worker pool
+    /// service distinct runs in parallel).
     ///
     /// Accounting: each truly-fetched chunk counts one miss; chunks already
     /// resident are left untouched (no hit is recorded — the later
@@ -289,34 +291,41 @@ impl ChunkPool {
             fetched: missing.len(),
             runs: 0,
         };
+        if missing.is_empty() {
+            return Ok(out);
+        }
+        // Extents over runs of consecutive addresses, capped at the pool
+        // capacity.
+        let mut extents: Vec<(u64, u64)> = Vec::new();
         let mut i = 0;
         while i < missing.len() {
-            // Extend the run while addresses stay consecutive, capped at
-            // the pool capacity.
             let mut j = i + 1;
             while j < missing.len() && missing[j] == missing[j - 1] + 1 && j - i < self.capacity {
                 j += 1;
             }
-            let run = &missing[i..j];
-            let off = run[0] * self.chunk_bytes as u64;
-            let bytes = self.file.read_vec(off, run.len() * self.chunk_bytes)?;
-            out.runs += 1;
-            self.stats.misses += run.len() as u64;
-            for (k, &addr) in run.iter().enumerate() {
-                if self.frames.len() >= self.capacity {
-                    let victim = self
-                        .frames
-                        .iter()
-                        .min_by_key(|(_, f)| f.last_used)
-                        .map(|(&a, _)| a)
-                        .expect("pool is non-empty");
-                    self.evict(victim)?;
-                }
-                self.clock += 1;
-                let data = bytes[k * self.chunk_bytes..(k + 1) * self.chunk_bytes].to_vec();
-                self.frames.insert(addr, Frame { data, dirty: false, last_used: self.clock });
-            }
+            extents.push((
+                missing[i] * self.chunk_bytes as u64,
+                (j - i) as u64 * self.chunk_bytes as u64,
+            ));
             i = j;
+        }
+        out.runs = extents.len();
+        let mut bytes = vec![0u8; missing.len() * self.chunk_bytes];
+        self.file.read_extents_into(&extents, &mut bytes)?;
+        self.stats.misses += missing.len() as u64;
+        for (k, &addr) in missing.iter().enumerate() {
+            if self.frames.len() >= self.capacity {
+                let victim = self
+                    .frames
+                    .iter()
+                    .min_by_key(|(_, f)| f.last_used)
+                    .map(|(&a, _)| a)
+                    .expect("pool is non-empty");
+                self.evict(victim)?;
+            }
+            self.clock += 1;
+            let data = bytes[k * self.chunk_bytes..(k + 1) * self.chunk_bytes].to_vec();
+            self.frames.insert(addr, Frame { data, dirty: false, last_used: self.clock });
         }
         Ok(out)
     }
@@ -401,30 +410,34 @@ impl<T: Element> CachedDrxFile<T> {
         self.inner.extend(dim, by)
     }
 
-    /// Read a region through the cache, chunk at a time.
+    /// Read a region through the cache, chunk at a time (run-coalesced
+    /// planning, kernel scatter straight from the cached chunk image).
     pub fn read_region(&mut self, region: &Region, layout: Layout) -> Result<Vec<T>> {
         let chunking = self.inner.meta().chunking().clone();
         let chunk_region = chunking.chunks_covering(region)?;
-        let mut pairs = self.inner.meta().grid().region_addresses(&chunk_region)?;
-        pairs.sort_by_key(|&(_, a)| a);
+        let runs = self.inner.meta().grid().region_runs(&chunk_region)?;
         let extents = region.extents();
         let strides = layout.strides(&extents);
         let mut out = vec![T::default(); region.volume() as usize];
         let cb = self.inner.meta().chunk_bytes() as usize;
-        for (chunk_idx, addr) in pairs {
-            let mut bytes = vec![0u8; cb];
-            self.pool.read(addr, 0, &mut bytes)?;
-            let chunk_elems = chunking.chunk_elements(&chunk_idx)?;
-            let Some(valid) = chunk_elems.intersect(region) else { continue };
-            let vals: Vec<T> = dtype::decode_slice(&bytes)?;
-            drx_core::index::for_each_offset_pair(
-                &valid,
-                chunk_elems.lo(),
-                chunking.strides(),
-                region.lo(),
-                &strides,
-                |src, dst| out[dst as usize] = vals[src as usize],
-            );
+        let mut bytes = vec![0u8; cb];
+        let mut idx = Vec::new();
+        for run in &runs {
+            for t in 0..run.len {
+                run.write_index_at(t, &mut idx);
+                self.pool.read(run.addr_at(t), 0, &mut bytes)?;
+                let chunk_elems = chunking.chunk_elements(&idx)?;
+                let Some(valid) = chunk_elems.intersect(region) else { continue };
+                crate::kernels::scatter_chunk(
+                    &bytes,
+                    chunk_elems.lo(),
+                    chunking.strides(),
+                    &mut out,
+                    region.lo(),
+                    &strides,
+                    &valid,
+                );
+            }
         }
         Ok(out)
     }

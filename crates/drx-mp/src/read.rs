@@ -1,60 +1,152 @@
 //! Parallel sub-array reads (paper §IV-B, `DRXMP_Read` / `DRXMP_Read_all`).
 //!
 //! A read of an element region is planned as the set of chunks covering the
-//! region, sorted by linear chunk address. Independent reads issue the
-//! chunk extents directly; collective reads build an indexed file view over
-//! the chunk addresses — exactly the paper's code listing
-//! (`MPI_Type_indexed` over a contiguous chunk type, then
-//! `MPI_File_read_all`) — and go through two-phase I/O. Elements are then
-//! scattered from chunk buffers to their in-memory positions using the
-//! requested layout order (C or FORTRAN): the on-the-fly transposition that
-//! removes the need for out-of-core transposes.
+//! region. Planning is run-coalesced: [`ExtendibleShape::region_runs`]
+//! decomposes the chunk region into arithmetic-progression address runs (one
+//! `F*` owner lookup per run instead of per chunk), and [`ChunkPlan`] keeps
+//! the runs plus a flat address-sorted entry list. Independent reads issue
+//! the merged byte extents directly as one vectored request; collective
+//! reads build an indexed file view over the chunk addresses — exactly the
+//! paper's code listing (`MPI_Type_indexed` over a contiguous chunk type,
+//! then `MPI_File_read_all`) — and go through two-phase I/O. Elements are
+//! then scattered from chunk buffers to their in-memory positions with the
+//! [`crate::kernels`] copy kernels in the requested layout order (C or
+//! FORTRAN): the on-the-fly transposition that removes the need for
+//! out-of-core transposes.
+//!
+//! [`ExtendibleShape::region_runs`]: drx_core::ExtendibleShape::region_runs
 
 use crate::error::Result;
 use crate::handle::DrxmpHandle;
+use crate::kernels;
+use drx_core::plan::ChunkRun;
 use drx_core::{Element, Layout, Region};
 use drx_msg::Datatype;
 
-/// A planned chunk access: chunk indices + linear addresses sorted by
-/// address, ready to become a file view.
+/// A planned chunk access: the run decomposition of the chunk set plus one
+/// entry per chunk in file-address order, ready to become a file view or a
+/// vectored extent list.
 pub(crate) struct ChunkPlan {
-    /// `(chunk index, linear address)` sorted by address.
-    pub chunks: Vec<(Vec<usize>, u64)>,
+    /// Run decomposition, in row-major chunk-index order (runs from
+    /// different rows may interleave in address space).
+    pub runs: Vec<ChunkRun>,
+    /// `(address, run, step)` per planned chunk, sorted by address. Entry
+    /// `i` owns byte slot `i` of the plan's transfer buffer.
+    pub entries: Vec<(u64, u32, u32)>,
     pub chunk_bytes: u64,
 }
 
 impl ChunkPlan {
-    /// The indexed filetype over the planned chunk addresses (the paper's
-    /// `filetype`).
-    pub fn filetype(&self) -> Result<Option<Datatype>> {
-        if self.chunks.is_empty() {
-            return Ok(None);
+    /// Plan from a run decomposition (region reads/writes). Entries are
+    /// sorted by address; `F*` is a bijection, so addresses are strictly
+    /// increasing afterwards.
+    pub fn from_runs(runs: Vec<ChunkRun>, chunk_bytes: u64) -> ChunkPlan {
+        let entries = drx_core::sorted_run_entries(&runs);
+        ChunkPlan { runs, entries, chunk_bytes }
+    }
+
+    /// Plan from an explicit `(chunk index, address)` list that is already
+    /// sorted by address (zone chunk lists are). Each chunk becomes a
+    /// length-1 run, so no re-sort is needed.
+    pub fn from_pairs(pairs: Vec<(Vec<usize>, u64)>, chunk_bytes: u64) -> ChunkPlan {
+        debug_assert!(
+            pairs.windows(2).all(|w| w[0].1 < w[1].1),
+            "chunk lists must be pre-sorted by strictly increasing address"
+        );
+        let mut runs = Vec::with_capacity(pairs.len());
+        let mut entries = Vec::with_capacity(pairs.len());
+        for (i, (start, addr)) in pairs.into_iter().enumerate() {
+            entries.push((addr, i as u32, 0u32));
+            runs.push(ChunkRun { start, addr, len: 1, stride: 1 });
         }
-        let base = Datatype::contiguous(self.chunk_bytes);
-        let displs: Vec<usize> = self.chunks.iter().map(|&(_, a)| a as usize).collect();
-        let lens = vec![1usize; displs.len()];
-        Ok(Some(Datatype::indexed(&lens, &displs, &base)?))
+        ChunkPlan { runs, entries, chunk_bytes }
+    }
+
+    /// Number of planned chunks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
     }
 
     /// Total bytes the plan transfers.
     pub fn bytes(&self) -> usize {
-        self.chunks.len() * self.chunk_bytes as usize
+        self.entries.len() * self.chunk_bytes as usize
+    }
+
+    /// Write the chunk index of entry `i` into `scratch` (no allocation
+    /// once `scratch` has capacity).
+    pub fn write_index_at(&self, i: usize, scratch: &mut Vec<usize>) {
+        let (_, run, step) = self.entries[i];
+        self.runs[run as usize].write_index_at(step as usize, scratch);
+    }
+
+    /// The indexed filetype over the planned chunk addresses (the paper's
+    /// `filetype`), with adjacent chunks merged into one block.
+    pub fn filetype(&self) -> Result<Option<Datatype>> {
+        if self.entries.is_empty() {
+            return Ok(None);
+        }
+        let base = Datatype::contiguous(self.chunk_bytes);
+        let mut lens: Vec<usize> = Vec::new();
+        let mut displs: Vec<usize> = Vec::new();
+        for &(addr, _, _) in &self.entries {
+            match (lens.last_mut(), displs.last()) {
+                (Some(l), Some(&d)) if d + *l == addr as usize => *l += 1,
+                _ => {
+                    lens.push(1);
+                    displs.push(addr as usize);
+                }
+            }
+        }
+        Ok(Some(Datatype::indexed(&lens, &displs, &base)?))
+    }
+
+    /// The plan's file byte ranges `(offset, len)` in increasing offset
+    /// order, adjacent chunks merged — the vectored request the
+    /// independent fast path issues directly.
+    pub fn byte_extents(&self) -> Vec<(u64, u64)> {
+        let cb = self.chunk_bytes;
+        let mut out: Vec<(u64, u64)> = Vec::new();
+        for &(addr, _, _) in &self.entries {
+            match out.last_mut() {
+                Some((off, len)) if *off + *len == addr * cb => *len += cb,
+                _ => out.push((addr * cb, cb)),
+            }
+        }
+        out
+    }
+
+    /// Consume the plan into `(chunk index, address)` pairs in entry
+    /// (address) order. Length-1 runs give up their index vector without
+    /// cloning — the common case for zone plans.
+    pub fn into_index_addr_pairs(mut self) -> Vec<(Vec<usize>, u64)> {
+        self.entries
+            .iter()
+            .map(|&(addr, run, step)| {
+                let r = &mut self.runs[run as usize];
+                let idx = if r.len == 1 {
+                    std::mem::take(&mut r.start)
+                } else {
+                    r.index_at(step as usize)
+                };
+                (idx, addr)
+            })
+            .collect()
     }
 }
 
 impl<T: Element> DrxmpHandle<T> {
-    /// Plan the chunks covering an element region (address-sorted).
+    /// Plan the chunks covering an element region (run-coalesced,
+    /// address-sorted entries).
     pub(crate) fn plan_region(&self, region: &Region) -> Result<ChunkPlan> {
         self.check_region(region)?;
         let chunk_region = self.meta.chunking().chunks_covering(region)?;
-        let mut chunks = self.meta.grid().region_addresses(&chunk_region)?;
-        chunks.sort_by_key(|&(_, a)| a);
-        Ok(ChunkPlan { chunks, chunk_bytes: self.meta.chunk_bytes() })
+        let runs = self.meta.grid().region_runs(&chunk_region)?;
+        Ok(ChunkPlan::from_runs(runs, self.meta.chunk_bytes()))
     }
 
-    /// Plan an explicit chunk list (zone reads).
+    /// Plan an explicit address-sorted chunk list (zone reads).
     pub(crate) fn plan_chunks(&self, chunks: Vec<(Vec<usize>, u64)>) -> ChunkPlan {
-        ChunkPlan { chunks, chunk_bytes: self.meta.chunk_bytes() }
+        ChunkPlan::from_pairs(chunks, self.meta.chunk_bytes())
     }
 
     /// Scatter raw chunk bytes into a dense element buffer for `region` in
@@ -68,38 +160,40 @@ impl<T: Element> DrxmpHandle<T> {
     ) -> Result<Vec<T>> {
         let extents = region.extents();
         let strides = layout.strides(&extents);
+        let chunk_strides = self.meta.chunking().strides();
+        let cb = plan.chunk_bytes as usize;
         let mut out = vec![T::default(); region.volume() as usize];
-        for (i, (chunk_idx, _)) in plan.chunks.iter().enumerate() {
-            let chunk_region = self.meta.chunking().chunk_elements(chunk_idx)?;
+        let mut idx = Vec::new();
+        for i in 0..plan.len() {
+            plan.write_index_at(i, &mut idx);
+            let chunk_region = self.meta.chunking().chunk_elements(&idx)?;
             let Some(valid) = chunk_region.intersect(region) else { continue };
-            let base = i * plan.chunk_bytes as usize;
-            drx_core::index::for_each_offset_pair(
-                &valid,
+            kernels::scatter_chunk(
+                &bytes[i * cb..(i + 1) * cb],
                 chunk_region.lo(),
-                self.meta.chunking().strides(),
+                chunk_strides,
+                &mut out,
                 region.lo(),
                 &strides,
-                |src, dst| {
-                    let src = base + src as usize * T::SIZE;
-                    out[dst as usize] = T::read_le(&bytes[src..src + T::SIZE]);
-                },
+                &valid,
             );
         }
         Ok(out)
     }
 
-    /// Execute a plan's raw reads. `collective` uses two-phase
-    /// `read_all`; otherwise each chunk extent is an independent request.
+    /// Execute a plan's raw reads. `collective` uses two-phase `read_all`
+    /// through an indexed file view; independent reads issue the merged
+    /// extents directly as one vectored request (no view churn).
     pub(crate) fn fetch_plan(&mut self, plan: &ChunkPlan, collective: bool) -> Result<Vec<u8>> {
         let mut bytes = vec![0u8; plan.bytes()];
-        let ft = plan.filetype()?;
-        self.xta.set_view(0, ft);
         if collective {
+            let ft = plan.filetype()?;
+            self.xta.set_view(0, ft);
             self.xta.read_all(0, &mut bytes)?;
+            self.xta.set_view(0, None);
         } else {
-            self.xta.read_at(0, &mut bytes)?;
+            self.xta.read_extents(&plan.byte_extents(), &mut bytes)?;
         }
-        self.xta.set_view(0, None);
         Ok(bytes)
     }
 
@@ -154,12 +248,12 @@ impl<T: Element> DrxmpHandle<T> {
         let plan = self.plan_chunks(pairs);
         let bytes = self.fetch_plan(&plan, true)?;
         let cb = self.meta.chunk_bytes() as usize;
-        plan.chunks
-            .iter()
+        plan.into_index_addr_pairs()
+            .into_iter()
             .enumerate()
             .map(|(i, (idx, _))| {
                 let vals = drx_core::dtype::decode_slice::<T>(&bytes[i * cb..(i + 1) * cb])?;
-                Ok((idx.clone(), vals))
+                Ok((idx, vals))
             })
             .collect()
     }
@@ -169,9 +263,14 @@ impl<T: Element> DrxmpHandle<T> {
     /// memory access").
     pub fn get(&mut self, index: &[usize]) -> Result<T> {
         let off = self.meta.element_byte_offset(index)?;
-        let mut buf = vec![0u8; T::SIZE];
-        self.xta.set_view(0, None);
-        self.xta.read_at(off, &mut buf)?;
-        Ok(T::read_le(&buf))
+        // Largest built-in element is Complex64 at 16 bytes: a stack
+        // buffer avoids a heap allocation per element access.
+        let mut buf = [0u8; 16];
+        debug_assert!(T::SIZE <= buf.len());
+        if self.xta.has_view() {
+            self.xta.set_view(0, None);
+        }
+        self.xta.read_at(off, &mut buf[..T::SIZE])?;
+        Ok(T::read_le(&buf[..T::SIZE]))
     }
 }

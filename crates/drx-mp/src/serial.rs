@@ -9,6 +9,7 @@
 //! a single serial process or from a parallel program").
 
 use crate::error::{MpError, Result};
+use crate::read::ChunkPlan;
 use drx_core::{dtype, ArrayMeta, Element, InitialLayout, Layout, Region};
 use drx_pfs::{Pfs, PfsFile};
 
@@ -161,14 +162,13 @@ impl<T: Element> DrxFile<T> {
         Ok(())
     }
 
-    /// The chunk addresses covering an element region, sorted by linear
-    /// address — the sequential-scan order of §II-A.
-    fn plan(&self, region: &Region) -> Result<Vec<(Vec<usize>, u64)>> {
+    /// The run-coalesced chunk plan covering an element region; entries
+    /// are sorted by linear address — the sequential-scan order of §II-A.
+    fn plan(&self, region: &Region) -> Result<ChunkPlan> {
         self.check_region(region)?;
         let chunk_region = self.meta.chunking().chunks_covering(region)?;
-        let mut pairs = self.meta.grid().region_addresses(&chunk_region)?;
-        pairs.sort_by_key(|&(_, a)| a);
-        Ok(pairs)
+        let runs = self.meta.grid().region_runs(&chunk_region)?;
+        Ok(ChunkPlan::from_runs(runs, self.meta.chunk_bytes()))
     }
 
     fn check_region(&self, region: &Region) -> Result<()> {
@@ -195,24 +195,27 @@ impl<T: Element> DrxFile<T> {
     /// in-memory positions — the on-the-fly transposition of §II-A.
     pub fn read_region(&self, region: &Region, layout: Layout) -> Result<Vec<T>> {
         let plan = self.plan(region)?;
-        let chunk_bytes = self.meta.chunk_bytes();
+        let cb = self.meta.chunk_bytes() as usize;
+        let mut bytes = vec![0u8; plan.bytes()];
+        // One vectored request over the merged chunk extents.
+        self.xta.read_extents_into(&plan.byte_extents(), &mut bytes)?;
         let extents = region.extents();
         let strides = layout.strides(&extents);
+        let chunk_strides = self.meta.chunking().strides();
         let mut out = vec![T::default(); region.volume() as usize];
-        for (chunk_idx, addr) in plan {
-            let bytes = self.xta.read_vec(addr * chunk_bytes, chunk_bytes as usize)?;
-            let chunk_region = self.meta.chunking().chunk_elements(&chunk_idx)?;
+        let mut idx = Vec::new();
+        for i in 0..plan.len() {
+            plan.write_index_at(i, &mut idx);
+            let chunk_region = self.meta.chunking().chunk_elements(&idx)?;
             let Some(valid) = chunk_region.intersect(region) else { continue };
-            drx_core::index::for_each_offset_pair(
-                &valid,
+            crate::kernels::scatter_chunk(
+                &bytes[i * cb..(i + 1) * cb],
                 chunk_region.lo(),
-                self.meta.chunking().strides(),
+                chunk_strides,
+                &mut out,
                 region.lo(),
                 &strides,
-                |src, dst| {
-                    let src = src as usize * T::SIZE;
-                    out[dst as usize] = T::read_le(&bytes[src..src + T::SIZE]);
-                },
+                &valid,
             );
         }
         Ok(out)
@@ -233,28 +236,27 @@ impl<T: Element> DrxFile<T> {
         let chunk_bytes = self.meta.chunk_bytes();
         let extents = region.extents();
         let strides = layout.strides(&extents);
-        for (chunk_idx, addr) in plan {
-            let chunk_region = self.meta.chunking().chunk_elements(&chunk_idx)?;
+        let chunk_strides = self.meta.chunking().strides();
+        let mut idx = Vec::new();
+        for i in 0..plan.len() {
+            plan.write_index_at(i, &mut idx);
+            let chunk_region = self.meta.chunking().chunk_elements(&idx)?;
             let Some(valid) = chunk_region.intersect(region) else { continue };
+            let addr = plan.entries[i].0;
             let full = valid == chunk_region;
             let mut bytes = if full {
                 vec![0u8; chunk_bytes as usize]
             } else {
                 self.xta.read_vec(addr * chunk_bytes, chunk_bytes as usize)?
             };
-            let mut tmp = Vec::with_capacity(T::SIZE);
-            drx_core::index::for_each_offset_pair(
-                &valid,
-                chunk_region.lo(),
-                self.meta.chunking().strides(),
+            crate::kernels::gather_chunk(
+                data,
                 region.lo(),
                 &strides,
-                |dst, src| {
-                    let dst = dst as usize * T::SIZE;
-                    tmp.clear();
-                    data[src as usize].write_le(&mut tmp);
-                    bytes[dst..dst + T::SIZE].copy_from_slice(&tmp);
-                },
+                &mut bytes,
+                chunk_region.lo(),
+                chunk_strides,
+                &valid,
             );
             self.xta.write_at(addr * chunk_bytes, &bytes)?;
         }

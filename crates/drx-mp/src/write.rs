@@ -32,12 +32,15 @@ impl<T: Element> DrxmpHandle<T> {
         let plan = self.plan_region(region)?;
         let chunk_bytes = self.meta.chunk_bytes() as usize;
         // Which planned chunks are only partially covered by the region?
+        // Entries are address-sorted, so `partial` comes out pre-sorted.
         let mut partial: Vec<(Vec<usize>, u64)> = Vec::new();
-        for (chunk_idx, addr) in &plan.chunks {
-            let chunk_region = self.meta.chunking().chunk_elements(chunk_idx)?;
+        let mut idx = Vec::new();
+        for i in 0..plan.len() {
+            plan.write_index_at(i, &mut idx);
+            let chunk_region = self.meta.chunking().chunk_elements(&idx)?;
             let covered = chunk_region.intersect(region);
             if covered.as_ref() != Some(&chunk_region) {
-                partial.push((chunk_idx.clone(), *addr));
+                partial.push((idx.clone(), plan.entries[i].0));
             }
         }
         let partial_plan = self.plan_chunks(partial);
@@ -46,7 +49,7 @@ impl<T: Element> DrxmpHandle<T> {
             // the *same* partial chunk race at chunk granularity (the reason
             // the paper partitions along chunk boundaries). Detect it
             // collectively and fail loudly on every rank.
-            let mine: Vec<u64> = partial_plan.chunks.iter().map(|&(_, a)| a).collect();
+            let mine: Vec<u64> = partial_plan.entries.iter().map(|&(a, _, _)| a).collect();
             let all = self.comm.allgather_vec::<u64>(&mine)?;
             let mut seen = std::collections::HashMap::new();
             for (rank, addrs) in all.iter().enumerate() {
@@ -62,46 +65,45 @@ impl<T: Element> DrxmpHandle<T> {
         }
         let partial_bytes = self.fetch_plan(&partial_plan, collective)?;
         // Build the chunk images.
+        let extents = region.extents();
+        let strides = layout.strides(&extents);
+        let chunk_strides = self.meta.chunking().strides();
         let mut bytes = vec![0u8; plan.bytes()];
         let mut pi = 0usize;
-        for (i, (chunk_idx, addr)) in plan.chunks.iter().enumerate() {
+        for (i, &(addr, _, _)) in plan.entries.iter().enumerate() {
             let dst = &mut bytes[i * chunk_bytes..(i + 1) * chunk_bytes];
-            if pi < partial_plan.chunks.len() && partial_plan.chunks[pi].1 == *addr {
+            if pi < partial_plan.len() && partial_plan.entries[pi].0 == addr {
                 dst.copy_from_slice(&partial_bytes[pi * chunk_bytes..(pi + 1) * chunk_bytes]);
                 pi += 1;
             }
-            let chunk_region = self.meta.chunking().chunk_elements(chunk_idx)?;
+            plan.write_index_at(i, &mut idx);
+            let chunk_region = self.meta.chunking().chunk_elements(&idx)?;
             let Some(valid) = chunk_region.intersect(region) else { continue };
-            let extents = region.extents();
-            let strides = layout.strides(&extents);
-            let mut tmp = Vec::with_capacity(T::SIZE);
-            drx_core::index::for_each_offset_pair(
-                &valid,
-                chunk_region.lo(),
-                self.meta.chunking().strides(),
+            crate::kernels::gather_chunk(
+                data,
                 region.lo(),
                 &strides,
-                |off, src| {
-                    let off = off as usize * T::SIZE;
-                    tmp.clear();
-                    data[src as usize].write_le(&mut tmp);
-                    dst[off..off + T::SIZE].copy_from_slice(&tmp);
-                },
+                dst,
+                chunk_region.lo(),
+                chunk_strides,
+                &valid,
             );
         }
         Ok((plan, bytes))
     }
 
-    /// Write the assembled chunk images through the file view.
+    /// Write the assembled chunk images. Collective writes go through the
+    /// indexed file view and two-phase I/O; independent writes issue the
+    /// merged extents directly as one vectored request.
     fn store_plan(&mut self, plan: &ChunkPlan, bytes: &[u8], collective: bool) -> Result<()> {
-        let ft = plan.filetype()?;
-        self.xta.set_view(0, ft);
         if collective {
+            let ft = plan.filetype()?;
+            self.xta.set_view(0, ft);
             self.xta.write_all(0, bytes)?;
+            self.xta.set_view(0, None);
         } else {
-            self.xta.write_at(0, bytes)?;
+            self.xta.write_extents(&plan.byte_extents(), bytes)?;
         }
-        self.xta.set_view(0, None);
         Ok(())
     }
 
@@ -176,7 +178,8 @@ impl<T: Element> DrxmpHandle<T> {
         // Sort data along with the plan by file address.
         let mut order: Vec<usize> = (0..plan_pairs.len()).collect();
         order.sort_by_key(|&i| plan_pairs[i].1);
-        let sorted: Vec<(Vec<usize>, u64)> = order.iter().map(|&i| plan_pairs[i].clone()).collect();
+        let sorted: Vec<(Vec<usize>, u64)> =
+            order.iter().map(|&i| std::mem::take(&mut plan_pairs[i])).collect();
         let mut bytes = Vec::with_capacity(chunks.len() * self.meta.chunk_bytes() as usize);
         for &i in &order {
             bytes.extend_from_slice(&drx_core::dtype::encode_slice(&chunks[i].1));
@@ -211,10 +214,17 @@ impl<T: Element> DrxmpHandle<T> {
     /// Write a single element directly (independent).
     pub fn set(&mut self, index: &[usize], value: T) -> Result<()> {
         let off = self.meta.element_byte_offset(index)?;
-        let mut buf = Vec::with_capacity(T::SIZE);
-        value.write_le(&mut buf);
-        self.xta.set_view(0, None);
-        self.xta.write_at(off, &buf)?;
+        if self.xta.has_view() {
+            self.xta.set_view(0, None);
+        }
+        let vals = [value];
+        if let Some(view) = T::as_le_bytes(&vals) {
+            self.xta.write_at(off, view)?;
+        } else {
+            let mut buf = Vec::with_capacity(T::SIZE);
+            vals[0].write_le(&mut buf);
+            self.xta.write_at(off, &buf)?;
+        }
         Ok(())
     }
 }

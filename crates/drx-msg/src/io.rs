@@ -46,6 +46,11 @@ impl MsgFile {
         self.view = filetype;
     }
 
+    /// Whether a non-identity file view is currently set.
+    pub fn has_view(&self) -> bool {
+        self.view.is_some()
+    }
+
     /// The communicator this file was opened on.
     pub fn comm(&self) -> &Comm {
         &self.comm
@@ -96,6 +101,22 @@ impl MsgFile {
             pos += len as usize;
         }
         debug_assert_eq!(pos, buf.len());
+        Ok(())
+    }
+
+    /// Vectored independent read of **absolute** byte extents, bypassing
+    /// the view. `buf` receives the concatenation of the extents; requests
+    /// go through the PFS I/O worker pool, so extents landing on distinct
+    /// stripe servers are serviced concurrently.
+    pub fn read_extents(&self, extents: &[(u64, u64)], buf: &mut [u8]) -> Result<()> {
+        self.file.read_extents_into(extents, buf)?;
+        Ok(())
+    }
+
+    /// Vectored independent write of absolute byte extents (see
+    /// [`MsgFile::read_extents`]).
+    pub fn write_extents(&self, extents: &[(u64, u64)], data: &[u8]) -> Result<()> {
+        self.file.write_extents(extents, data)?;
         Ok(())
     }
 

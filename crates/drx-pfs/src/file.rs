@@ -2,6 +2,7 @@
 //! I/O servers.
 
 use crate::error::{PfsError, Result};
+use crate::par::{self, Job, Op};
 use crate::retry::RetryPolicy;
 use crate::server::{Backing, FaultPlan, IoServer};
 use crate::stats::{CostModel, PfsStats};
@@ -27,6 +28,16 @@ pub struct PfsConfig {
     /// Scripted fault injector wrapped around every server's storage
     /// (`None` = no injection).
     pub injector: Option<Arc<Injector>>,
+    /// Client-side I/O worker threads for vectored requests. `1` issues
+    /// fragments sequentially; larger values overlap requests to distinct
+    /// servers. Forced to `1` whenever a fault injector is armed so
+    /// scripted replays keep a deterministic request order.
+    pub io_workers: usize,
+    /// Emulated wall-clock service latency per server request (`None` =
+    /// memory-speed). Each server services its requests serially behind the
+    /// latency, so concurrent requests only overlap across *distinct*
+    /// servers — the remote-I/O-server regime the paper assumes.
+    pub request_latency: Option<std::time::Duration>,
 }
 
 impl std::fmt::Debug for PfsConfig {
@@ -38,6 +49,8 @@ impl std::fmt::Debug for PfsConfig {
             .field("backing", &self.backing)
             .field("retry", &self.retry)
             .field("injector", &self.injector.as_ref().map(|_| "Injector"))
+            .field("io_workers", &self.io_workers)
+            .field("request_latency", &self.request_latency)
             .finish()
     }
 }
@@ -51,6 +64,8 @@ impl Default for PfsConfig {
             backing: Backing::Memory,
             retry: RetryPolicy::default(),
             injector: None,
+            io_workers: 1,
+            request_latency: None,
         }
     }
 }
@@ -59,6 +74,9 @@ struct PfsInner {
     servers: Vec<Arc<IoServer>>,
     map: StripeMap,
     retry: RetryPolicy,
+    /// Effective worker count for vectored requests (already clamped to 1
+    /// when a fault injector is armed).
+    io_workers: usize,
     /// Logical lengths of the named files.
     // lock-class: inner.meta => PfsMeta
     meta: Mutex<HashMap<String, u64>>,
@@ -83,14 +101,19 @@ impl Pfs {
                     config.backing.clone(),
                     config.cost,
                     config.injector.clone(),
+                    config.request_latency,
                 )
             })
             .collect::<Result<Vec<_>>>()?;
+        // Fault scripts replay against a deterministic global request
+        // order; a concurrent pool would reorder the ops they count.
+        let io_workers = if config.injector.is_some() { 1 } else { config.io_workers.max(1) };
         Ok(Pfs {
             inner: Arc::new(PfsInner {
                 servers,
                 map,
                 retry: config.retry,
+                io_workers,
                 meta: Mutex::new(HashMap::new()),
             }),
         })
@@ -107,6 +130,11 @@ impl Pfs {
 
     pub fn n_servers(&self) -> usize {
         self.inner.map.n_servers()
+    }
+
+    /// Effective client-side I/O worker count for vectored requests.
+    pub fn io_workers(&self) -> usize {
+        self.inner.io_workers
     }
 
     /// Create a new empty file; errors if it already exists.
@@ -221,20 +249,8 @@ impl PfsFile {
     /// Read exactly `buf.len()` bytes at `offset`; the whole range must lie
     /// within the logical length.
     pub fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
-        let flen = self.len();
         let len = buf.len() as u64;
-        if offset + len > flen {
-            return Err(PfsError::OutOfRange { offset, len, file_len: flen });
-        }
-        for frag in self.inner.map.split(offset, len) {
-            let start = (frag.global_offset - offset) as usize;
-            let end = start + frag.len as usize;
-            let slice = &mut buf[start..end];
-            self.inner.retry.run(|| {
-                self.inner.servers[frag.server].read(&self.name, frag.local_offset, slice)
-            })?;
-        }
-        Ok(())
+        self.read_extents_into(&[(offset, len)], buf)
     }
 
     /// Convenience: allocate and read `len` bytes at `offset`.
@@ -244,24 +260,101 @@ impl PfsFile {
         Ok(buf)
     }
 
+    /// Vectored read: fill `buf` with the concatenation of the byte ranges
+    /// in `extents` (each `(offset, len)`). Fragments are issued through
+    /// the I/O worker pool, overlapping requests to distinct servers when
+    /// the file system was configured with `io_workers > 1`.
+    pub fn read_extents_into(&self, extents: &[(u64, u64)], buf: &mut [u8]) -> Result<()> {
+        let flen = self.len();
+        let total: u64 = extents.iter().map(|&(_, l)| l).sum();
+        if total != buf.len() as u64 {
+            return Err(PfsError::Config(format!(
+                "extent total {total} != buffer length {}",
+                buf.len()
+            )));
+        }
+        let mut jobs: Vec<Job<'_>> = Vec::new();
+        let mut rest = buf;
+        for &(offset, len) in extents {
+            if offset + len > flen {
+                return Err(PfsError::OutOfRange { offset, len, file_len: flen });
+            }
+            let (ext_buf, tail) = rest.split_at_mut(len as usize);
+            rest = tail;
+            // Fragments tile [offset, offset+len) in increasing global
+            // offset, so successive splits consume the extent's buffer.
+            let mut ext_rest = ext_buf;
+            for frag in self.inner.map.split(offset, len) {
+                let (frag_buf, tail) = ext_rest.split_at_mut(frag.len as usize);
+                ext_rest = tail;
+                jobs.push(Job {
+                    server: frag.server,
+                    local_offset: frag.local_offset,
+                    op: Op::Read(frag_buf),
+                });
+            }
+        }
+        par::run_jobs(
+            &self.inner.servers,
+            &self.inner.retry,
+            &self.name,
+            jobs,
+            self.inner.io_workers,
+        )
+    }
+
+    /// Vectored read returning a freshly allocated buffer.
+    pub fn read_extents(&self, extents: &[(u64, u64)]) -> Result<Vec<u8>> {
+        let total: u64 = extents.iter().map(|&(_, l)| l).sum();
+        let mut buf = vec![0u8; total as usize];
+        self.read_extents_into(extents, &mut buf)?;
+        Ok(buf)
+    }
+
     /// Write `data` at `offset`, extending the logical length if the range
     /// ends beyond it.
     pub fn write_at(&self, offset: u64, data: &[u8]) -> Result<()> {
-        for frag in self.inner.map.split(offset, data.len() as u64) {
-            let start = (frag.global_offset - offset) as usize;
-            let end = start + frag.len as usize;
-            self.inner.retry.run(|| {
-                self.inner.servers[frag.server].write(
-                    &self.name,
-                    frag.local_offset,
-                    &data[start..end],
-                )
-            })?;
+        self.write_extents(&[(offset, data.len() as u64)], data)
+    }
+
+    /// Vectored write: `data` is the concatenation of the byte ranges in
+    /// `extents`. The logical length grows to cover the furthest extent.
+    /// Fragments go through the I/O worker pool like
+    /// [`PfsFile::read_extents_into`].
+    pub fn write_extents(&self, extents: &[(u64, u64)], data: &[u8]) -> Result<()> {
+        let total: u64 = extents.iter().map(|&(_, l)| l).sum();
+        if total != data.len() as u64 {
+            return Err(PfsError::Config(format!(
+                "extent total {total} != data length {}",
+                data.len()
+            )));
         }
+        let mut jobs: Vec<Job<'_>> = Vec::new();
+        let mut rest = data;
+        for &(offset, len) in extents {
+            let (ext_data, tail) = rest.split_at(len as usize);
+            rest = tail;
+            for frag in self.inner.map.split(offset, len) {
+                let start = (frag.global_offset - offset) as usize;
+                jobs.push(Job {
+                    server: frag.server,
+                    local_offset: frag.local_offset,
+                    op: Op::Write(&ext_data[start..start + frag.len as usize]),
+                });
+            }
+        }
+        par::run_jobs(
+            &self.inner.servers,
+            &self.inner.retry,
+            &self.name,
+            jobs,
+            self.inner.io_workers,
+        )?;
+        let end = extents.iter().map(|&(o, l)| o + l).max().unwrap_or(0);
         let mut meta = self.inner.meta.lock();
         let entry =
             meta.get_mut(&self.name).ok_or_else(|| PfsError::NoSuchFile(self.name.clone()))?;
-        *entry = (*entry).max(offset + data.len() as u64);
+        *entry = (*entry).max(end);
         Ok(())
     }
 
@@ -468,6 +561,77 @@ mod tests {
         let f = fs.recover("f").unwrap();
         assert_eq!(f.len(), 100, "only synced bytes survive the crash");
         assert_eq!(f.read_vec(0, 100).unwrap(), vec![5u8; 100]);
+    }
+
+    #[test]
+    fn vectored_extents_round_trip_across_worker_counts() {
+        for workers in [1usize, 2, 4, 8] {
+            let fs = Pfs::new(PfsConfig {
+                n_servers: 4,
+                stripe_size: 16,
+                io_workers: workers,
+                ..PfsConfig::default()
+            })
+            .unwrap();
+            assert_eq!(fs.io_workers(), workers);
+            let f = fs.create("f").unwrap();
+            let pattern: Vec<u8> = (0..256u32).map(|i| (i % 251) as u8).collect();
+            // Discontiguous extents, some crossing stripe boundaries.
+            let extents = [(0u64, 40u64), (60, 16), (100, 100), (200, 56)];
+            let data: Vec<u8> = extents
+                .iter()
+                .flat_map(|&(o, l)| pattern[o as usize..(o + l) as usize].to_vec())
+                .collect();
+            f.set_len(256).unwrap();
+            f.write_extents(&extents, &data).unwrap();
+            let back = f.read_extents(&extents).unwrap();
+            assert_eq!(back, data, "workers {workers}");
+            // Untouched gap bytes stayed zero.
+            assert_eq!(f.read_vec(40, 20).unwrap(), vec![0u8; 20]);
+        }
+    }
+
+    #[test]
+    fn vectored_extents_validate_sizes_and_range() {
+        let fs = Pfs::new(PfsConfig {
+            n_servers: 2,
+            stripe_size: 16,
+            io_workers: 4,
+            ..PfsConfig::default()
+        })
+        .unwrap();
+        let f = fs.create("f").unwrap();
+        f.write_at(0, &[1u8; 64]).unwrap();
+        // Buffer/extent mismatch.
+        assert!(matches!(f.read_extents_into(&[(0, 8)], &mut [0u8; 4]), Err(PfsError::Config(_))));
+        assert!(matches!(f.write_extents(&[(0, 8)], &[0u8; 4]), Err(PfsError::Config(_))));
+        // An extent past EOF fails up front.
+        assert!(matches!(f.read_extents(&[(0, 8), (60, 8)]), Err(PfsError::OutOfRange { .. })));
+    }
+
+    #[test]
+    fn worker_pool_surfaces_down_server_errors() {
+        use drx_fault::{Injector, Script};
+        let inj = Arc::new(Injector::new(Script::empty()));
+        let fs = Pfs::new(PfsConfig {
+            n_servers: 4,
+            stripe_size: 16,
+            injector: Some(Arc::clone(&inj)),
+            io_workers: 8, // must be clamped: injector armed
+            retry: RetryPolicy { base_delay_us: 1, max_delay_us: 10, ..RetryPolicy::default() },
+            ..PfsConfig::default()
+        })
+        .unwrap();
+        assert_eq!(fs.io_workers(), 1, "injector forces sequential issue");
+        let f = fs.create("f").unwrap();
+        f.write_at(0, &[2u8; 128]).unwrap();
+        inj.set_down(2, true);
+        assert!(matches!(
+            f.read_extents(&[(0, 64), (64, 64)]),
+            Err(PfsError::Unavailable { server: 2 })
+        ));
+        inj.set_down(2, false);
+        assert_eq!(f.read_extents(&[(0, 64), (64, 64)]).unwrap(), vec![2u8; 128]);
     }
 
     #[test]

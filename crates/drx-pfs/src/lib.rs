@@ -30,6 +30,7 @@ pub use drx_fault as fault;
 pub mod backend;
 pub mod error;
 pub mod file;
+pub(crate) mod par;
 pub mod retry;
 pub mod server;
 pub mod stats;

@@ -64,21 +64,29 @@ pub struct IoServer {
     /// Scripted fault injector shared across all servers of a file system;
     /// `None` means storage operations run unwrapped.
     injector: Option<Arc<Injector>>,
+    /// Emulated wall-clock service latency charged per request, while the
+    /// request holds the file table — requests to the same server serialize
+    /// behind it (one service thread per server), requests to distinct
+    /// servers overlap. `None` (the default) keeps the backend purely
+    /// memory-speed.
+    latency: Option<std::time::Duration>,
 }
 
 impl IoServer {
     pub fn new(id: usize, backing: Backing, cost: CostModel) -> Result<Arc<Self>> {
-        IoServer::with_injector(id, backing, cost, None)
+        IoServer::with_injector(id, backing, cost, None, None)
     }
 
     /// Like [`IoServer::new`], but every storage stream this server creates
     /// is wrapped in a [`FaultyBackend`] consulting `injector` (the server
-    /// id is the fault domain).
+    /// id is the fault domain), and each request sleeps `latency` while
+    /// being serviced.
     pub fn with_injector(
         id: usize,
         backing: Backing,
         cost: CostModel,
         injector: Option<Arc<Injector>>,
+        latency: Option<std::time::Duration>,
     ) -> Result<Arc<Self>> {
         if let Backing::Disk(dir) = &backing {
             std::fs::create_dir_all(dir.join(format!("server{id}")))?;
@@ -91,6 +99,7 @@ impl IoServer {
             stats: Mutex::new(ServerStats::default()),
             fault: Mutex::new(None),
             injector,
+            latency,
         }))
     }
 
@@ -175,6 +184,9 @@ impl IoServer {
     pub fn read(&self, name: &str, local_offset: u64, buf: &mut [u8]) -> Result<()> {
         self.check_fault("read")?;
         self.with_entry(name, |entry| {
+            if let Some(lat) = self.latency {
+                std::thread::sleep(lat);
+            }
             let seek = entry.last_end != Some(local_offset);
             entry.last_end = Some(local_offset + buf.len() as u64);
             self.stats.lock().record(&self.cost, false, buf.len() as u64, seek);
@@ -186,6 +198,9 @@ impl IoServer {
     pub fn write(&self, name: &str, local_offset: u64, data: &[u8]) -> Result<()> {
         self.check_fault("write")?;
         self.with_entry(name, |entry| {
+            if let Some(lat) = self.latency {
+                std::thread::sleep(lat);
+            }
             let seek = entry.last_end != Some(local_offset);
             entry.last_end = Some(local_offset + data.len() as u64);
             self.stats.lock().record(&self.cost, true, data.len() as u64, seek);

@@ -14,6 +14,8 @@
 #   7. fault matrix: the seeded fault-injection sweep under three fixed
 #      seeds plus one randomized seed, echoed so any failure is replayable
 #      with DRX_FAULT_SEED=<seed>
+#   8. bench smoke: a tiny harness run that must emit valid JSON and prove
+#      the memcpy fast path is actually taken (kernel counters)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -45,5 +47,21 @@ done
 rand_seed=$(( (RANDOM << 15) | RANDOM ))
 echo "--- randomized fault seed $rand_seed (replay: DRX_FAULT_SEED=$rand_seed cargo test --test fault_matrix)"
 DRX_FAULT_SEED=$rand_seed cargo test -q --test fault_matrix
+
+echo "==> bench smoke (quick harness run, JSON validity, fast-path counters)"
+smoke_json=$(mktemp /tmp/drx-bench-smoke.XXXXXX.json)
+trap 'rm -f "$smoke_json"' EXIT
+cargo run -q --release -p drx-bench --bin harness -- --quick e10 --json "$smoke_json"
+python3 - "$smoke_json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as fh:
+    d = json.load(fh)
+assert d["bench"] == "pr4_fastpath", d
+assert d["planning"]["chunks"] > 0, "planning measured nothing"
+assert d["scatter"]["memcpy_calls"] > 0, "memcpy fast path never taken"
+assert d["scatter"]["memcpy_bytes"] > 0, "memcpy fast path moved no bytes"
+assert len(d["parallel_io"]["cold_read"]) >= 2, "worker sweep too small"
+print("bench smoke OK:", sys.argv[1])
+EOF
 
 echo "==> CI green"

@@ -194,11 +194,14 @@ fn adopt(pfs: &Pfs, dir: &Path, name: &str) -> Result<drx::ArrayMeta, Box<dyn st
         Ok(len)
     };
     let xmd_name = format!("{name}.xmd");
-    let xmd = pfs.open_or_create(&xmd_name)?;
+    // Existence check BEFORE open_or_create: opening first would create an
+    // empty stray `.xmd` stream for the misspelled name, which the
+    // directory scan would then pick up and `serve` would refuse to adopt.
     let xmd_len = sum_server_files(&xmd_name)?;
     if xmd_len == 0 {
         return Err(format!("array '{name}' not found in this directory").into());
     }
+    let xmd = pfs.open_or_create(&xmd_name)?;
     if xmd.len() < xmd_len {
         xmd.set_len(xmd_len)?;
     }
@@ -226,9 +229,14 @@ fn array_names(dir: &Path) -> Result<Vec<String>, Box<dyn std::error::Error>> {
             continue;
         }
         for f in std::fs::read_dir(&path)? {
-            let name = f?.file_name().to_string_lossy().into_owned();
+            let f = f?;
+            let name = f.file_name().to_string_lossy().into_owned();
             if let Some(base) = name.strip_suffix(".xmd") {
-                names.insert(base.to_string());
+                // Zero-length strays (left by older builds opening before
+                // checking existence) are not arrays.
+                if f.metadata()?.len() > 0 {
+                    names.insert(base.to_string());
+                }
             }
         }
     }

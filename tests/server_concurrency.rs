@@ -212,14 +212,18 @@ fn coalescing_beats_naive_per_chunk_io() {
         (pfs, f)
     };
 
-    // Naive baseline: the same eight full-array reads through the plain
-    // serial library, which reads one chunk per PFS request.
+    // Naive baseline: eight full-array scans issued chunk-by-chunk — one
+    // PFS request per chunk, the access pattern of a client that does not
+    // coalesce. (The serial library itself now reads regions with one
+    // vectored request, so the per-chunk pattern is spelled out here.)
     let (naive_pfs, naive_file) = make("a");
-    naive_pfs.reset_stats();
     let full = Region::new(vec![0, 0], vec![8, 4 * N_CHUNKS]).unwrap();
     let expected = naive_file.read_region(&full, Layout::C).unwrap();
-    for _ in 0..7 {
-        naive_file.read_region(&full, Layout::C).unwrap();
+    naive_pfs.reset_stats();
+    for _ in 0..8 {
+        for addr in 0..N_CHUNKS as u64 {
+            naive_file.read_chunk_raw(addr).unwrap();
+        }
     }
     let naive = naive_pfs.stats().total_requests();
     assert!(naive >= (8 * N_CHUNKS) as u64, "baseline should pay per chunk: {naive}");
